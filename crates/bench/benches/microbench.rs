@@ -1,0 +1,120 @@
+//! Criterion microbenchmarks for the substrates: crypto primitive
+//! throughput (the units SecDDR budgets on the ECC chip) and DRAM/protocol
+//! simulation speed.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use dimm_model::{EncryptionMode, SecureChannel};
+use dram_sim::{DramConfig, DramSystem, MemRequest, ReqKind};
+use secddr_crypto::aes::Aes128;
+use secddr_crypto::crc::{Ewcrc, WriteAddress};
+use secddr_crypto::mac::Cmac;
+use secddr_crypto::otp::TransactionCounter;
+use secddr_crypto::sha256::Sha256;
+use secddr_crypto::xts::XtsAes128;
+
+fn crypto_benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crypto");
+    let aes = Aes128::new(&[7; 16]);
+    let block = [0xA5u8; 16];
+    g.throughput(Throughput::Bytes(16));
+    g.bench_function("aes128_encrypt_block", |b| {
+        b.iter(|| std::hint::black_box(aes.encrypt_block(std::hint::black_box(&block))))
+    });
+
+    let cmac = Cmac::new(Aes128::new(&[9; 16]));
+    let line = [0x3Cu8; 64];
+    g.throughput(Throughput::Bytes(64));
+    g.bench_function("cmac_line_mac", |b| {
+        b.iter(|| std::hint::black_box(cmac.line_mac(std::hint::black_box(&line), 0x40)))
+    });
+
+    let xts = XtsAes128::new(&[1; 16], &[2; 16]);
+    g.bench_function("xts_encrypt_line", |b| {
+        let mut data = [0u8; 64];
+        b.iter(|| {
+            xts.encrypt_units(0x40, &mut data);
+            std::hint::black_box(data[0])
+        })
+    });
+
+    g.throughput(Throughput::Bytes(8));
+    let kt = Aes128::new(&[3; 16]);
+    g.bench_function("emac_pad_derivation", |b| {
+        let mut ct = TransactionCounter::new(0);
+        b.iter(|| std::hint::black_box(ct.read_pad(&kt)))
+    });
+
+    g.throughput(Throughput::Bytes(9));
+    let addr = WriteAddress { rank: 0, bank_group: 1, bank: 2, row: 77, column: 5 };
+    g.bench_function("ewcrc_generate", |b| {
+        b.iter(|| std::hint::black_box(Ewcrc::generate(std::hint::black_box(&line[..8]), &addr)))
+    });
+
+    g.throughput(Throughput::Bytes(64));
+    g.bench_function("sha256_line", |b| {
+        b.iter(|| std::hint::black_box(Sha256::digest(std::hint::black_box(&line))))
+    });
+    g.finish();
+}
+
+fn dram_benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dram_sim");
+    g.bench_function("stream_64_reads", |b| {
+        b.iter(|| {
+            let mut dram = DramSystem::new(DramConfig::ddr4_3200());
+            for i in 0..64u64 {
+                dram.enqueue(MemRequest::new(i, ReqKind::Read, i * 64, 0)).unwrap();
+            }
+            let mut done = 0;
+            while done < 64 {
+                done += dram.tick().len();
+            }
+            std::hint::black_box(dram.cycle())
+        })
+    });
+    g.bench_function("random_mixed_64", |b| {
+        b.iter(|| {
+            let mut dram = DramSystem::new(DramConfig::ddr4_3200());
+            let mut x = 0x9E3779B97F4A7C15u64;
+            let mut issued = 0u64;
+            let mut done = 0;
+            while done < 64 {
+                if issued < 64 {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    let kind = if x & 4 == 0 { ReqKind::Write } else { ReqKind::Read };
+                    if dram
+                        .enqueue(MemRequest::new(issued, kind, x % (1 << 34) & !63, 0))
+                        .is_ok()
+                    {
+                        issued += 1;
+                    }
+                }
+                done += dram.tick().len();
+            }
+            std::hint::black_box(dram.cycle())
+        })
+    });
+    g.finish();
+}
+
+fn protocol_benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("secddr_protocol");
+    g.throughput(Throughput::Bytes(64));
+    g.bench_function("secure_write_read_roundtrip", |b| {
+        let mut ch = SecureChannel::new_attested(EncryptionMode::Xts, 1);
+        let data = [0x42u8; 64];
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr = (addr + 64) % (1 << 20);
+            ch.write(addr, &data);
+            std::hint::black_box(ch.read(addr).expect("honest channel"))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, crypto_benches, dram_benches, protocol_benches);
+criterion_main!(benches);

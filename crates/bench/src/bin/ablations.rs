@@ -1,0 +1,4 @@
+//! Binary wrapper for the `ablations` harness.
+fn main() {
+    secddr_bench::ablations::run();
+}

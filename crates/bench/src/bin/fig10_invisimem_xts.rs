@@ -1,0 +1,4 @@
+//! Binary wrapper for the `fig10_invisimem_xts` harness.
+fn main() {
+    secddr_bench::fig10_invisimem_xts::run();
+}

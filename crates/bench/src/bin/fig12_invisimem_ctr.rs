@@ -1,0 +1,4 @@
+//! Binary wrapper for the `fig12_invisimem_ctr` harness.
+fn main() {
+    secddr_bench::fig12_invisimem_ctr::run();
+}

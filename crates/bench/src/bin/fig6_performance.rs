@@ -1,0 +1,4 @@
+//! Binary wrapper for the `fig6_performance` harness.
+fn main() {
+    secddr_bench::fig6_performance::run();
+}

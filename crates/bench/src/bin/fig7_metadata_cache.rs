@@ -1,0 +1,4 @@
+//! Binary wrapper for the `fig7_metadata_cache` harness.
+fn main() {
+    secddr_bench::fig7_metadata_cache::run();
+}

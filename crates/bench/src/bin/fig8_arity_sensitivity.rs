@@ -1,0 +1,4 @@
+//! Binary wrapper for the `fig8_arity` harness.
+fn main() {
+    secddr_bench::fig8_arity::run();
+}

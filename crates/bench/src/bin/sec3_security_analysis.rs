@@ -1,0 +1,4 @@
+//! Binary wrapper for the `sec3_security` harness.
+fn main() {
+    secddr_bench::sec3_security::run();
+}

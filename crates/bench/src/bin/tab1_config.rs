@@ -1,0 +1,4 @@
+//! Binary wrapper for the `tab1_config` harness.
+fn main() {
+    secddr_bench::tab1_config::run();
+}

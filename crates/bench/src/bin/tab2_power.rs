@@ -1,0 +1,4 @@
+//! Binary wrapper for the `tab2_power` harness.
+fn main() {
+    secddr_bench::tab2_power::run();
+}

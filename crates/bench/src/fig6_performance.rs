@@ -1,0 +1,69 @@
+//! Figure 6: normalized performance (IPC) of the five main system
+//! configurations across all 29 benchmarks, relative to the Intel-TDX-like
+//! baseline.
+//!
+//! Paper's headline numbers this should reproduce in shape:
+//! SecDDR+CTR ≈ +9.6% gmean over the 64-ary tree (within 3% of
+//! encrypt-only CTR); SecDDR+XTS ≈ +18.8% over the tree, <1% from
+//! encrypt-only XTS; pr/bc/sssp/omnetpp/xz gain most; lbm slightly slowed
+//! by the eWCRC write bursts.
+
+use secddr_core::config::SecurityConfig;
+use secddr_core::system::RunParams;
+
+use crate::runner::sweep;
+
+/// Runs the Figure 6 sweep at the given instruction budget and prints the
+/// table.
+pub fn run_with_budget(instructions: u64, seed: u64) {
+    let configs = [
+        SecurityConfig::tree_64ary(),
+        SecurityConfig::secddr_ctr(),
+        SecurityConfig::encrypt_only_ctr(),
+        SecurityConfig::secddr_xts(),
+        SecurityConfig::encrypt_only_xts(),
+    ];
+    let s = sweep(&configs, RunParams { instructions, seed });
+    s.print_normalized_table("Figure 6: Performance results (5 configurations)");
+
+    // The paper's headline deltas.
+    let (tree_all, tree_mem) = s.gmeans(0);
+    let (sctr_all, sctr_mem) = s.gmeans(1);
+    let (ectr_all, _) = s.gmeans(2);
+    let (sxts_all, sxts_mem) = s.gmeans(3);
+    let (exts_all, _) = s.gmeans(4);
+    println!("\nHeadline comparisons (paper values in brackets):");
+    println!(
+        "  SecDDR+CTR vs 64-ary tree (all):     +{:.1}%   [paper: +9.6%]",
+        (sctr_all / tree_all - 1.0) * 100.0
+    );
+    println!(
+        "  SecDDR+CTR vs 64-ary tree (mem-int): +{:.1}%   [paper: +18.0%]",
+        (sctr_mem / tree_mem - 1.0) * 100.0
+    );
+    println!(
+        "  SecDDR+CTR vs Encrypt-only CTR:      {:+.1}%   [paper: within 3.0%]",
+        (sctr_all / ectr_all - 1.0) * 100.0
+    );
+    println!(
+        "  SecDDR+XTS vs 64-ary tree (all):     +{:.1}%   [paper: +18.8%]",
+        (sxts_all / tree_all - 1.0) * 100.0
+    );
+    println!(
+        "  SecDDR+XTS vs 64-ary tree (mem-int): +{:.1}%   [paper: +37.7%]",
+        (sxts_mem / tree_mem - 1.0) * 100.0
+    );
+    println!(
+        "  SecDDR+XTS vs Encrypt-only XTS:      {:+.1}%   [paper: within 1%]",
+        (sxts_all / exts_all - 1.0) * 100.0
+    );
+    println!(
+        "  SecDDR+XTS vs Encrypt-only CTR:      {:+.1}%   [paper: +5.4%]",
+        (sxts_all / ectr_all - 1.0) * 100.0
+    );
+}
+
+/// Runs with the environment-configured budget.
+pub fn run() {
+    run_with_budget(crate::instr_budget(), crate::seed());
+}

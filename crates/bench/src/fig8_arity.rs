@@ -1,0 +1,69 @@
+//! Figure 8: sensitivity to tree arity and counter packing.
+//!
+//! Three groups (8 / 64 / 128 counters per line); within each group a tree
+//! of matching arity, SecDDR+CTR, and encrypt-only CTR. The 8-ary group is
+//! the XTS-compatible hash-tree design (MACs in memory), which the paper
+//! reports at a severe 38.8% slowdown.
+
+use secddr_core::config::SecurityConfig;
+use secddr_core::system::RunParams;
+
+use crate::runner::sweep;
+
+/// Runs the Figure 8 sweep and prints the nine gmean bars.
+pub fn run_with_budget(instructions: u64, seed: u64) {
+    let configs = [
+        // 8 counters/line group: hash tree (8-ary) + CTR configs packed 8.
+        SecurityConfig::tree_8ary_hash(),
+        SecurityConfig::secddr_ctr().with_packing(8),
+        SecurityConfig::encrypt_only_ctr().with_packing(8),
+        // 64 group (paper baseline).
+        SecurityConfig::tree_64ary(),
+        SecurityConfig::secddr_ctr(),
+        SecurityConfig::encrypt_only_ctr(),
+        // 128 group (MorphTree-like).
+        SecurityConfig::tree_128ary(),
+        SecurityConfig::secddr_ctr().with_packing(128),
+        SecurityConfig::encrypt_only_ctr().with_packing(128),
+    ];
+    let s = sweep(&configs, RunParams { instructions, seed });
+
+    println!("\n=== Figure 8: Sensitivity to tree arity and counter packing ===");
+    println!("(gmean normalized IPC over all benchmarks; paper values in brackets)\n");
+    let labels = [
+        ("8-ary (hash tree)", "0.61"),
+        ("SecDDR    (8 cnt/line)", "0.86"),
+        ("Encrypt-only (8 cnt/line)", "0.88"),
+        ("64-ary", "0.84"),
+        ("SecDDR    (64 cnt/line)", "0.92"),
+        ("Encrypt-only (64 cnt/line)", "0.94"),
+        ("128-ary", "0.86"),
+        ("SecDDR    (128 cnt/line)", "0.92"),
+        ("Encrypt-only (128 cnt/line)", "0.94"),
+    ];
+    for (i, (label, paper)) in labels.iter().enumerate() {
+        let (all, _) = s.gmeans(i);
+        println!("  {label:<30} {all:>6.3}   [paper: {paper}]");
+    }
+    let tree64 = s.gmeans(3).0;
+    let tree128 = s.gmeans(6).0;
+    let secddr64 = s.gmeans(4).0;
+    println!("\nDerived comparisons:");
+    println!(
+        "  SecDDR+CTR vs 128-ary tree: +{:.1}%  [paper: +6.3%]",
+        (secddr64 / tree128 - 1.0) * 100.0
+    );
+    println!(
+        "  8-ary hash tree slowdown vs baseline: {:.1}%  [paper: -38.8%]",
+        (s.gmeans(0).0 - 1.0) * 100.0
+    );
+    println!(
+        "  128-ary vs 64-ary tree: +{:.1}%  [paper: removes one level, small gain]",
+        (tree128 / tree64 - 1.0) * 100.0
+    );
+}
+
+/// Runs with the environment-configured budget.
+pub fn run() {
+    run_with_budget(crate::instr_budget(), crate::seed());
+}

@@ -1,0 +1,52 @@
+//! Experiment harnesses that regenerate every table and figure of the
+//! SecDDR paper (DSN 2023).
+//!
+//! Each `figN_*` / `tabN_*` module prints the same rows/series the paper
+//! reports. Run them as binaries (`cargo run --release -p secddr-bench
+//! --bin fig6_performance`) or all together via `cargo bench` (the
+//! `figures` bench target runs every harness at a reduced instruction
+//! budget).
+//!
+//! Knobs (environment variables):
+//!
+//! * `SECDDR_INSTRS` — instruction budget per benchmark (default
+//!   300,000; the paper simulates 200M-instruction SimPoints — larger
+//!   budgets sharpen the numbers at proportional runtime).
+//! * `SECDDR_SEED` — trace generation seed (default 0xD5).
+//! * `SECDDR_BENCH` — comma-separated benchmark filter (default: all 29).
+
+#![forbid(unsafe_code)]
+
+pub mod ablations;
+pub mod fig10_invisimem_xts;
+pub mod fig12_invisimem_ctr;
+pub mod fig6_performance;
+pub mod fig7_metadata_cache;
+pub mod fig8_arity;
+pub mod runner;
+pub mod sec3_security;
+pub mod tab1_config;
+pub mod tab2_power;
+
+/// Instruction budget from `SECDDR_INSTRS` (default 300k).
+pub fn instr_budget() -> u64 {
+    std::env::var("SECDDR_INSTRS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300_000)
+}
+
+/// Seed from `SECDDR_SEED` (default 0xD5).
+pub fn seed() -> u64 {
+    std::env::var("SECDDR_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0xD5)
+}
+
+/// Benchmark filter from `SECDDR_BENCH`.
+pub fn bench_filter() -> Option<Vec<String>> {
+    std::env::var("SECDDR_BENCH")
+        .ok()
+        .map(|v| v.split(',').map(|s| s.trim().to_string()).collect())
+}

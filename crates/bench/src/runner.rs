@@ -1,0 +1,128 @@
+//! Shared experiment runner: sweeps benchmarks × configurations in
+//! parallel and prints paper-style normalized tables.
+
+use secddr_core::config::SecurityConfig;
+use secddr_core::system::{gmean, run_benchmark, RunParams, RunResult};
+use workloads::{Benchmark, Suite};
+
+/// The paper's memory-intensity threshold (LLC MPKI >= 10).
+pub const MEM_INTENSIVE_MPKI: f64 = 10.0;
+
+/// Results of a full sweep: `results[bench][config]`.
+pub struct Sweep {
+    /// Benchmarks, in Figure 6 order.
+    pub benches: Vec<Benchmark>,
+    /// Configuration labels, in column order.
+    pub configs: Vec<SecurityConfig>,
+    /// One result per (benchmark, configuration).
+    pub results: Vec<Vec<RunResult>>,
+    /// The normalization (TDX) results per benchmark.
+    pub baseline: Vec<RunResult>,
+}
+
+/// Runs every benchmark under every configuration (plus the TDX
+/// normalization baseline), in parallel across benchmarks.
+pub fn sweep(configs: &[SecurityConfig], params: RunParams) -> Sweep {
+    let benches: Vec<Benchmark> = match crate::bench_filter() {
+        Some(filter) => Benchmark::all()
+            .into_iter()
+            .filter(|b| filter.iter().any(|f| f == b.name()))
+            .collect(),
+        None => Benchmark::all(),
+    };
+    let tdx = SecurityConfig::tdx_baseline();
+
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get()).min(16);
+    let work: Vec<(usize, Benchmark)> = benches.iter().copied().enumerate().collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut slots: Vec<Option<(RunResult, Vec<RunResult>)>> = Vec::new();
+    slots.resize_with(benches.len(), || None);
+    let slots = std::sync::Mutex::new(slots);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= work.len() {
+                    break;
+                }
+                let (idx, bench) = work[i];
+                let base = run_benchmark(&bench, &tdx, &params);
+                let row: Vec<RunResult> = configs
+                    .iter()
+                    .map(|c| run_benchmark(&bench, c, &params))
+                    .collect();
+                slots.lock().expect("no poisoned locks")[idx] = Some((base, row));
+            });
+        }
+    });
+
+    let mut baseline = Vec::with_capacity(benches.len());
+    let mut results = Vec::with_capacity(benches.len());
+    for slot in slots.into_inner().expect("scope joined") {
+        let (base, row) = slot.expect("all slots filled");
+        baseline.push(base);
+        results.push(row);
+    }
+    Sweep { benches, configs: configs.to_vec(), results, baseline }
+}
+
+impl Sweep {
+    /// Normalized IPC of `results[bench][config]` against the TDX baseline.
+    pub fn normalized(&self, bench: usize, config: usize) -> f64 {
+        self.results[bench][config].ipc() / self.baseline[bench].ipc()
+    }
+
+    /// Is benchmark `i` memory intensive (baseline LLC MPKI >= 10)?
+    pub fn is_mem_intensive(&self, i: usize) -> bool {
+        self.baseline[i].llc_mpki() >= MEM_INTENSIVE_MPKI
+    }
+
+    /// Geometric-mean normalized IPC per configuration over all
+    /// benchmarks, and over the memory-intensive subset:
+    /// `(gmean_all, gmean_mem_intensive)`.
+    pub fn gmeans(&self, config: usize) -> (f64, f64) {
+        let all: Vec<f64> =
+            (0..self.benches.len()).map(|b| self.normalized(b, config)).collect();
+        let mem: Vec<f64> = (0..self.benches.len())
+            .filter(|b| self.is_mem_intensive(*b))
+            .map(|b| self.normalized(b, config))
+            .collect();
+        let g_all = gmean(&all);
+        let g_mem = if mem.is_empty() { f64::NAN } else { gmean(&mem) };
+        (g_all, g_mem)
+    }
+
+    /// Prints the classic per-benchmark normalized-IPC table with gmean
+    /// rows, in the paper's figure format.
+    pub fn print_normalized_table(&self, title: &str) {
+        println!("\n=== {title} ===");
+        println!("(normalized IPC; 1.00 = Intel-TDX-like baseline)\n");
+        print!("{:<12}", "benchmark");
+        for c in &self.configs {
+            print!(" {:>26}", c.label());
+        }
+        println!();
+        for (bi, bench) in self.benches.iter().enumerate() {
+            let tag = if self.is_mem_intensive(bi) { "*" } else { " " };
+            print!("{:<11}{tag}", bench.name());
+            for ci in 0..self.configs.len() {
+                print!(" {:>26.3}", self.normalized(bi, ci));
+            }
+            println!();
+        }
+        println!("{}", "-".repeat(12 + 27 * self.configs.len()));
+        print!("{:<12}", "gmean-memint");
+        for ci in 0..self.configs.len() {
+            print!(" {:>26.3}", self.gmeans(ci).1);
+        }
+        println!();
+        print!("{:<12}", "gmean-all");
+        for ci in 0..self.configs.len() {
+            print!(" {:>26.3}", self.gmeans(ci).0);
+        }
+        println!("\n(* = memory intensive, LLC MPKI >= 10; suites: {} SPEC + {} GAPBS)",
+            self.benches.iter().filter(|b| b.suite() == Suite::Spec).count(),
+            self.benches.iter().filter(|b| b.suite() == Suite::Gapbs).count());
+    }
+}

@@ -1,0 +1,71 @@
+//! Table I: configuration parameters of the simulated system, printed from
+//! the live configuration structs (so the table cannot drift from the
+//! code).
+
+use cpu_model::cache::CacheConfig;
+use cpu_model::CpuConfig;
+use dram_sim::DramConfig;
+use secddr_core::config::CRYPTO_LATENCY;
+
+/// Prints Table I.
+pub fn run() {
+    let cpu = CpuConfig::default();
+    let l1 = CacheConfig::l1d();
+    let llc = CacheConfig::llc();
+    let md = CacheConfig::metadata();
+    let dram = DramConfig::ddr4_3200();
+
+    println!("\n=== Table I: Configuration Parameters ===\n");
+    println!(
+        "Core              {}-wide fetch/retire out-of-order, {}-entry ROB,\n\
+         \x20                 {} MHz",
+        cpu.dispatch_width, cpu.rob_entries, cpu.clock_mhz
+    );
+    println!(
+        "L1 Cache          Private {} KB d-cache, {} B line, {}-way",
+        l1.size_bytes >> 10,
+        l1.line_bytes,
+        l1.ways
+    );
+    println!(
+        "Last Level Cache  Shared {} MB, {} B line, {}-way",
+        llc.size_bytes >> 20,
+        llc.line_bytes,
+        llc.ways
+    );
+    println!("Prefetcher        Stream prefetcher");
+    println!(
+        "Metadata Cache    Shared {} KB, {} B line, {}-way",
+        md.size_bytes >> 10,
+        md.line_bytes,
+        md.ways
+    );
+    println!(
+        "Security Mech.    {CRYPTO_LATENCY} processor-cycles encryption and MAC"
+    );
+    println!(
+        "Main Memory       {} GB DRAM, 1 channel, {} ranks, {} bank-groups,\n\
+         \x20                 {} banks, x8. {} read- and {} write-entry queues.",
+        dram.capacity_bytes() >> 30,
+        dram.ranks,
+        dram.bank_groups,
+        dram.total_banks() / dram.ranks,
+        dram.read_queue,
+        dram.write_queue
+    );
+    println!(
+        "Memory Timings    DDR4-3200 at {} MHz,\n\
+         \x20                 tCL/tCCDS/tCCDL/tCWL/tWTRS/tWTRL/tRP/tRCD/tRAS =\n\
+         \x20                 {}/{}/{}/{}/{}/{}/{}/{}/{} cycles",
+        dram.freq_mhz,
+        dram.t_cl,
+        dram.t_ccd_s,
+        dram.t_ccd_l,
+        dram.t_cwl,
+        dram.t_wtr_s,
+        dram.t_wtr_l,
+        dram.t_rp,
+        dram.t_rcd,
+        dram.t_ras
+    );
+}

@@ -1,0 +1,35 @@
+//! Table II: AES-engine power overhead of SecDDR's on-DRAM security logic,
+//! plus the Section V-B area and attestation-unit figures.
+
+use secddr_crypto::power::{
+    attestation_power_mw, evaluate, DimmPowerConfig, DDR4_X4, DDR4_X8, DDR5_X4,
+};
+
+fn print_column(cfg: &DimmPowerConfig) {
+    let r = evaluate(cfg);
+    println!("  {:<26} {}", "configuration", cfg.label);
+    println!("  {:<26} {}", "AES units per ECC chip", r.aes_units_per_ecc_chip);
+    println!("  {:<26} {:.1} mW", "AES power per ECC chip", r.aes_power_per_chip_mw);
+    println!("  {:<26} {:.0} mW", "DRAM chip power", cfg.dram_chip_power_mw);
+    println!("  {:<26} {:.0} mW", "16GB dual-rank DIMM power", cfg.dimm_power_mw);
+    println!("  {:<26} {:.1}%", "overhead per rank", r.overhead_per_rank * 100.0);
+    println!("  {:<26} {:.3} mm^2 (45nm)", "security-logic area", r.area_mm2);
+    println!();
+}
+
+/// Prints Table II and the surrounding Section V-B figures.
+pub fn run() {
+    println!("\n=== Table II: AES engine power overhead ===\n");
+    println!("DDR4-3200, 1600 MHz, 1.2 V:\n");
+    print_column(&DDR4_X4);
+    print_column(&DDR4_X8);
+    println!("DDR5-8800, 1.1 V (Section V-B):\n");
+    print_column(&DDR5_X4);
+
+    let (ec, sha) = attestation_power_mw();
+    println!("Attestation units at the 500 MHz DRAM clock (Section V-B):");
+    println!("  EC scalar multiplier: {ec:.1} mW   [paper: 14.2 mW]");
+    println!("  SHA-256:              {sha:.1} mW   [paper: 21 mW]");
+    println!("\nPaper reference values: x4 = 2 units / 70.8 mW / 2.1%;");
+    println!("x8 = 3 units / 106.3 mW / 2.3%; DDR5 = 89.3 mW, <5%; area < 1.5 mm^2.");
+}

@@ -1,0 +1,151 @@
+//! Closed-form security analyses from the paper.
+//!
+//! * [`EwcrcAttackModel`] — Section III-B: how long a brute-force attack on
+//!   the encrypted eWCRC takes, given that CCCA transmission errors are
+//!   rare and an elevated error rate exposes the attack.
+//! * [`counter_overflow_years`] — Section III-C: the 64-bit transaction
+//!   counter cannot overflow within a system lifetime.
+//! * [`dimm_substitution_success_probability`] — the 2^-64 chance a stale
+//!   counter state matches.
+
+/// Seconds per (Julian) year.
+const SECONDS_PER_YEAR: f64 = 365.25 * 24.0 * 3600.0;
+
+/// Parameters of the eWCRC brute-force analysis (Section III-B defaults).
+#[derive(Debug, Clone, Copy)]
+pub struct EwcrcAttackModel {
+    /// Bit error rate on the CCCA signals (JEDEC worst case: 1e-16).
+    pub ber: f64,
+    /// Effective CCCA toggle rate in transfers/second. The CCCA bus runs
+    /// at half the DDR data rate (1600 MT/s for DDR4-3200); the paper's
+    /// 11.13-day figure further implies a 25% command-bus activity factor,
+    /// i.e. an effective 400 MT/s, which we adopt to reproduce its
+    /// arithmetic.
+    pub ccca_rate: f64,
+    /// Number of CCCA + data signals observed per device (x8: 26).
+    pub signal_count: f64,
+    /// eWCRC width in bits.
+    pub crc_bits: u32,
+}
+
+impl Default for EwcrcAttackModel {
+    fn default() -> Self {
+        Self { ber: 1e-16, ccca_rate: 400e6, signal_count: 26.0, crc_bits: 16 }
+    }
+}
+
+impl EwcrcAttackModel {
+    /// The JEDEC-worst-case model the paper uses for its headline numbers.
+    pub fn jedec_worst_case() -> Self {
+        Self::default()
+    }
+
+    /// The realistic-BER variant (1e-21, Section III-B cites 1e-22..1e-21).
+    pub fn realistic() -> Self {
+        Self { ber: 1e-21, ..Self::default() }
+    }
+
+    /// The low end of the realistic BER range (1e-22), which reproduces
+    /// the paper's parallel-attack figure of >86,000 years.
+    pub fn realistic_low() -> Self {
+        Self { ber: 1e-22, ..Self::default() }
+    }
+
+    /// Mean time between *naturally occurring* CCCA errors on one channel,
+    /// in days. The paper: 11.13 days at BER 1e-16.
+    pub fn days_between_natural_errors(&self) -> f64 {
+        let errors_per_second = self.ber * self.ccca_rate * self.signal_count;
+        1.0 / errors_per_second / 86_400.0
+    }
+
+    /// Expected number of attempts for a brute-force success probability
+    /// of `p` against the `crc_bits`-bit eWCRC.
+    pub fn attempts_for_success_probability(&self, p: f64) -> f64 {
+        assert!((0.0..1.0).contains(&p), "probability in [0,1)");
+        // 1 - (1 - 2^-n)^k >= p  =>  k >= ln(1-p) / ln(1 - 2^-n)
+        let per_try = 2f64.powi(-(self.crc_bits as i32));
+        (1.0 - p).ln() / (1.0 - per_try).ln()
+    }
+
+    /// Years to exhaust `attempts` when each attempt must masquerade as a
+    /// natural CCCA error (attempting faster reveals the attack). The
+    /// paper: ~1,385 years for 50% success at BER 1e-16 on one channel.
+    pub fn attack_years(&self, success_probability: f64, channels: f64) -> f64 {
+        let attempts = self.attempts_for_success_probability(success_probability);
+        let days = self.days_between_natural_errors() * attempts / channels;
+        days * 86_400.0 / SECONDS_PER_YEAR
+    }
+}
+
+/// Years until a 64-bit transaction counter overflows at the given
+/// transaction rate (Section III-C: >500 years at 1 GT/s per rank).
+pub fn counter_overflow_years(transactions_per_second: f64) -> f64 {
+    (u64::MAX as f64) / transactions_per_second / SECONDS_PER_YEAR
+}
+
+/// Probability that a stale DIMM's 64-bit counter matches the live
+/// processor counter after substitution (Section III-C: 2^-64).
+pub fn dimm_substitution_success_probability() -> f64 {
+    2f64.powi(-64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn natural_error_interval_matches_paper() {
+        let m = EwcrcAttackModel::jedec_worst_case();
+        let days = m.days_between_natural_errors();
+        assert!((days - 11.13).abs() < 0.1, "paper: 11.13 days, got {days}");
+    }
+
+    #[test]
+    fn fifty_percent_attempt_count_matches_paper() {
+        let m = EwcrcAttackModel::jedec_worst_case();
+        let attempts = m.attempts_for_success_probability(0.5);
+        // Paper: "at least 4.5e4 attempts".
+        assert!((attempts - 4.5e4).abs() / 4.5e4 < 0.02, "{attempts}");
+    }
+
+    #[test]
+    fn single_channel_attack_duration_matches_paper() {
+        let m = EwcrcAttackModel::jedec_worst_case();
+        let years = m.attack_years(0.5, 1.0);
+        // Paper: 1,385 years.
+        assert!((years - 1385.0).abs() / 1385.0 < 0.02, "{years}");
+    }
+
+    #[test]
+    fn realistic_ber_is_hundred_thousand_times_longer() {
+        let worst = EwcrcAttackModel::jedec_worst_case().attack_years(0.5, 1.0);
+        let real = EwcrcAttackModel::realistic().attack_years(0.5, 1.0);
+        // 1e-16 -> 1e-21 is 1e5x; paper: ~138 million years.
+        assert!((real / worst - 1e5).abs() / 1e5 < 0.01);
+        assert!((real - 1.38e8).abs() / 1.38e8 < 0.02, "{real}");
+    }
+
+    #[test]
+    fn parallel_attack_still_takes_millennia() {
+        // Paper: 1,000 nodes x 16 channels still > 86,000 years (the
+        // figure matches the 1e-22 end of the cited BER range).
+        let m = EwcrcAttackModel::realistic_low();
+        let years = m.attack_years(0.5, 16_000.0);
+        assert!(years > 86_000.0, "{years}");
+        assert!((years - 8.66e4).abs() / 8.66e4 < 0.05, "{years}");
+    }
+
+    #[test]
+    fn counter_overflow_exceeds_system_lifetime() {
+        // Paper: >500 years at one transaction per nanosecond per rank.
+        let years = counter_overflow_years(1e9);
+        assert!(years > 500.0, "{years}");
+        assert!((years - 584.0).abs() < 2.0, "{years}");
+    }
+
+    #[test]
+    fn substitution_probability_is_negligible() {
+        let p = dimm_substitution_success_probability();
+        assert!(p < 1e-19);
+    }
+}

@@ -1,0 +1,258 @@
+//! The evaluated system configurations (Section IV-B of the paper).
+
+use dram_sim::DramConfig;
+
+/// Memory encryption mode (Section IV-B discusses the tradeoff).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EncMode {
+    /// SGX-style counter-mode: per-line counters fetched through the
+    /// metadata cache; decryption pad precomputable on a counter hit.
+    Ctr,
+    /// TME/SEV-style AES-XTS: no counters, but the AES latency sits on
+    /// every access.
+    Xts,
+}
+
+/// The replay-attack-protection mechanism (or lack of one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mechanism {
+    /// Intel-TDX-like: encryption + MAC in the ECC chips, **no** RAP.
+    /// This is the normalization baseline of every figure.
+    Tdx,
+    /// Counter integrity tree of the given arity over the encryption
+    /// counters (64 = paper baseline, 128 = Morphable-counters-like).
+    /// Requires [`EncMode::Ctr`].
+    CounterTree {
+        /// Tree arity (children per node).
+        arity: u32,
+    },
+    /// Hash (Merkle) tree of the given arity over MAC lines; the only tree
+    /// compatible with [`EncMode::Xts`]. MACs move from the ECC chips into
+    /// data memory, so every access also fetches a MAC line.
+    HashTree {
+        /// Tree arity.
+        arity: u32,
+    },
+    /// SecDDR: E-MAC-protected bus, encrypted eWCRC (longer write bursts),
+    /// no tree.
+    SecDdr,
+    /// Encryption only — integrity *assumed*, the upper bound.
+    EncryptOnly,
+    /// DDR-adapted InvisiMem: mutually authenticated channel with
+    /// memory-side MAC verification (2x MAC latency on the read path).
+    InvisiMem {
+        /// `false` = "unrealistic" @3200 MT/s; `true` = "realistic"
+        /// @2400 MT/s (centralized-buffer derating, Section VI-D).
+        realistic: bool,
+    },
+}
+
+/// A complete security configuration under evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SecurityConfig {
+    /// RAP mechanism.
+    pub mechanism: Mechanism,
+    /// Encryption mode.
+    pub enc: EncMode,
+    /// Encryption counters packed per 64-byte line (Figure 8's packing
+    /// sweep: 8 / 64 / 128). Ignored by XTS configurations.
+    pub ctr_packing: u32,
+}
+
+/// Crypto-unit latency in processor cycles (Table I: "40 processor-cycles
+/// encryption and MAC").
+pub const CRYPTO_LATENCY: u64 = 40;
+
+impl SecurityConfig {
+    /// The Intel-TDX-like normalization baseline: AES-XTS + MAC in ECC,
+    /// no replay protection.
+    pub fn tdx_baseline() -> Self {
+        Self { mechanism: Mechanism::Tdx, enc: EncMode::Xts, ctr_packing: 64 }
+    }
+
+    /// Section IV-B config 1: 64-ary counter tree, counter-mode encryption.
+    pub fn tree_64ary() -> Self {
+        Self { mechanism: Mechanism::CounterTree { arity: 64 }, enc: EncMode::Ctr, ctr_packing: 64 }
+    }
+
+    /// 128-ary counter tree (MorphTree-like, Figure 8).
+    pub fn tree_128ary() -> Self {
+        Self { mechanism: Mechanism::CounterTree { arity: 128 }, enc: EncMode::Ctr, ctr_packing: 128 }
+    }
+
+    /// 8-ary hash/Merkle tree over MACs (Figure 8; XTS-compatible).
+    pub fn tree_8ary_hash() -> Self {
+        Self { mechanism: Mechanism::HashTree { arity: 8 }, enc: EncMode::Xts, ctr_packing: 64 }
+    }
+
+    /// Section IV-B config 2: SecDDR with counter-mode encryption.
+    pub fn secddr_ctr() -> Self {
+        Self { mechanism: Mechanism::SecDdr, enc: EncMode::Ctr, ctr_packing: 64 }
+    }
+
+    /// Section IV-B config 4: SecDDR with AES-XTS.
+    pub fn secddr_xts() -> Self {
+        Self { mechanism: Mechanism::SecDdr, enc: EncMode::Xts, ctr_packing: 64 }
+    }
+
+    /// Section IV-B config 3: encrypt-only, counter mode.
+    pub fn encrypt_only_ctr() -> Self {
+        Self { mechanism: Mechanism::EncryptOnly, enc: EncMode::Ctr, ctr_packing: 64 }
+    }
+
+    /// Section IV-B config 5: encrypt-only, AES-XTS.
+    pub fn encrypt_only_xts() -> Self {
+        Self { mechanism: Mechanism::EncryptOnly, enc: EncMode::Xts, ctr_packing: 64 }
+    }
+
+    /// Returns a copy with a different counter packing (Figure 8).
+    pub fn with_packing(mut self, counters_per_line: u32) -> Self {
+        self.ctr_packing = counters_per_line;
+        self
+    }
+
+    /// InvisiMem at full 3200 MT/s ("unrealistic", Section VI-D).
+    pub fn invisimem_unrealistic(enc: EncMode) -> Self {
+        Self { mechanism: Mechanism::InvisiMem { realistic: false }, enc, ctr_packing: 64 }
+    }
+
+    /// InvisiMem derated to 2400 MT/s ("realistic").
+    pub fn invisimem_realistic(enc: EncMode) -> Self {
+        Self { mechanism: Mechanism::InvisiMem { realistic: true }, enc, ctr_packing: 64 }
+    }
+
+    /// Short display label matching the paper's legends.
+    pub fn label(&self) -> String {
+        match (self.mechanism, self.enc) {
+            (Mechanism::Tdx, _) => "TDX baseline".into(),
+            (Mechanism::CounterTree { arity }, _) => format!("Integrity Tree, {arity}ary"),
+            (Mechanism::HashTree { arity }, _) => format!("Hash Tree, {arity}ary"),
+            (Mechanism::SecDdr, EncMode::Ctr) => "SecDDR+CTR".into(),
+            (Mechanism::SecDdr, EncMode::Xts) => "SecDDR+XTS".into(),
+            (Mechanism::EncryptOnly, EncMode::Ctr) => "Encrypt-only, CTR".into(),
+            (Mechanism::EncryptOnly, EncMode::Xts) => "Encrypt-only, XTS".into(),
+            (Mechanism::InvisiMem { realistic: false }, _) => {
+                "InvisiMem - unrealistic @ 3200".into()
+            }
+            (Mechanism::InvisiMem { realistic: true }, _) => {
+                "InvisiMem - realistic @ 2400".into()
+            }
+        }
+    }
+
+    /// Validates mechanism/encryption compatibility (the paper's central
+    /// compatibility argument: counter trees cannot run with AES-XTS).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the incompatibility.
+    pub fn validate(&self) -> Result<(), String> {
+        match (self.mechanism, self.enc) {
+            (Mechanism::CounterTree { .. }, EncMode::Xts) => Err(
+                "counter trees protect encryption counters; AES-XTS has none \
+                 (use a hash tree, Section V-A)"
+                    .into(),
+            ),
+            (Mechanism::CounterTree { arity } | Mechanism::HashTree { arity }, _)
+                if arity < 2 =>
+            {
+                Err("tree arity must be at least 2".into())
+            }
+            _ if !self.ctr_packing.is_power_of_two() => {
+                Err("counter packing must be a power of two".into())
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// The DDR4 channel configuration this mechanism runs on: SecDDR takes
+    /// the BL10 eWCRC bursts; realistic InvisiMem takes the derated
+    /// channel; everything else uses stock DDR4-3200.
+    pub fn dram_config(&self) -> DramConfig {
+        match self.mechanism {
+            Mechanism::SecDdr => {
+                let mut cfg = DramConfig::ddr4_3200_ewcrc();
+                // OTPw generation starts only when the write command
+                // reaches the ECC chip and outlasts tWCL (Section III-B).
+                cfg.write_extra_cycles = 2;
+                cfg
+            }
+            Mechanism::InvisiMem { realistic: true } => DramConfig::ddr4_2400_derated(),
+            _ => DramConfig::ddr4_3200(),
+        }
+    }
+
+    /// Does this configuration fetch encryption counters?
+    pub fn uses_counters(&self) -> bool {
+        self.enc == EncMode::Ctr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configs_validate() {
+        for c in [
+            SecurityConfig::tdx_baseline(),
+            SecurityConfig::tree_64ary(),
+            SecurityConfig::tree_128ary(),
+            SecurityConfig::tree_8ary_hash(),
+            SecurityConfig::secddr_ctr(),
+            SecurityConfig::secddr_xts(),
+            SecurityConfig::encrypt_only_ctr(),
+            SecurityConfig::encrypt_only_xts(),
+            SecurityConfig::invisimem_unrealistic(EncMode::Xts),
+            SecurityConfig::invisimem_realistic(EncMode::Ctr),
+        ] {
+            assert!(c.validate().is_ok(), "{c:?}");
+        }
+    }
+
+    #[test]
+    fn counter_tree_with_xts_is_rejected() {
+        let c = SecurityConfig {
+            mechanism: Mechanism::CounterTree { arity: 64 },
+            enc: EncMode::Xts,
+            ctr_packing: 64,
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn secddr_gets_extended_write_bursts() {
+        let cfg = SecurityConfig::secddr_xts().dram_config();
+        assert_eq!(cfg.write_burst_cycles, 5);
+        let base = SecurityConfig::tdx_baseline().dram_config();
+        assert_eq!(base.write_burst_cycles, 4);
+    }
+
+    #[test]
+    fn realistic_invisimem_is_derated() {
+        assert_eq!(
+            SecurityConfig::invisimem_realistic(EncMode::Xts).dram_config().freq_mhz,
+            1200
+        );
+        assert_eq!(
+            SecurityConfig::invisimem_unrealistic(EncMode::Xts).dram_config().freq_mhz,
+            1600
+        );
+    }
+
+    #[test]
+    fn labels_match_paper_legends() {
+        assert_eq!(SecurityConfig::tree_64ary().label(), "Integrity Tree, 64ary");
+        assert_eq!(SecurityConfig::secddr_ctr().label(), "SecDDR+CTR");
+        assert_eq!(
+            SecurityConfig::invisimem_realistic(EncMode::Xts).label(),
+            "InvisiMem - realistic @ 2400"
+        );
+    }
+
+    #[test]
+    fn uses_counters_tracks_enc_mode() {
+        assert!(SecurityConfig::secddr_ctr().uses_counters());
+        assert!(!SecurityConfig::secddr_xts().uses_counters());
+    }
+}

@@ -1,0 +1,52 @@
+//! SecDDR: the paper's primary contribution, as both a functional protocol
+//! (re-exported from `dimm-model`) and a set of cycle-level performance
+//! models over the `dram-sim` + `cpu-model` substrates.
+//!
+//! The crate provides:
+//!
+//! * [`config`] — the evaluated system configurations of Section IV-B:
+//!   the Intel-TDX-like normalization baseline, counter integrity trees of
+//!   any arity (64-ary baseline, 128-ary Morphable-style, 8-ary hash/Merkle
+//!   tree), SecDDR with counter-mode or AES-XTS encryption, encrypt-only
+//!   upper bounds, and DDR-adapted InvisiMem (unrealistic @3200 and
+//!   realistic @2400).
+//! * [`metadata`] — the physical layout of security metadata (encryption
+//!   counters, MAC lines, tree levels) in the protected address space.
+//! * [`engine`] — [`engine::SecurityEngine`], a
+//!   [`cpu_model::MemoryBackend`] that injects each configuration's
+//!   metadata traffic and cryptographic latencies between the LLC and the
+//!   DDR4 channel.
+//! * [`system`] — one-call experiment runner producing IPC normalized to
+//!   the TDX baseline, exactly as Figures 6, 8, 10, 12 report.
+//! * [`analysis`] — the closed-form security analyses of Sections III-B
+//!   and III-C (eWCRC brute-force longevity, counter overflow horizon).
+//!
+//! # Example
+//!
+//! ```no_run
+//! use secddr_core::config::SecurityConfig;
+//! use secddr_core::system::{run_benchmark, RunParams};
+//! use workloads::Benchmark;
+//!
+//! let params = RunParams { instructions: 200_000, seed: 1 };
+//! let bench = Benchmark::by_name("mcf").unwrap();
+//! let tdx = run_benchmark(&bench, &SecurityConfig::tdx_baseline(), &params);
+//! let secddr = run_benchmark(&bench, &SecurityConfig::secddr_xts(), &params);
+//! println!("normalized IPC: {:.3}", secddr.ipc() / tdx.ipc());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod config;
+pub mod engine;
+pub mod metadata;
+pub mod system;
+
+pub use config::{EncMode, Mechanism, SecurityConfig};
+pub use engine::{EngineStats, SecurityEngine};
+pub use system::{gmean, run_benchmark, RunParams, RunResult};
+
+// The functional protocol layer (attacks, attestation, E-MAC channel).
+pub use dimm_model as functional;

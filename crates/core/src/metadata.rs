@@ -1,0 +1,230 @@
+//! Physical layout of security metadata in the protected address space.
+//!
+//! The simulated channel holds 16 GiB. Workload data lives below
+//! [`DATA_SPAN`]; encryption counters, MAC lines, and integrity-tree levels
+//! are placed in reserved regions above it, so metadata fetches contend for
+//! the same banks and bus as data — the contention that makes integrity
+//! trees expensive.
+
+/// Top of the workload data region (10 GiB).
+pub const DATA_SPAN: u64 = 0x2_8000_0000;
+/// Base of the encryption-counter region.
+pub const CTR_BASE: u64 = 0x3_0000_0000;
+/// Base of the MAC-line region (hash-tree configurations only).
+pub const MAC_BASE: u64 = 0x3_2000_0000;
+/// Base of the integrity-tree node region.
+pub const TREE_BASE: u64 = 0x3_8000_0000;
+/// Line size (bytes).
+pub const LINE: u64 = 64;
+
+/// Layout calculator for one configuration's metadata.
+#[derive(Debug, Clone)]
+pub struct MetadataLayout {
+    /// Counters (or MACs for a hash tree) covered by one 64-byte line.
+    pub entries_per_line: u64,
+    /// Tree arity.
+    pub arity: u64,
+    /// Number of leaf lines the tree covers.
+    pub leaves: u64,
+    /// Per-level (base_offset_in_lines, node_count), bottom-up, excluding
+    /// the on-chip root.
+    levels: Vec<(u64, u64)>,
+    /// Base address of the leaf region (CTR_BASE or MAC_BASE).
+    leaf_base: u64,
+}
+
+impl MetadataLayout {
+    /// Layout for a counter tree: counter lines pack `counters_per_line`
+    /// counters (64 in the baseline; 8/128 in Figure 8's packing sweep),
+    /// and a tree of `arity` is built over them. Pass `arity = 0` for
+    /// tree-less counter configurations (SecDDR+CTR, encrypt-only CTR).
+    pub fn counter_tree(counters_per_line: u64, arity: u64) -> Self {
+        let data_lines = DATA_SPAN / LINE;
+        let leaves = data_lines.div_ceil(counters_per_line);
+        Self::build(CTR_BASE, leaves, counters_per_line, arity)
+    }
+
+    /// Layout for a hash tree over MAC lines: 8 MACs of 8 bytes per line,
+    /// tree of `arity` over them (the XTS-compatible 8-ary design of
+    /// Figure 8).
+    pub fn hash_tree(arity: u64) -> Self {
+        let data_lines = DATA_SPAN / LINE;
+        let macs_per_line = 8;
+        let leaves = data_lines.div_ceil(macs_per_line);
+        Self::build(MAC_BASE, leaves, macs_per_line, arity)
+    }
+
+    fn build(leaf_base: u64, leaves: u64, entries_per_line: u64, arity: u64) -> Self {
+        let mut levels = Vec::new();
+        if arity >= 2 {
+            let mut offset = 0u64;
+            let mut count = leaves;
+            while count > 1 {
+                count = count.div_ceil(arity);
+                if count <= 1 {
+                    break; // the root lives on-chip
+                }
+                levels.push((offset, count));
+                offset += count;
+            }
+        }
+        Self { entries_per_line, arity: arity.max(1), leaves, levels, leaf_base }
+    }
+
+    /// Number of off-chip tree levels (the root is on-chip).
+    pub fn tree_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Address of the leaf metadata line (counter line / MAC line)
+    /// covering `data_addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data_addr` is outside the data region.
+    pub fn leaf_line_of(&self, data_addr: u64) -> u64 {
+        assert!(data_addr < DATA_SPAN, "address {data_addr:#x} beyond protected span");
+        let leaf_index = (data_addr / LINE) / self.entries_per_line;
+        self.leaf_base + leaf_index * LINE
+    }
+
+    /// The tree-node addresses guarding the given leaf line, bottom-up
+    /// (empty for tree-less layouts).
+    pub fn tree_path_of(&self, leaf_line_addr: u64) -> Vec<u64> {
+        let mut index = (leaf_line_addr - self.leaf_base) / LINE;
+        let mut path = Vec::with_capacity(self.levels.len());
+        for (offset, count) in &self.levels {
+            index /= self.arity;
+            debug_assert!(index < *count);
+            path.push(TREE_BASE + (offset + index) * LINE);
+        }
+        path
+    }
+
+    /// The parent node of a metadata line (leaf or interior), if any is
+    /// stored off-chip. Used to propagate dirtiness on evictions.
+    pub fn parent_of(&self, line_addr: u64) -> Option<u64> {
+        if line_addr >= self.leaf_base && line_addr < self.leaf_base + self.leaves * LINE {
+            return self.tree_path_of(line_addr).first().copied();
+        }
+        if line_addr >= TREE_BASE {
+            let flat = (line_addr - TREE_BASE) / LINE;
+            // Find which level this node sits in.
+            for (li, (offset, count)) in self.levels.iter().enumerate() {
+                if flat >= *offset && flat < offset + count {
+                    let index_in_level = flat - offset;
+                    let parent_index = index_in_level / self.arity;
+                    return self
+                        .levels
+                        .get(li + 1)
+                        .map(|(po, _)| TREE_BASE + (po + parent_index) * LINE);
+                }
+            }
+        }
+        None
+    }
+
+    /// Total metadata footprint in bytes (leaves + tree nodes).
+    pub fn footprint_bytes(&self) -> u64 {
+        let tree_lines: u64 = self.levels.iter().map(|(_, c)| c).sum();
+        (self.leaves + tree_lines) * LINE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_64ary_has_three_offchip_levels() {
+        // 10 GiB data -> 167.8M lines -> 2.62M counter lines; 64-ary:
+        // 41k -> 641 -> 11 -> root. Three off-chip levels.
+        let l = MetadataLayout::counter_tree(64, 64);
+        assert_eq!(l.tree_levels(), 3);
+    }
+
+    #[test]
+    fn eight_ary_hash_tree_is_much_deeper() {
+        let l8 = MetadataLayout::hash_tree(8);
+        let l64 = MetadataLayout::counter_tree(64, 64);
+        assert!(
+            l8.tree_levels() >= l64.tree_levels() + 4,
+            "8-ary: {} levels, 64-ary: {}",
+            l8.tree_levels(),
+            l64.tree_levels()
+        );
+    }
+
+    #[test]
+    fn treeless_layout_has_no_path() {
+        let l = MetadataLayout::counter_tree(64, 0);
+        assert_eq!(l.tree_levels(), 0);
+        assert!(l.tree_path_of(l.leaf_line_of(0x1000)).is_empty());
+    }
+
+    #[test]
+    fn leaf_lines_pack_correctly() {
+        let l = MetadataLayout::counter_tree(64, 64);
+        // 64 counters per line: data lines 0..63 share a counter line.
+        assert_eq!(l.leaf_line_of(0), l.leaf_line_of(63 * 64));
+        assert_ne!(l.leaf_line_of(0), l.leaf_line_of(64 * 64));
+    }
+
+    #[test]
+    fn tree_path_is_monotonic_and_in_tree_region() {
+        let l = MetadataLayout::counter_tree(64, 64);
+        let path = l.tree_path_of(l.leaf_line_of(0x1234_5000));
+        assert_eq!(path.len(), l.tree_levels());
+        for n in &path {
+            assert!(*n >= TREE_BASE);
+        }
+        // Distinct addresses per level.
+        let set: std::collections::HashSet<u64> = path.iter().copied().collect();
+        assert_eq!(set.len(), path.len());
+    }
+
+    #[test]
+    fn siblings_share_parents() {
+        let l = MetadataLayout::counter_tree(64, 64);
+        // Two data lines whose counter lines are adjacent share the same
+        // level-1 node (both counter-line indices / 64 coincide).
+        let a = l.leaf_line_of(0);
+        let b = l.leaf_line_of(64 * 64); // next counter line
+        assert_eq!(l.tree_path_of(a)[0], l.tree_path_of(b)[0]);
+    }
+
+    #[test]
+    fn parent_of_walks_up() {
+        let l = MetadataLayout::counter_tree(64, 64);
+        let leaf = l.leaf_line_of(0x4000);
+        let path = l.tree_path_of(leaf);
+        assert_eq!(l.parent_of(leaf), Some(path[0]));
+        assert_eq!(l.parent_of(path[0]), Some(path[1]));
+        // The highest off-chip level's parent is the on-chip root.
+        assert_eq!(l.parent_of(path[path.len() - 1]), None);
+    }
+
+    #[test]
+    fn packing_changes_leaf_count() {
+        let p8 = MetadataLayout::counter_tree(8, 64);
+        let p64 = MetadataLayout::counter_tree(64, 64);
+        let p128 = MetadataLayout::counter_tree(128, 64);
+        assert_eq!(p8.leaves, p64.leaves * 8);
+        assert_eq!(p64.leaves, p128.leaves * 2);
+    }
+
+    #[test]
+    fn footprint_is_sane() {
+        let l = MetadataLayout::counter_tree(64, 64);
+        // ~2.62M counter lines ~= 168 MB plus a small tree.
+        let mb = l.footprint_bytes() / (1 << 20);
+        assert!((160..200).contains(&mb), "{mb} MB");
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond protected span")]
+    fn out_of_span_address_panics() {
+        let l = MetadataLayout::counter_tree(64, 64);
+        let _ = l.leaf_line_of(DATA_SPAN);
+    }
+}

@@ -1,0 +1,622 @@
+//! Full CPU-side system: core + L1 + LLC + prefetcher over a pluggable
+//! memory backend.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+use crate::cache::{Cache, CacheConfig, CacheStats};
+use crate::core::{CpuConfig, Rob};
+use crate::prefetcher::StreamPrefetcher;
+use crate::trace::TraceOp;
+
+/// Direction of a backend access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Line fill (demand miss, RFO, metadata, or prefetch).
+    Read,
+    /// Line writeback.
+    Write,
+}
+
+/// Error returned when the backend cannot accept a request this cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Busy;
+
+impl core::fmt::Display for Busy {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "memory backend busy")
+    }
+}
+
+impl std::error::Error for Busy {}
+
+/// What sits below the LLC: DRAM plus whatever security machinery the
+/// evaluated configuration adds (integrity tree walks, counter fetches,
+/// E-MAC pads, InvisiMem channel MACs...).
+///
+/// Implementations assign tokens to accepted reads; [`Self::tick`] advances
+/// backend time to the given CPU cycle and reports which read tokens
+/// completed (writes complete silently).
+pub trait MemoryBackend {
+    /// Submits a line-granularity access at CPU cycle `now`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Busy`] when queues are full; the caller retries later.
+    fn submit(
+        &mut self,
+        kind: AccessKind,
+        addr: u64,
+        now: u64,
+        is_prefetch: bool,
+    ) -> Result<u64, Busy>;
+
+    /// Advances to CPU cycle `now`; returns completed read tokens.
+    fn tick(&mut self, now: u64) -> Vec<u64>;
+}
+
+/// A constant-latency backend for tests and upper-bound experiments.
+#[derive(Debug)]
+pub struct FixedLatencyBackend {
+    latency: u64,
+    next_token: u64,
+    in_flight: VecDeque<(u64, u64)>, // (finish, token)
+}
+
+impl FixedLatencyBackend {
+    /// Backend whose every read completes after `latency` CPU cycles.
+    pub fn new(latency: u64) -> Self {
+        Self { latency, next_token: 0, in_flight: VecDeque::new() }
+    }
+}
+
+impl MemoryBackend for FixedLatencyBackend {
+    fn submit(
+        &mut self,
+        kind: AccessKind,
+        _addr: u64,
+        now: u64,
+        _is_prefetch: bool,
+    ) -> Result<u64, Busy> {
+        let token = self.next_token;
+        self.next_token += 1;
+        if kind == AccessKind::Read {
+            self.in_flight.push_back((now + self.latency, token));
+        }
+        Ok(token)
+    }
+
+    fn tick(&mut self, now: u64) -> Vec<u64> {
+        let mut done = Vec::new();
+        while let Some(&(finish, token)) = self.in_flight.front() {
+            if finish <= now {
+                done.push(token);
+                self.in_flight.pop_front();
+            } else {
+                break;
+            }
+        }
+        done
+    }
+}
+
+/// Result of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Instructions retired.
+    pub instructions: u64,
+    /// CPU cycles elapsed.
+    pub cycles: u64,
+    /// L1D statistics.
+    pub l1: CacheStats,
+    /// LLC statistics (demand accesses only).
+    pub llc: CacheStats,
+    /// Prefetches issued.
+    pub prefetches: u64,
+}
+
+impl SimResult {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// LLC demand misses per kilo-instruction.
+    pub fn llc_mpki(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.llc.misses as f64 * 1000.0 / self.instructions as f64
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Outstanding {
+    waiters: Vec<u64>, // ROB sequence numbers
+    fill_write: bool,  // install dirty (RFO)
+    prefetch: bool,
+}
+
+/// The simulated CPU: ROB-limited OOO core, L1D, shared LLC, stream
+/// prefetcher, and a [`MemoryBackend`] below.
+#[derive(Debug)]
+pub struct CpuSystem<B> {
+    cfg: CpuConfig,
+    backend: B,
+    l1: Cache,
+    llc: Cache,
+    prefetcher: StreamPrefetcher,
+    rob: Rob,
+    cycle: u64,
+    instructions: u64,
+    /// line address -> outstanding miss state
+    outstanding: HashMap<u64, Outstanding>,
+    /// backend token -> line address
+    token_line: HashMap<u64, u64>,
+    /// Writebacks the backend refused; retried each cycle.
+    pending_writebacks: VecDeque<u64>,
+    /// A dispatch-blocked memory op waiting for backend space.
+    stalled_op: Option<TraceOp>,
+    /// Line of the most recent dependent load still in flight (serializes
+    /// pointer-chase chains).
+    chase_outstanding: Option<u64>,
+}
+
+impl<B: MemoryBackend> CpuSystem<B> {
+    /// Builds a system with Table I cache geometry.
+    pub fn new(cfg: CpuConfig, backend: B) -> Self {
+        Self {
+            backend,
+            l1: Cache::new(CacheConfig::l1d()),
+            llc: Cache::new(CacheConfig::llc()),
+            prefetcher: StreamPrefetcher::new(cfg.line_bytes),
+            rob: Rob::new(cfg.rob_entries),
+            cycle: 0,
+            instructions: 0,
+            outstanding: HashMap::new(),
+            token_line: HashMap::new(),
+            pending_writebacks: VecDeque::new(),
+            stalled_op: None,
+            chase_outstanding: None,
+            cfg,
+        }
+    }
+
+    /// Read access to the backend (for engine statistics).
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// Mutable access to the backend.
+    pub fn backend_mut(&mut self) -> &mut B {
+        &mut self.backend
+    }
+
+    /// Runs the trace to completion (drains the ROB and all outstanding
+    /// misses) and returns the aggregate result.
+    pub fn run<T: Iterator<Item = TraceOp>>(&mut self, mut trace: T) -> SimResult {
+        let mut trace_done = false;
+        loop {
+            self.cycle += 1;
+
+            // 1. Memory completions.
+            for token in self.backend.tick(self.cycle) {
+                self.handle_completion(token);
+            }
+
+            // 2. Retry refused writebacks.
+            while let Some(&wb) = self.pending_writebacks.front() {
+                if self
+                    .backend
+                    .submit(AccessKind::Write, wb, self.cycle, false)
+                    .is_ok()
+                {
+                    self.pending_writebacks.pop_front();
+                } else {
+                    break;
+                }
+            }
+
+            // 3. Retire.
+            self.instructions += self.rob.retire(self.cfg.retire_width, self.cycle);
+
+            // 4. Dispatch.
+            let mut budget = self.cfg.dispatch_width;
+            while budget > 0 {
+                let op = match self.stalled_op.take() {
+                    Some(op) => op,
+                    None => {
+                        if trace_done {
+                            break;
+                        }
+                        match trace.next() {
+                            Some(op) => op,
+                            None => {
+                                trace_done = true;
+                                break;
+                            }
+                        }
+                    }
+                };
+                match self.dispatch(op, &mut budget) {
+                    Ok(()) => {}
+                    Err(op) => {
+                        self.stalled_op = Some(op);
+                        break;
+                    }
+                }
+            }
+
+            // 5. Termination.
+            if trace_done
+                && self.stalled_op.is_none()
+                && self.rob.is_empty()
+                && self.outstanding.is_empty()
+                && self.pending_writebacks.is_empty()
+            {
+                break;
+            }
+        }
+        SimResult {
+            instructions: self.instructions,
+            cycles: self.cycle,
+            l1: *self.l1.stats(),
+            llc: *self.llc.stats(),
+            prefetches: self.prefetcher.issued(),
+        }
+    }
+
+    /// Attempts to dispatch one trace op; returns it back on stall.
+    fn dispatch(&mut self, op: TraceOp, budget: &mut u32) -> Result<(), TraceOp> {
+        match op {
+            TraceOp::Compute(n) => {
+                let space = self.rob.space().min(*budget as usize) as u32;
+                if space == 0 {
+                    return Err(op);
+                }
+                let take = n.min(space);
+                self.rob.push_compute(take, self.cycle);
+                *budget -= take;
+                if take < n {
+                    return Err(TraceOp::Compute(n - take));
+                }
+                Ok(())
+            }
+            TraceOp::Load(addr) | TraceOp::DependentLoad(addr) => {
+                let dependent = matches!(op, TraceOp::DependentLoad(_));
+                if dependent && self.chase_outstanding.is_some() {
+                    // The previous pointer in the chain has not returned:
+                    // the address of this load is not known yet.
+                    return Err(op);
+                }
+                if self.rob.space() == 0 {
+                    return Err(op);
+                }
+                let line = addr & !(self.cfg.line_bytes - 1);
+                if let Some(pending) = self.outstanding.get_mut(&line) {
+                    // MSHR merge into the in-flight miss (not a new miss).
+                    let seq = self.rob.push_load(None);
+                    pending.waiters.push(seq);
+                    pending.prefetch = false;
+                    if dependent {
+                        self.chase_outstanding = Some(line);
+                    }
+                } else if self.l1.access(line, false) {
+                    self.rob.push_load(Some(self.cycle + self.cfg.l1_latency));
+                } else if self.llc.access(line, false) {
+                    self.rob.push_load(Some(self.cycle + self.cfg.llc_latency));
+                    self.fill_l1(line, false);
+                } else {
+                    // LLC demand miss: go to memory.
+                    match self.backend.submit(AccessKind::Read, line, self.cycle, false) {
+                        Ok(token) => {
+                            let seq = self.rob.push_load(None);
+                            self.outstanding.insert(
+                                line,
+                                Outstanding {
+                                    waiters: vec![seq],
+                                    fill_write: false,
+                                    prefetch: false,
+                                },
+                            );
+                            self.token_line.insert(token, line);
+                            if dependent {
+                                self.chase_outstanding = Some(line);
+                            }
+                            self.train_prefetcher(line);
+                        }
+                        Err(Busy) => {
+                            // The retry will re-access both caches; do not
+                            // double-count this miss.
+                            self.l1.forget_demand_miss();
+                            self.llc.forget_demand_miss();
+                            return Err(op);
+                        }
+                    }
+                }
+                *budget -= 1;
+                Ok(())
+            }
+            TraceOp::Store(addr) => {
+                if self.rob.space() == 0 {
+                    return Err(op);
+                }
+                let line = addr & !(self.cfg.line_bytes - 1);
+                if let Some(pending) = self.outstanding.get_mut(&line) {
+                    pending.fill_write = true;
+                    pending.prefetch = false;
+                } else if self.l1.access(line, true) {
+                    // write hit
+                } else if self.llc.access(line, true) {
+                    self.fill_l1(line, true);
+                } else {
+                    // RFO: fetch the line for ownership; the store itself is
+                    // posted and does not block retirement.
+                    match self.backend.submit(AccessKind::Read, line, self.cycle, false) {
+                        Ok(token) => {
+                            self.outstanding.insert(
+                                line,
+                                Outstanding {
+                                    waiters: Vec::new(),
+                                    fill_write: true,
+                                    prefetch: false,
+                                },
+                            );
+                            self.token_line.insert(token, line);
+                            self.train_prefetcher(line);
+                        }
+                        Err(Busy) => {
+                            self.l1.forget_demand_miss();
+                            self.llc.forget_demand_miss();
+                            return Err(op);
+                        }
+                    }
+                }
+                self.rob.push_store(self.cycle);
+                *budget -= 1;
+                Ok(())
+            }
+        }
+    }
+
+    fn train_prefetcher(&mut self, line: u64) {
+        for pf_addr in self.prefetcher.on_demand_miss(line) {
+            let pf_line = pf_addr & !(self.cfg.line_bytes - 1);
+            if self.llc.probe(pf_line) || self.outstanding.contains_key(&pf_line) {
+                continue;
+            }
+            // Prefetches are best-effort; drop when the backend is busy.
+            if let Ok(token) =
+                self.backend.submit(AccessKind::Read, pf_line, self.cycle, true)
+            {
+                self.outstanding.insert(
+                    pf_line,
+                    Outstanding { waiters: Vec::new(), fill_write: false, prefetch: true },
+                );
+                self.token_line.insert(token, pf_line);
+            }
+        }
+    }
+
+    fn handle_completion(&mut self, token: u64) {
+        let Some(line) = self.token_line.remove(&token) else {
+            return; // writes and unknown tokens are silent
+        };
+        let Some(out) = self.outstanding.remove(&line) else {
+            return;
+        };
+        if self.chase_outstanding == Some(line) {
+            self.chase_outstanding = None;
+        }
+        // Fill LLC (dirty writeback downstream on eviction).
+        if let Some(victim) = self.llc.fill(line, out.fill_write) {
+            self.writeback(victim);
+        }
+        if !out.prefetch {
+            self.fill_l1(line, out.fill_write);
+        }
+        let wake_at = self.cycle + self.cfg.fill_latency;
+        for seq in out.waiters {
+            self.rob.mark_ready(seq, wake_at);
+        }
+    }
+
+    /// Installs a line in L1, spilling its dirty victim into the LLC.
+    fn fill_l1(&mut self, line: u64, dirty: bool) {
+        if let Some(victim) = self.l1.fill(line, dirty) {
+            // Dirty L1 victim: update the LLC copy (usually present).
+            if !self.llc.access(victim, true) {
+                if let Some(llc_victim) = self.llc.fill(victim, true) {
+                    self.writeback(llc_victim);
+                }
+            }
+        }
+    }
+
+    fn writeback(&mut self, addr: u64) {
+        if self
+            .backend
+            .submit(AccessKind::Write, addr, self.cycle, false)
+            .is_err()
+        {
+            self.pending_writebacks.push_back(addr);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn compute_trace(n: u64) -> impl Iterator<Item = TraceOp> {
+        (0..n).map(|_| TraceOp::Compute(60))
+    }
+
+    #[test]
+    fn pure_compute_reaches_full_width_ipc() {
+        let mut sys = CpuSystem::new(CpuConfig::default(), FixedLatencyBackend::new(100));
+        let r = sys.run(compute_trace(1000));
+        assert_eq!(r.instructions, 60_000);
+        assert!(r.ipc() > 5.5, "ipc {}", r.ipc());
+    }
+
+    #[test]
+    fn memory_latency_reduces_ipc() {
+        // Pointer-chase-like loads to distinct lines, little compute.
+        let make_trace = || {
+            (0..2_000u64).flat_map(|i| {
+                [TraceOp::Load(i * 64 * 131), TraceOp::Compute(2)].into_iter()
+            })
+        };
+        let fast = CpuSystem::new(CpuConfig::default(), FixedLatencyBackend::new(20))
+            .run(make_trace());
+        let slow = CpuSystem::new(CpuConfig::default(), FixedLatencyBackend::new(400))
+            .run(make_trace());
+        assert_eq!(fast.instructions, slow.instructions);
+        assert!(
+            fast.ipc() > slow.ipc() * 2.0,
+            "fast {} vs slow {}",
+            fast.ipc(),
+            slow.ipc()
+        );
+    }
+
+    #[test]
+    fn repeated_loads_hit_l1() {
+        let trace = (0..1_000u64).map(|_| TraceOp::Load(0x4000));
+        let mut sys = CpuSystem::new(CpuConfig::default(), FixedLatencyBackend::new(300));
+        let r = sys.run(trace);
+        assert_eq!(r.l1.misses, 1);
+        assert_eq!(r.llc.misses, 1);
+        assert!(r.ipc() > 1.0);
+    }
+
+    #[test]
+    fn mlp_overlaps_independent_misses() {
+        // Many independent misses should overlap in the 224-entry window:
+        // runtime must be far less than sum of latencies.
+        let n = 500u64;
+        let trace = (0..n).map(|i| TraceOp::Load(i * 64 * 977));
+        let lat = 300u64;
+        let mut sys = CpuSystem::new(CpuConfig::default(), FixedLatencyBackend::new(lat));
+        let r = sys.run(trace);
+        assert!(
+            r.cycles < n * lat / 4,
+            "expected MLP overlap: {} cycles for {} misses of {}",
+            r.cycles,
+            n,
+            lat
+        );
+    }
+
+    #[test]
+    fn stores_do_not_block_retirement() {
+        let trace = (0..500u64).map(|i| TraceOp::Store(i * 64 * 977));
+        let mut sys = CpuSystem::new(CpuConfig::default(), FixedLatencyBackend::new(400));
+        let r = sys.run(trace);
+        // 500 store instructions; posted stores retire at full width.
+        assert!(r.ipc() > 1.0, "ipc {}", r.ipc());
+    }
+
+    #[test]
+    fn streaming_trains_prefetcher() {
+        let trace = (0..4_000u64).map(|i| TraceOp::Load(i * 64));
+        let mut sys = CpuSystem::new(CpuConfig::default(), FixedLatencyBackend::new(200));
+        let r = sys.run(trace);
+        assert!(r.prefetches > 100, "prefetches {}", r.prefetches);
+    }
+
+    #[test]
+    fn llc_mpki_reflects_locality() {
+        let stream = (0..20_000u64)
+            .map(|i| TraceOp::Load((i % 64) * 64))
+            .collect::<Vec<_>>();
+        let random = (0..20_000u64)
+            .map(|i| TraceOp::Load((i.wrapping_mul(0x9E3779B97F4A7C15) >> 20) & !63))
+            .collect::<Vec<_>>();
+        let r_stream = CpuSystem::new(CpuConfig::default(), FixedLatencyBackend::new(100))
+            .run(stream.into_iter());
+        let r_random = CpuSystem::new(CpuConfig::default(), FixedLatencyBackend::new(100))
+            .run(random.into_iter());
+        assert!(r_stream.llc_mpki() < 5.0, "cold misses only: {}", r_stream.llc_mpki());
+        assert!(r_random.llc_mpki() > 100.0);
+    }
+
+    #[test]
+    fn result_instruction_count_matches_trace() {
+        let trace = vec![
+            TraceOp::Compute(100),
+            TraceOp::Load(0),
+            TraceOp::Store(64),
+            TraceOp::Compute(3),
+        ];
+        let mut sys = CpuSystem::new(CpuConfig::default(), FixedLatencyBackend::new(50));
+        let r = sys.run(trace.into_iter());
+        assert_eq!(r.instructions, 105);
+    }
+
+    #[test]
+    fn dependent_loads_serialize() {
+        // Pointer chase: each DependentLoad waits for the previous one, so
+        // total time approaches n * latency, unlike independent loads.
+        let n = 200u64;
+        let lat = 300u64;
+        let chase: Vec<TraceOp> =
+            (0..n).map(|i| TraceOp::DependentLoad(i * 64 * 977)).collect();
+        let indep: Vec<TraceOp> = (0..n).map(|i| TraceOp::Load(i * 64 * 977)).collect();
+        let r_chase = CpuSystem::new(CpuConfig::default(), FixedLatencyBackend::new(lat))
+            .run(chase.into_iter());
+        let r_indep = CpuSystem::new(CpuConfig::default(), FixedLatencyBackend::new(lat))
+            .run(indep.into_iter());
+        assert!(
+            r_chase.cycles > n * lat * 9 / 10,
+            "chase must serialize: {} cycles",
+            r_chase.cycles
+        );
+        assert!(r_chase.cycles > r_indep.cycles * 4);
+    }
+
+    #[test]
+    fn duplicate_misses_merge() {
+        // Two loads to the same (cold) line: one backend read.
+        #[derive(Debug, Default)]
+        struct CountingBackend {
+            reads: u64,
+            inner: Vec<(u64, u64)>,
+            next: u64,
+        }
+        impl MemoryBackend for CountingBackend {
+            fn submit(
+                &mut self,
+                kind: AccessKind,
+                _addr: u64,
+                now: u64,
+                _p: bool,
+            ) -> Result<u64, Busy> {
+                let t = self.next;
+                self.next += 1;
+                if kind == AccessKind::Read {
+                    self.reads += 1;
+                    self.inner.push((now + 100, t));
+                }
+                Ok(t)
+            }
+            fn tick(&mut self, now: u64) -> Vec<u64> {
+                let (done, rest): (Vec<_>, Vec<_>) =
+                    self.inner.iter().partition(|(f, _)| *f <= now);
+                self.inner = rest;
+                done.into_iter().map(|(_, t)| t).collect()
+            }
+        }
+        let trace = vec![TraceOp::Load(0x1234000), TraceOp::Load(0x1234008)];
+        let mut sys = CpuSystem::new(CpuConfig::default(), CountingBackend::default());
+        let r = sys.run(trace.into_iter());
+        assert_eq!(sys.backend().reads, 1);
+        assert_eq!(r.instructions, 2);
+    }
+}

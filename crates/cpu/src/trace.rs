@@ -1,0 +1,57 @@
+//! Trace operations consumed by the core model.
+//!
+//! A workload is any iterator of [`TraceOp`]s. The `workloads` crate
+//! provides GAPBS kernels and SPEC-calibrated generators; tests use small
+//! literal vectors.
+
+/// One unit of work from the instruction trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceOp {
+    /// `n` non-memory instructions (collapsed into one trace record).
+    Compute(u32),
+    /// A load from the given virtual byte address.
+    Load(u64),
+    /// A load whose address depends on the previous dependent load
+    /// (pointer chasing): it cannot dispatch until that load's data
+    /// returned. Models mcf-style serialized miss chains.
+    DependentLoad(u64),
+    /// A store to the given virtual byte address.
+    Store(u64),
+}
+
+impl TraceOp {
+    /// Number of architected instructions this record represents.
+    pub fn instructions(&self) -> u64 {
+        match self {
+            TraceOp::Compute(n) => u64::from(*n),
+            TraceOp::Load(_) | TraceOp::DependentLoad(_) | TraceOp::Store(_) => 1,
+        }
+    }
+
+    /// The memory address touched, if any.
+    pub fn address(&self) -> Option<u64> {
+        match self {
+            TraceOp::Compute(_) => None,
+            TraceOp::Load(a) | TraceOp::DependentLoad(a) | TraceOp::Store(a) => Some(*a),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instruction_counts() {
+        assert_eq!(TraceOp::Compute(17).instructions(), 17);
+        assert_eq!(TraceOp::Load(0).instructions(), 1);
+        assert_eq!(TraceOp::Store(0).instructions(), 1);
+    }
+
+    #[test]
+    fn addresses() {
+        assert_eq!(TraceOp::Compute(1).address(), None);
+        assert_eq!(TraceOp::Load(0x40).address(), Some(0x40));
+        assert_eq!(TraceOp::Store(0x80).address(), Some(0x80));
+    }
+}

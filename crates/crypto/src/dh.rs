@@ -1,0 +1,432 @@
+//! Finite-field Diffie–Hellman key agreement and a Schnorr-style signature,
+//! modelling the attestation hardware of Section III-F.
+//!
+//! The paper equips each rank's ECC chip with an elliptic-curve scalar
+//! multiplier and a SHA-256 unit for authenticated key exchange. We model
+//! the same *protocol* with classic Diffie–Hellman over the prime field
+//! `p = 2^255 − 19` (generator 5) and Schnorr signatures; the algebra is
+//! self-contained 256-bit arithmetic, which keeps the artifact free of
+//! external crypto crates. This is a simulation stand-in, not a hardened
+//! production implementation: the substitution preserves the protocol shape
+//! (endorsement keypair, signed ephemeral exchange, derived transaction key)
+//! which is what the SecDDR boot/attestation flow exercises.
+
+use crate::sha256::Sha256;
+
+/// 256-bit unsigned integer, little-endian 64-bit limbs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct U256(pub [u64; 4]);
+
+impl Ord for U256 {
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        // Most-significant limb first (the limbs are little-endian).
+        for i in (0..4).rev() {
+            match self.0[i].cmp(&other.0[i]) {
+                core::cmp::Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        core::cmp::Ordering::Equal
+    }
+}
+
+impl PartialOrd for U256 {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl U256 {
+    /// Zero.
+    pub const ZERO: U256 = U256([0; 4]);
+    /// One.
+    pub const ONE: U256 = U256([1, 0, 0, 0]);
+
+    /// Builds from a small integer.
+    pub const fn from_u64(v: u64) -> Self {
+        U256([v, 0, 0, 0])
+    }
+
+    /// Parses 32 little-endian bytes.
+    pub fn from_le_bytes(b: &[u8; 32]) -> Self {
+        let mut limbs = [0u64; 4];
+        for (i, limb) in limbs.iter_mut().enumerate() {
+            *limb = u64::from_le_bytes(b[8 * i..8 * i + 8].try_into().expect("8 bytes"));
+        }
+        U256(limbs)
+    }
+
+    /// Serializes to 32 little-endian bytes.
+    pub fn to_le_bytes(self) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for (i, limb) in self.0.iter().enumerate() {
+            out[8 * i..8 * i + 8].copy_from_slice(&limb.to_le_bytes());
+        }
+        out
+    }
+
+    /// Is this value zero?
+    pub fn is_zero(&self) -> bool {
+        self.0 == [0; 4]
+    }
+
+    fn bit(&self, i: usize) -> bool {
+        (self.0[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    fn overflowing_add(self, rhs: U256) -> (U256, bool) {
+        let mut out = [0u64; 4];
+        let mut carry = false;
+        for i in 0..4 {
+            let (s1, c1) = self.0[i].overflowing_add(rhs.0[i]);
+            let (s2, c2) = s1.overflowing_add(u64::from(carry));
+            out[i] = s2;
+            carry = c1 | c2;
+        }
+        (U256(out), carry)
+    }
+
+    fn overflowing_sub(self, rhs: U256) -> (U256, bool) {
+        let mut out = [0u64; 4];
+        let mut borrow = false;
+        for i in 0..4 {
+            let (d1, b1) = self.0[i].overflowing_sub(rhs.0[i]);
+            let (d2, b2) = d1.overflowing_sub(u64::from(borrow));
+            out[i] = d2;
+            borrow = b1 | b2;
+        }
+        (U256(out), borrow)
+    }
+
+    /// Full 256×256→512-bit product, little-endian limbs.
+    fn mul_wide(self, rhs: U256) -> [u64; 8] {
+        let mut out = [0u64; 8];
+        for i in 0..4 {
+            let mut carry: u128 = 0;
+            for j in 0..4 {
+                let acc = u128::from(out[i + j])
+                    + u128::from(self.0[i]) * u128::from(rhs.0[j])
+                    + carry;
+                out[i + j] = acc as u64;
+                carry = acc >> 64;
+            }
+            out[i + 4] = carry as u64;
+        }
+        out
+    }
+
+    /// Reduces a 512-bit value modulo `m` by binary long division.
+    fn reduce_wide(wide: [u64; 8], m: &U256) -> U256 {
+        assert!(!m.is_zero(), "modulus must be nonzero");
+        let mut r = U256::ZERO;
+        for bit in (0..512).rev() {
+            // r = (r << 1) | wide[bit]
+            let mut carry = (wide[bit / 64] >> (bit % 64)) & 1;
+            for limb in r.0.iter_mut() {
+                let new_carry = *limb >> 63;
+                *limb = (*limb << 1) | carry;
+                carry = new_carry;
+            }
+            // carry out of the top limb is impossible because r < m <= 2^256-1
+            // and we subtract immediately below.
+            if &r >= m {
+                let (d, _) = r.overflowing_sub(*m);
+                r = d;
+            }
+        }
+        r
+    }
+
+    /// `(self + rhs) mod m`. Requires `self, rhs < m`.
+    pub fn add_mod(self, rhs: U256, m: &U256) -> U256 {
+        let (sum, carry) = self.overflowing_add(rhs);
+        if carry || &sum >= m {
+            sum.overflowing_sub(*m).0
+        } else {
+            sum
+        }
+    }
+
+    /// `(self - rhs) mod m`. Requires `self, rhs < m`.
+    pub fn sub_mod(self, rhs: U256, m: &U256) -> U256 {
+        let (diff, borrow) = self.overflowing_sub(rhs);
+        if borrow {
+            diff.overflowing_add(*m).0
+        } else {
+            diff
+        }
+    }
+
+    /// `(self * rhs) mod m`.
+    pub fn mul_mod(self, rhs: U256, m: &U256) -> U256 {
+        Self::reduce_wide(self.mul_wide(rhs), m)
+    }
+
+    /// `self^exp mod m` by square-and-multiply.
+    pub fn pow_mod(self, exp: &U256, m: &U256) -> U256 {
+        let mut result = U256::ONE;
+        // result must start < m even for m == 1.
+        if m == &U256::ONE {
+            return U256::ZERO;
+        }
+        let mut base = Self::reduce_wide(
+            {
+                let mut w = [0u64; 8];
+                w[..4].copy_from_slice(&self.0);
+                w
+            },
+            m,
+        );
+        let mut highest = 0;
+        for i in (0..256).rev() {
+            if exp.bit(i) {
+                highest = i;
+                break;
+            }
+        }
+        if exp.is_zero() {
+            return U256::ONE;
+        }
+        for i in (0..=highest).rev() {
+            result = result.mul_mod(result, m);
+            if exp.bit(i) {
+                result = result.mul_mod(base, m);
+            }
+            let _ = &mut base; // base is fixed; kept for clarity
+        }
+        result
+    }
+}
+
+/// The DH group prime `p = 2^255 − 19`.
+pub fn group_prime() -> U256 {
+    U256([
+        0xFFFF_FFFF_FFFF_FFED,
+        0xFFFF_FFFF_FFFF_FFFF,
+        0xFFFF_FFFF_FFFF_FFFF,
+        0x7FFF_FFFF_FFFF_FFFF,
+    ])
+}
+
+/// The group generator.
+pub fn generator() -> U256 {
+    U256::from_u64(5)
+}
+
+/// `p − 1`, used as the exponent modulus for Schnorr signatures.
+pub fn group_order() -> U256 {
+    group_prime().overflowing_sub(U256::ONE).0
+}
+
+/// A Diffie–Hellman keypair: secret exponent and public element `g^x`.
+#[derive(Clone)]
+pub struct DhKeyPair {
+    secret: U256,
+    /// Public element `g^secret mod p`.
+    pub public: U256,
+}
+
+impl core::fmt::Debug for DhKeyPair {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("DhKeyPair")
+            .field("secret", &"<redacted>")
+            .field("public", &self.public)
+            .finish()
+    }
+}
+
+impl DhKeyPair {
+    /// Derives a keypair deterministically from 32 bytes of seed entropy.
+    pub fn from_seed(seed: &[u8; 32]) -> Self {
+        let mut h = Sha256::new();
+        h.update(b"secddr-dh-keygen");
+        h.update(seed);
+        let digest = h.finalize();
+        let mut secret = U256::from_le_bytes(&digest);
+        // Keep the exponent in [2, p-2].
+        let p = group_prime();
+        secret = secret.mul_mod(U256::ONE, &p);
+        if secret.is_zero() || secret == U256::ONE {
+            secret = U256::from_u64(2);
+        }
+        let public = generator().pow_mod(&secret, &p);
+        Self { secret, public }
+    }
+
+    /// Computes the shared secret `peer_public ^ secret mod p`.
+    pub fn shared_secret(&self, peer_public: &U256) -> U256 {
+        peer_public.pow_mod(&self.secret, &group_prime())
+    }
+
+    /// Derives a 16-byte symmetric transaction key from the shared secret
+    /// and the two public transcripts (binding the key to the exchange).
+    pub fn derive_kt(shared: &U256, transcript_a: &U256, transcript_b: &U256) -> [u8; 16] {
+        let mut h = Sha256::new();
+        h.update(b"secddr-kt");
+        h.update(&shared.to_le_bytes());
+        h.update(&transcript_a.to_le_bytes());
+        h.update(&transcript_b.to_le_bytes());
+        let d = h.finalize();
+        d[..16].try_into().expect("16 bytes")
+    }
+}
+
+/// A Schnorr signature `(r, s)` over the DH group, used for endorsement-key
+/// signing of key-exchange messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Signature {
+    /// Commitment `g^k`.
+    pub r: U256,
+    /// Response `k − x·e mod (p−1)`.
+    pub s: U256,
+}
+
+/// Signs `msg` with the secret key of `keypair` (deterministic nonce).
+pub fn sign(keypair: &DhKeyPair, msg: &[u8]) -> Signature {
+    let p = group_prime();
+    let q = group_order();
+    // Deterministic nonce k = H(secret || msg) mod q, never zero.
+    let mut h = Sha256::new();
+    h.update(b"secddr-schnorr-nonce");
+    h.update(&keypair.secret.to_le_bytes());
+    h.update(msg);
+    let mut k = U256::from_le_bytes(&h.finalize()).mul_mod(U256::ONE, &q);
+    if k.is_zero() {
+        k = U256::from_u64(1);
+    }
+    let r = generator().pow_mod(&k, &p);
+    let e = challenge(&r, msg);
+    // s = k - x*e mod q
+    let xe = keypair.secret.mul_mod(e, &q);
+    let s = k.sub_mod(xe, &q);
+    Signature { r, s }
+}
+
+/// Verifies a signature against `public = g^x`.
+pub fn verify(public: &U256, msg: &[u8], sig: &Signature) -> bool {
+    let p = group_prime();
+    let e = challenge(&sig.r, msg);
+    // g^s * y^e ?= r
+    let gs = generator().pow_mod(&sig.s, &p);
+    let ye = public.pow_mod(&e, &p);
+    gs.mul_mod(ye, &p) == sig.r
+}
+
+fn challenge(r: &U256, msg: &[u8]) -> U256 {
+    let mut h = Sha256::new();
+    h.update(b"secddr-schnorr-challenge");
+    h.update(&r.to_le_bytes());
+    h.update(msg);
+    U256::from_le_bytes(&h.finalize()).mul_mod(U256::ONE, &group_order())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u256_add_sub_roundtrip() {
+        let m = group_prime();
+        let a = U256::from_u64(123_456);
+        let b = U256::from_u64(654_321);
+        let s = a.add_mod(b, &m);
+        assert_eq!(s.sub_mod(b, &m), a);
+    }
+
+    #[test]
+    fn u256_mul_mod_small() {
+        let m = U256::from_u64(1_000_003);
+        let a = U256::from_u64(999_999);
+        let b = U256::from_u64(999_998);
+        // 999999*999998 mod 1000003 = ?
+        let expected = (999_999u128 * 999_998u128 % 1_000_003u128) as u64;
+        assert_eq!(a.mul_mod(b, &m), U256::from_u64(expected));
+    }
+
+    #[test]
+    fn pow_mod_fermat_little_theorem() {
+        // a^(p-1) ≡ 1 mod p for prime p and a not divisible by p.
+        let p = group_prime();
+        let a = U256::from_u64(123_456_789);
+        assert_eq!(a.pow_mod(&group_order(), &p), U256::ONE);
+    }
+
+    #[test]
+    fn pow_mod_edge_cases() {
+        let p = group_prime();
+        assert_eq!(U256::from_u64(7).pow_mod(&U256::ZERO, &p), U256::ONE);
+        assert_eq!(U256::from_u64(7).pow_mod(&U256::ONE, &p), U256::from_u64(7));
+        assert_eq!(U256::from_u64(7).pow_mod(&U256::from_u64(2), &p), U256::from_u64(49));
+        assert_eq!(U256::from_u64(7).pow_mod(&U256::ONE, &U256::ONE), U256::ZERO);
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let v = U256([1, 2, 3, 4]);
+        assert_eq!(U256::from_le_bytes(&v.to_le_bytes()), v);
+    }
+
+    #[test]
+    fn dh_agreement() {
+        let a = DhKeyPair::from_seed(&[1u8; 32]);
+        let b = DhKeyPair::from_seed(&[2u8; 32]);
+        let s_ab = a.shared_secret(&b.public);
+        let s_ba = b.shared_secret(&a.public);
+        assert_eq!(s_ab, s_ba);
+        assert!(!s_ab.is_zero());
+    }
+
+    #[test]
+    fn dh_distinct_peers_distinct_secrets() {
+        let a = DhKeyPair::from_seed(&[1u8; 32]);
+        let b = DhKeyPair::from_seed(&[2u8; 32]);
+        let c = DhKeyPair::from_seed(&[3u8; 32]);
+        assert_ne!(a.shared_secret(&b.public), a.shared_secret(&c.public));
+    }
+
+    #[test]
+    fn kt_derivation_binds_transcript() {
+        let a = DhKeyPair::from_seed(&[1u8; 32]);
+        let b = DhKeyPair::from_seed(&[2u8; 32]);
+        let s = a.shared_secret(&b.public);
+        let k1 = DhKeyPair::derive_kt(&s, &a.public, &b.public);
+        let k2 = DhKeyPair::derive_kt(&s, &b.public, &a.public);
+        assert_ne!(k1, k2);
+    }
+
+    #[test]
+    fn schnorr_sign_verify() {
+        let kp = DhKeyPair::from_seed(&[7u8; 32]);
+        let sig = sign(&kp, b"key exchange message");
+        assert!(verify(&kp.public, b"key exchange message", &sig));
+    }
+
+    #[test]
+    fn schnorr_rejects_wrong_message() {
+        let kp = DhKeyPair::from_seed(&[7u8; 32]);
+        let sig = sign(&kp, b"key exchange message");
+        assert!(!verify(&kp.public, b"tampered message", &sig));
+    }
+
+    #[test]
+    fn schnorr_rejects_wrong_key() {
+        let kp = DhKeyPair::from_seed(&[7u8; 32]);
+        let other = DhKeyPair::from_seed(&[8u8; 32]);
+        let sig = sign(&kp, b"msg");
+        assert!(!verify(&other.public, b"msg", &sig));
+    }
+
+    #[test]
+    fn schnorr_rejects_tampered_signature() {
+        let kp = DhKeyPair::from_seed(&[7u8; 32]);
+        let mut sig = sign(&kp, b"msg");
+        sig.s = sig.s.add_mod(U256::ONE, &group_order());
+        assert!(!verify(&kp.public, b"msg", &sig));
+    }
+
+    #[test]
+    fn debug_redacts_secret() {
+        let kp = DhKeyPair::from_seed(&[7u8; 32]);
+        assert!(format!("{kp:?}").contains("redacted"));
+    }
+}

@@ -1,0 +1,145 @@
+//! Keyed format-preserving permutation over address spaces (a balanced
+//! Feistel network with AES-based round functions).
+//!
+//! The paper's future-work extension (Section VIII) encrypts the address
+//! and command buses with the on-DIMM encryption units for traffic
+//! obliviousness. A format-preserving permutation is the right primitive:
+//! the DDR protocol still carries a *valid* address of the same width, but
+//! its relationship to the logical address is hidden from a bus observer.
+//! Four Feistel rounds with a PRF give a secure PRP over the domain.
+
+use crate::aes::Aes128;
+
+/// A keyed permutation over `2^bits`-sized address spaces.
+#[derive(Debug, Clone)]
+pub struct FeistelPermutation {
+    aes: Aes128,
+    half_bits: u32,
+    rounds: u32,
+}
+
+impl FeistelPermutation {
+    /// Builds a permutation over `bits`-wide values (must be even and at
+    /// most 62) keyed by `key`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is odd, zero, or above 62.
+    pub fn new(key: &Aes128, bits: u32) -> Self {
+        assert!(bits > 0 && bits % 2 == 0 && bits <= 62, "bits must be even, 2..=62");
+        Self { aes: key.clone(), half_bits: bits / 2, rounds: 4 }
+    }
+
+    fn round(&self, round: u32, half: u64) -> u64 {
+        let mut block = [0u8; 16];
+        block[0..8].copy_from_slice(&half.to_le_bytes());
+        block[8] = round as u8;
+        block[9] = 0xF5; // domain separation from other AES uses of the key
+        let out = self.aes.encrypt_block(&block);
+        u64::from_le_bytes(out[0..8].try_into().expect("8 bytes"))
+            & ((1 << self.half_bits) - 1)
+    }
+
+    /// Permutes `value` (must fit in the configured width).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` does not fit in the domain.
+    pub fn permute(&self, value: u64) -> u64 {
+        let mask = (1u64 << self.half_bits) - 1;
+        assert!(value >> (2 * self.half_bits) == 0, "value out of domain");
+        let mut left = value >> self.half_bits;
+        let mut right = value & mask;
+        for r in 0..self.rounds {
+            let new_left = right;
+            let new_right = left ^ self.round(r, right);
+            left = new_left;
+            right = new_right;
+        }
+        (left << self.half_bits) | right
+    }
+
+    /// Inverts [`Self::permute`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` does not fit in the domain.
+    pub fn invert(&self, value: u64) -> u64 {
+        let mask = (1u64 << self.half_bits) - 1;
+        assert!(value >> (2 * self.half_bits) == 0, "value out of domain");
+        let mut left = value >> self.half_bits;
+        let mut right = value & mask;
+        for r in (0..self.rounds).rev() {
+            let new_right = left;
+            let new_left = right ^ self.round(r, left);
+            left = new_left;
+            right = new_right;
+        }
+        (left << self.half_bits) | right
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn perm(bits: u32) -> FeistelPermutation {
+        FeistelPermutation::new(&Aes128::new(&[0x44; 16]), bits)
+    }
+
+    #[test]
+    fn permute_invert_roundtrip() {
+        let p = perm(32);
+        for v in [0u64, 1, 0xFFFF, 0xFFFF_FFFF, 0x1234_5678] {
+            assert_eq!(p.invert(p.permute(v)), v, "{v:#x}");
+        }
+    }
+
+    #[test]
+    fn is_a_permutation_on_small_domain() {
+        let p = perm(8); // 256 values
+        let mut seen = std::collections::HashSet::new();
+        for v in 0..256u64 {
+            let out = p.permute(v);
+            assert!(out < 256);
+            assert!(seen.insert(out), "collision at {v}");
+        }
+        assert_eq!(seen.len(), 256);
+    }
+
+    #[test]
+    fn different_keys_give_different_permutations() {
+        let a = FeistelPermutation::new(&Aes128::new(&[1; 16]), 16);
+        let b = FeistelPermutation::new(&Aes128::new(&[2; 16]), 16);
+        let differing = (0..100u64).filter(|v| a.permute(*v) != b.permute(*v)).count();
+        assert!(differing > 90);
+    }
+
+    #[test]
+    fn sequential_inputs_scatter() {
+        // Obliviousness: consecutive logical addresses must not map to
+        // consecutive physical addresses.
+        let p = perm(32);
+        let adjacent_pairs = (0..1000u64)
+            .filter(|v| {
+                let a = p.permute(*v);
+                let b = p.permute(v + 1);
+                a.abs_diff(b) == 1
+            })
+            .count();
+        assert!(adjacent_pairs < 5, "{adjacent_pairs} sequential pairs leaked");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of domain")]
+    fn out_of_domain_rejected() {
+        let p = perm(16);
+        let _ = p.permute(1 << 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_width_rejected() {
+        let _ = perm(15);
+    }
+}

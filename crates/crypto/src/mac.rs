@@ -1,0 +1,182 @@
+//! AES-CMAC (RFC 4493) and the per-line MAC construction.
+//!
+//! Secure memories guard each cache line with a MAC over the data *and its
+//! physical address* (the address binding is what forces a replay attacker
+//! to replay to the same location, Section II-C of the paper). SecDDR keeps
+//! this MAC as the at-rest integrity witness and encrypts it on the bus.
+//! [`Cmac::line_mac`] produces the 64-bit truncated `MAC = H_k(data, addr)`
+//! used throughout the repository.
+
+use crate::aes::Aes128;
+
+/// AES-CMAC keyed hash.
+#[derive(Debug, Clone)]
+pub struct Cmac {
+    aes: Aes128,
+    k1: [u8; 16],
+    k2: [u8; 16],
+}
+
+#[inline]
+fn shift_left_one(input: &[u8; 16]) -> ([u8; 16], bool) {
+    let mut out = [0u8; 16];
+    let mut carry = false;
+    for i in (0..16).rev() {
+        let new_carry = input[i] & 0x80 != 0;
+        out[i] = (input[i] << 1) | u8::from(carry);
+        carry = new_carry;
+    }
+    (out, carry)
+}
+
+impl Cmac {
+    /// Derives the CMAC subkeys from an expanded AES key.
+    pub fn new(aes: Aes128) -> Self {
+        let l = aes.encrypt_block(&[0u8; 16]);
+        let (mut k1, msb1) = shift_left_one(&l);
+        if msb1 {
+            k1[15] ^= 0x87;
+        }
+        let (mut k2, msb2) = shift_left_one(&k1);
+        if msb2 {
+            k2[15] ^= 0x87;
+        }
+        Self { aes, k1, k2 }
+    }
+
+    /// Computes the full 128-bit CMAC tag over `msg`.
+    pub fn tag(&self, msg: &[u8]) -> [u8; 16] {
+        let n_blocks = msg.len().div_ceil(16).max(1);
+        let complete_last = !msg.is_empty() && msg.len() % 16 == 0;
+
+        let mut x = [0u8; 16];
+        for i in 0..n_blocks - 1 {
+            let mut block = [0u8; 16];
+            block.copy_from_slice(&msg[16 * i..16 * (i + 1)]);
+            for (b, xv) in block.iter_mut().zip(x.iter()) {
+                *b ^= xv;
+            }
+            x = self.aes.encrypt_block(&block);
+        }
+
+        let mut last = [0u8; 16];
+        if complete_last {
+            last.copy_from_slice(&msg[16 * (n_blocks - 1)..]);
+            for (b, k) in last.iter_mut().zip(self.k1.iter()) {
+                *b ^= k;
+            }
+        } else {
+            let tail = &msg[16 * (n_blocks - 1)..];
+            last[..tail.len()].copy_from_slice(tail);
+            last[tail.len()] = 0x80;
+            for (b, k) in last.iter_mut().zip(self.k2.iter()) {
+                *b ^= k;
+            }
+        }
+        for (b, xv) in last.iter_mut().zip(x.iter()) {
+            *b ^= xv;
+        }
+        self.aes.encrypt_block(&last)
+    }
+
+    /// The 64-bit per-line MAC stored in the ECC chips:
+    /// `MAC = truncate64(CMAC_k(data || line_addr))`.
+    ///
+    /// ```
+    /// use secddr_crypto::{aes::Aes128, mac::Cmac};
+    /// let cmac = Cmac::new(Aes128::new(&[1u8; 16]));
+    /// let m0 = cmac.line_mac(&[0u8; 64], 0x1000);
+    /// let m1 = cmac.line_mac(&[0u8; 64], 0x1040);
+    /// assert_ne!(m0, m1, "address binding");
+    /// ```
+    pub fn line_mac(&self, data: &[u8; 64], line_addr: u64) -> u64 {
+        let mut msg = [0u8; 72];
+        msg[..64].copy_from_slice(data);
+        msg[64..].copy_from_slice(&line_addr.to_le_bytes());
+        let tag = self.tag(&msg);
+        u64::from_le_bytes(tag[..8].try_into().expect("8-byte slice"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rfc_key() -> Aes128 {
+        Aes128::new(&[
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ])
+    }
+
+    const RFC_MSG: [u8; 64] = [
+        0x6b, 0xc1, 0xbe, 0xe2, 0x2e, 0x40, 0x9f, 0x96, 0xe9, 0x3d, 0x7e, 0x11, 0x73, 0x93, 0x17,
+        0x2a, 0xae, 0x2d, 0x8a, 0x57, 0x1e, 0x03, 0xac, 0x9c, 0x9e, 0xb7, 0x6f, 0xac, 0x45, 0xaf,
+        0x8e, 0x51, 0x30, 0xc8, 0x1c, 0x46, 0xa3, 0x5c, 0xe4, 0x11, 0xe5, 0xfb, 0xc1, 0x19, 0x1a,
+        0x0a, 0x52, 0xef, 0xf6, 0x9f, 0x24, 0x45, 0xdf, 0x4f, 0x9b, 0x17, 0xad, 0x2b, 0x41, 0x7b,
+        0xe6, 0x6c, 0x37, 0x10,
+    ];
+
+    #[test]
+    fn rfc4493_example_1_empty() {
+        let cmac = Cmac::new(rfc_key());
+        let expected = [
+            0xbb, 0x1d, 0x69, 0x29, 0xe9, 0x59, 0x37, 0x28, 0x7f, 0xa3, 0x7d, 0x12, 0x9b, 0x75,
+            0x67, 0x46,
+        ];
+        assert_eq!(cmac.tag(&[]), expected);
+    }
+
+    #[test]
+    fn rfc4493_example_2_one_block() {
+        let cmac = Cmac::new(rfc_key());
+        let expected = [
+            0x07, 0x0a, 0x16, 0xb4, 0x6b, 0x4d, 0x41, 0x44, 0xf7, 0x9b, 0xdd, 0x9d, 0xd0, 0x4a,
+            0x28, 0x7c,
+        ];
+        assert_eq!(cmac.tag(&RFC_MSG[..16]), expected);
+    }
+
+    #[test]
+    fn rfc4493_example_3_partial() {
+        let cmac = Cmac::new(rfc_key());
+        let expected = [
+            0xdf, 0xa6, 0x67, 0x47, 0xde, 0x9a, 0xe6, 0x30, 0x30, 0xca, 0x32, 0x61, 0x14, 0x97,
+            0xc8, 0x27,
+        ];
+        assert_eq!(cmac.tag(&RFC_MSG[..40]), expected);
+    }
+
+    #[test]
+    fn rfc4493_example_4_full() {
+        let cmac = Cmac::new(rfc_key());
+        let expected = [
+            0x51, 0xf0, 0xbe, 0xbf, 0x7e, 0x3b, 0x9d, 0x92, 0xfc, 0x49, 0x74, 0x17, 0x79, 0x36,
+            0x3c, 0xfe,
+        ];
+        assert_eq!(cmac.tag(&RFC_MSG), expected);
+    }
+
+    #[test]
+    fn line_mac_depends_on_data() {
+        let cmac = Cmac::new(rfc_key());
+        let mut data = [0u8; 64];
+        let m0 = cmac.line_mac(&data, 0x40);
+        data[17] ^= 1;
+        assert_ne!(cmac.line_mac(&data, 0x40), m0);
+    }
+
+    #[test]
+    fn line_mac_depends_on_address() {
+        let cmac = Cmac::new(rfc_key());
+        let data = [0xCCu8; 64];
+        assert_ne!(cmac.line_mac(&data, 0x40), cmac.line_mac(&data, 0x80));
+    }
+
+    #[test]
+    fn line_mac_is_deterministic() {
+        let cmac = Cmac::new(rfc_key());
+        let data = [0x01u8; 64];
+        assert_eq!(cmac.line_mac(&data, 7), cmac.line_mac(&data, 7));
+    }
+}

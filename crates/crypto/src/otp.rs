@@ -1,0 +1,326 @@
+//! E-MAC one-time pads and channel transaction counters
+//! (Sections III-A/III-B of the paper).
+//!
+//! SecDDR never sends a plaintext MAC over the bus. Each transfer XORs the
+//! MAC with a one-time pad derived from the shared transaction key `Kt` and
+//! the per-rank transaction counter state:
+//!
+//! * Reads consume **even** counter values, writes **odd** ones (the
+//!   paper's defence against a write command being converted into a read).
+//! * Write pads additionally fold in the full write address, so that
+//!   corrupting the address bus scrambles the encrypted eWCRC — the
+//!   non-cryptographic CRC alone could otherwise be defeated by targeted
+//!   bit flips.
+//!
+//! We realize the even/odd rule as two interleaved counters — the read
+//! counter ranges over even values, the write counter over odd values, and
+//! **both** are bound into every pad. This meets every detection outcome
+//! stated in the paper, permanently (no transient window):
+//!
+//! * a dropped write desynchronizes the write counter, so *all* following
+//!   reads fail verification (Section III-B);
+//! * a write→read command conversion advances the read counter on the DIMM
+//!   and the write counter on the processor, so the two ends diverge in
+//!   both components and never resynchronize;
+//! * replayed `(data, E-MAC)` tuples decrypt under a stale pad and fail.
+//!
+//! (A single skip-to-parity counter, the most literal reading of the
+//! paper's one-sentence description, resynchronizes after a conversion
+//! followed by a read; the dual-counter realization closes that hole while
+//! preserving the stated even/odd structure. See DESIGN.md.)
+
+use crate::aes::Aes128;
+
+/// A one-time pad for one bus transaction: 64 bits for the E-MAC and 16
+/// bits for the encrypted eWCRC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EmacPad {
+    mac_pad: u64,
+    crc_pad: u16,
+}
+
+const WRITE_TWEAK_MARKER: u64 = 0x9E37_79B9_7F4A_7C15;
+
+impl EmacPad {
+    /// Pad for a read transaction from the counter pair `(ct_read,
+    /// ct_write)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ct_read` is odd or `ct_write` even — the protocol keeps
+    /// reads on even and writes on odd values.
+    pub fn derive_read(kt: &Aes128, ct_read: u64, ct_write: u64) -> Self {
+        assert!(ct_read % 2 == 0, "read transactions use even counter values");
+        assert!(ct_write % 2 == 1, "write counter ranges over odd values");
+        Self::base(kt, ct_read, ct_write)
+    }
+
+    /// Pad for a write transaction bound to `write_addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same parity conditions as [`Self::derive_read`].
+    pub fn derive_write(kt: &Aes128, ct_read: u64, ct_write: u64, write_addr: u64) -> Self {
+        assert!(ct_read % 2 == 0, "read counter ranges over even values");
+        assert!(ct_write % 2 == 1, "write transactions use odd counter values");
+        let base = Self::base(kt, ct_read, ct_write);
+        // Second PRP invocation binds the address; XORing two AES outputs
+        // keeps the pad pseudorandom for any (counters, address) pair.
+        let mut block = [0u8; 16];
+        block[0..8].copy_from_slice(&write_addr.to_le_bytes());
+        block[8..16].copy_from_slice(&WRITE_TWEAK_MARKER.to_le_bytes());
+        let tweak = kt.encrypt_block(&block);
+        Self {
+            mac_pad: base.mac_pad
+                ^ u64::from_le_bytes(tweak[0..8].try_into().expect("8 bytes")),
+            crc_pad: base.crc_pad
+                ^ u16::from_le_bytes(tweak[8..10].try_into().expect("2 bytes")),
+        }
+    }
+
+    fn base(kt: &Aes128, ct_read: u64, ct_write: u64) -> Self {
+        let mut block = [0u8; 16];
+        block[0..8].copy_from_slice(&ct_read.to_le_bytes());
+        block[8..16].copy_from_slice(&ct_write.to_le_bytes());
+        let pad = kt.encrypt_block(&block);
+        Self {
+            mac_pad: u64::from_le_bytes(pad[0..8].try_into().expect("8 bytes")),
+            crc_pad: u16::from_le_bytes(pad[8..10].try_into().expect("2 bytes")),
+        }
+    }
+
+    /// Encrypts (or decrypts — XOR is an involution) a 64-bit MAC.
+    #[inline]
+    pub fn apply(&self, mac: u64) -> u64 {
+        mac ^ self.mac_pad
+    }
+
+    /// Encrypts (or decrypts) a 16-bit eWCRC.
+    #[inline]
+    pub fn apply_crc(&self, crc: u16) -> u16 {
+        crc ^ self.crc_pad
+    }
+}
+
+/// Per-rank transaction counter state with the read/write parity
+/// discipline.
+///
+/// Both the memory controller and the ECC chip hold one of these per rank;
+/// they advance in lockstep as long as no transaction is dropped, redirected
+/// or type-converted. Any divergence makes every subsequent pad differ and
+/// is caught at the next MAC verification on the processor.
+///
+/// ```
+/// use secddr_crypto::aes::Aes128;
+/// use secddr_crypto::otp::TransactionCounter;
+///
+/// let kt = Aes128::new(&[1u8; 16]);
+/// let mut cpu = TransactionCounter::new(100);
+/// let mut dimm = TransactionCounter::new(100);
+/// let p1 = cpu.read_pad(&kt);
+/// let p2 = dimm.read_pad(&kt);
+/// assert_eq!(p1, p2); // lockstep
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransactionCounter {
+    ct_read: u64,
+    ct_write: u64,
+}
+
+impl TransactionCounter {
+    /// Starts the counter pair from `initial` (the boot value the
+    /// processor picks during attestation): reads from the next even value,
+    /// writes from the next odd value.
+    pub fn new(initial: u64) -> Self {
+        let even = initial + (initial % 2);
+        Self { ct_read: even, ct_write: even + 1 }
+    }
+
+    /// Derives the pad for the next read transaction and advances the read
+    /// counter.
+    pub fn read_pad(&mut self, kt: &Aes128) -> EmacPad {
+        let pad = EmacPad::derive_read(kt, self.ct_read, self.ct_write);
+        self.ct_read += 2;
+        pad
+    }
+
+    /// Derives the pad for the next write transaction (bound to
+    /// `write_addr`) and advances the write counter.
+    pub fn write_pad(&mut self, kt: &Aes128, write_addr: u64) -> EmacPad {
+        let pad = EmacPad::derive_write(kt, self.ct_read, self.ct_write, write_addr);
+        self.ct_write += 2;
+        pad
+    }
+
+    /// The `(read, write)` counter pair, for divergence diagnostics and
+    /// DIMM-substitution checks.
+    pub fn state(&self) -> (u64, u64) {
+        (self.ct_read, self.ct_write)
+    }
+
+    /// Sum of transactions consumed so far relative to `initial` — the
+    /// quantity the paper's 64-bit overflow analysis reasons about.
+    pub fn transactions(&self, initial: u64) -> u64 {
+        let even = initial + (initial % 2);
+        (self.ct_read - even) / 2 + (self.ct_write - (even + 1)) / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kt() -> Aes128 {
+        Aes128::new(&[0x5C; 16])
+    }
+
+    #[test]
+    fn xor_is_involution() {
+        let pad = EmacPad::derive_read(&kt(), 100, 101);
+        let mac = 0xDEAD_BEEF_CAFE_F00D;
+        assert_eq!(pad.apply(pad.apply(mac)), mac);
+        let crc = 0xABCD;
+        assert_eq!(pad.apply_crc(pad.apply_crc(crc)), crc);
+    }
+
+    #[test]
+    fn pads_are_temporally_unique() {
+        let k = kt();
+        assert_ne!(
+            EmacPad::derive_read(&k, 0, 1),
+            EmacPad::derive_read(&k, 2, 1),
+            "fresh read counter => fresh pad"
+        );
+        assert_ne!(
+            EmacPad::derive_read(&k, 0, 1),
+            EmacPad::derive_read(&k, 0, 3),
+            "fresh write counter => fresh read pad (dropped-write detection)"
+        );
+    }
+
+    #[test]
+    fn write_pad_binds_address() {
+        let k = kt();
+        assert_ne!(
+            EmacPad::derive_write(&k, 0, 1, 0x1000),
+            EmacPad::derive_write(&k, 0, 1, 0x1040),
+            "corrupting the address must change the pad"
+        );
+    }
+
+    #[test]
+    fn read_and_write_pads_differ_for_same_state() {
+        let k = kt();
+        let r = EmacPad::derive_read(&k, 2, 3);
+        let w = EmacPad::derive_write(&k, 2, 3, 0);
+        assert_ne!(r, w);
+    }
+
+    #[test]
+    #[should_panic(expected = "even counter")]
+    fn read_pad_rejects_odd_read_counter() {
+        let _ = EmacPad::derive_read(&kt(), 3, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd counter")]
+    fn write_pad_rejects_even_write_counter() {
+        let _ = EmacPad::derive_write(&kt(), 2, 4, 0);
+    }
+
+    #[test]
+    fn counter_parity_discipline() {
+        let mut ct = TransactionCounter::new(0);
+        let (r0, w0) = ct.state();
+        assert_eq!(r0 % 2, 0);
+        assert_eq!(w0 % 2, 1);
+        let k = kt();
+        let _ = ct.read_pad(&k);
+        let _ = ct.write_pad(&k, 0);
+        let (r1, w1) = ct.state();
+        assert_eq!(r1, r0 + 2);
+        assert_eq!(w1, w0 + 2);
+    }
+
+    #[test]
+    fn odd_initial_value_rounds_up() {
+        let ct = TransactionCounter::new(7);
+        assert_eq!(ct.state(), (8, 9));
+    }
+
+    #[test]
+    fn lockstep_counters_produce_identical_pads() {
+        let k = kt();
+        let mut cpu = TransactionCounter::new(0);
+        let mut dimm = TransactionCounter::new(0);
+        for i in 0..50u64 {
+            if i % 2 == 0 {
+                assert_eq!(cpu.read_pad(&k), dimm.read_pad(&k));
+            } else {
+                assert_eq!(cpu.write_pad(&k, i * 64), dimm.write_pad(&k, i * 64));
+            }
+        }
+        assert_eq!(cpu.state(), dimm.state());
+    }
+
+    #[test]
+    fn dropped_write_desynchronizes_all_future_reads() {
+        let k = kt();
+        let mut cpu = TransactionCounter::new(0);
+        let mut dimm = TransactionCounter::new(0);
+        let _ = cpu.write_pad(&k, 0x40); // write dropped before the DIMM
+        for _ in 0..10 {
+            assert_ne!(
+                cpu.read_pad(&k),
+                dimm.read_pad(&k),
+                "paper claim: all following reads fail verification"
+            );
+        }
+    }
+
+    #[test]
+    fn command_conversion_diverges_permanently() {
+        let k = kt();
+        let mut cpu = TransactionCounter::new(0);
+        let mut dimm = TransactionCounter::new(0);
+        // Attacker converts a write into a read: the processor consumed a
+        // write slot, the DIMM a read slot.
+        let _ = cpu.write_pad(&k, 0x40);
+        let _ = dimm.read_pad(&k);
+        // No subsequent sequence of honest transactions resynchronizes.
+        for i in 0..10u64 {
+            if i % 2 == 0 {
+                assert_ne!(cpu.read_pad(&k), dimm.read_pad(&k));
+            } else {
+                assert_ne!(cpu.write_pad(&k, 0), dimm.write_pad(&k, 0));
+            }
+        }
+        assert_ne!(cpu.state(), dimm.state());
+    }
+
+    #[test]
+    fn transactions_counts_consumed_slots() {
+        let k = kt();
+        let mut ct = TransactionCounter::new(10);
+        let _ = ct.read_pad(&k);
+        let _ = ct.write_pad(&k, 0);
+        let _ = ct.read_pad(&k);
+        assert_eq!(ct.transactions(10), 3);
+    }
+
+    #[test]
+    fn stale_counter_state_mismatches_fresh_one() {
+        // DIMM-substitution: the preserved (old) counter state yields pads
+        // that differ from the live processor's.
+        let k = kt();
+        let mut cpu = TransactionCounter::new(0);
+        let mut dimm = TransactionCounter::new(0);
+        let snapshot = dimm; // attacker freezes the DIMM here
+        for _ in 0..5 {
+            let _ = cpu.write_pad(&k, 0);
+            let _ = dimm.write_pad(&k, 0);
+        }
+        let mut stale = snapshot; // attacker re-plugs the frozen DIMM
+        assert_ne!(cpu.read_pad(&k), stale.read_pad(&k));
+    }
+}

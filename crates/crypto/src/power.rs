@@ -1,0 +1,193 @@
+//! Analytic area/power model for SecDDR's on-DRAM security logic (Table II
+//! and Section V-B of the paper).
+//!
+//! The paper budgets the ECC-chip logic from published 45 nm blocks:
+//!
+//! * AES engine: 0.15 mm², 53 Gb/s at 2.1 GHz (Mathew et al., JSSC'11).
+//! * EC scalar multiplier: 0.0209 mm², 74 mW at 3 GHz (Mathew et al.,
+//!   ESSCIRC'10).
+//! * SHA-256: 0.0625 mm², 50 mW at 1.4 GHz (Ramanarayanan et al.,
+//!   ESSCIRC'10).
+//!
+//! Power scales linearly with frequency to the 500 MHz DRAM core clock and
+//! quadratically with voltage; engine count is rounded up to match the
+//! chip's transfer rate. The calibration constant is the x4 DDR4-3200 row of
+//! Table II (2 engines, 70.8 mW), giving 35.4 mW per engine at 500 MHz and
+//! 1.2 V.
+
+/// AES engine throughput at its native design point (Gb/s at 2.1 GHz).
+pub const AES_ENGINE_GBPS_NATIVE: f64 = 53.0;
+/// AES engine native clock (GHz).
+pub const AES_ENGINE_FREQ_NATIVE_GHZ: f64 = 2.1;
+/// DRAM core clock assumed by the paper (GHz).
+pub const DRAM_CORE_FREQ_GHZ: f64 = 0.5;
+/// Per-engine power at 500 MHz and 1.2 V (mW), calibrated from Table II.
+pub const AES_ENGINE_MW_AT_500MHZ: f64 = 35.4;
+/// AES engine area at 45 nm (mm²).
+pub const AES_ENGINE_AREA_MM2: f64 = 0.15;
+/// EC scalar multiplier area (mm²).
+pub const EC_MULT_AREA_MM2: f64 = 0.0209;
+/// SHA-256 unit area (mm²).
+pub const SHA256_AREA_MM2: f64 = 0.0625;
+
+/// One DIMM configuration row of Table II.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DimmPowerConfig {
+    /// Human-readable label, e.g. `"x4 4Gb"`.
+    pub label: &'static str,
+    /// Device data width in bits (4 or 8).
+    pub device_width_bits: u32,
+    /// Channel transfer rate in MT/s.
+    pub transfer_rate_mts: u32,
+    /// Supply voltage in volts.
+    pub vdd: f64,
+    /// Power of one DRAM chip (mW) from vendor datasheets.
+    pub dram_chip_power_mw: f64,
+    /// Power of the whole 16 GB dual-rank LRDIMM (mW).
+    pub dimm_power_mw: f64,
+    /// SecDDR ECC chips per rank carrying the security logic.
+    pub ecc_chips_per_rank: u32,
+}
+
+/// The DDR4-3200 x4 4Gb configuration from Table II.
+pub const DDR4_X4: DimmPowerConfig = DimmPowerConfig {
+    label: "x4 4Gb",
+    device_width_bits: 4,
+    transfer_rate_mts: 3200,
+    vdd: 1.2,
+    dram_chip_power_mw: 290.0,
+    dimm_power_mw: 13230.0,
+    ecc_chips_per_rank: 2,
+};
+
+/// The DDR4-3200 x8 8Gb configuration from Table II.
+pub const DDR4_X8: DimmPowerConfig = DimmPowerConfig {
+    label: "x8 8Gb",
+    device_width_bits: 8,
+    transfer_rate_mts: 3200,
+    vdd: 1.2,
+    dram_chip_power_mw: 351.9,
+    dimm_power_mw: 9120.0,
+    ecc_chips_per_rank: 1,
+};
+
+/// The DDR5-8800 x4 configuration discussed in Section V-B (1.1 V, ~13%
+/// lower DIMM power than DDR4).
+pub const DDR5_X4: DimmPowerConfig = DimmPowerConfig {
+    label: "x4 DDR5-8800",
+    device_width_bits: 4,
+    transfer_rate_mts: 8800,
+    vdd: 1.1,
+    dram_chip_power_mw: 290.0 * 0.87,
+    dimm_power_mw: 13230.0 * 0.87,
+    ecc_chips_per_rank: 2,
+};
+
+/// Computed overhead figures for one configuration (one Table II column).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerOverhead {
+    /// AES engines required per ECC chip.
+    pub aes_units_per_ecc_chip: u32,
+    /// AES power per ECC chip (mW).
+    pub aes_power_per_chip_mw: f64,
+    /// Per-rank power overhead as a fraction (e.g. 0.021 = 2.1%).
+    pub overhead_per_rank: f64,
+    /// Total security-logic area per ECC chip (mm², 45 nm).
+    pub area_mm2: f64,
+}
+
+/// Per-engine AES throughput when clocked at the DRAM core frequency.
+pub fn aes_engine_gbps_at_dram_clock() -> f64 {
+    AES_ENGINE_GBPS_NATIVE * (DRAM_CORE_FREQ_GHZ / AES_ENGINE_FREQ_NATIVE_GHZ)
+}
+
+/// Required per-chip encryption throughput in Gb/s: the device's full data
+/// rate (the ECC chip must pad every beat it transfers).
+pub fn required_chip_gbps(cfg: &DimmPowerConfig) -> f64 {
+    f64::from(cfg.device_width_bits) * f64::from(cfg.transfer_rate_mts) / 1000.0
+}
+
+/// Evaluates the Table II model for one configuration.
+pub fn evaluate(cfg: &DimmPowerConfig) -> PowerOverhead {
+    let per_engine = aes_engine_gbps_at_dram_clock();
+    let units = (required_chip_gbps(cfg) / per_engine).ceil() as u32;
+    // Voltage scaling relative to the 1.2 V calibration point.
+    let vscale = (cfg.vdd / 1.2).powi(2);
+    let aes_power = f64::from(units) * AES_ENGINE_MW_AT_500MHZ * vscale;
+    let rank_power = cfg.dimm_power_mw / 2.0; // dual-rank DIMM
+    let overhead = f64::from(cfg.ecc_chips_per_rank) * aes_power / rank_power;
+    let area = f64::from(units) * AES_ENGINE_AREA_MM2 + EC_MULT_AREA_MM2 + SHA256_AREA_MM2;
+    PowerOverhead {
+        aes_units_per_ecc_chip: units,
+        aes_power_per_chip_mw: aes_power,
+        overhead_per_rank: overhead,
+        area_mm2: area,
+    }
+}
+
+/// Attestation-unit power at the DRAM clock (Section V-B prose): the EC
+/// multiplier and SHA-256 blocks scaled linearly from their native clocks.
+/// Returns `(ec_mult_mw, sha256_mw)`.
+pub fn attestation_power_mw() -> (f64, f64) {
+    let ec = 74.0 * (DRAM_CORE_FREQ_GHZ / 3.0) * 1.15; // 1.1 V -> operating point
+    let sha = 50.0 * (DRAM_CORE_FREQ_GHZ / 1.4) * 1.18;
+    (ec, sha)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn x4_matches_table_ii() {
+        let r = evaluate(&DDR4_X4);
+        assert_eq!(r.aes_units_per_ecc_chip, 2);
+        assert!((r.aes_power_per_chip_mw - 70.8).abs() < 0.05, "{r:?}");
+        assert!((r.overhead_per_rank - 0.021).abs() < 0.002, "{r:?}");
+    }
+
+    #[test]
+    fn x8_matches_table_ii() {
+        let r = evaluate(&DDR4_X8);
+        assert_eq!(r.aes_units_per_ecc_chip, 3);
+        assert!((r.aes_power_per_chip_mw - 106.3).abs() < 0.15, "{r:?}");
+        assert!((r.overhead_per_rank - 0.023).abs() < 0.002, "{r:?}");
+    }
+
+    #[test]
+    fn ddr5_matches_section_vb() {
+        let r = evaluate(&DDR5_X4);
+        assert_eq!(r.aes_units_per_ecc_chip, 3, "35.2 Gb/s needs 3 engines");
+        assert!((r.aes_power_per_chip_mw - 89.3).abs() < 0.3, "{r:?}");
+        assert!(r.overhead_per_rank < 0.05, "paper: below 5%, got {r:?}");
+    }
+
+    #[test]
+    fn area_stays_under_paper_budget() {
+        for cfg in [DDR4_X4, DDR4_X8, DDR5_X4] {
+            let r = evaluate(&cfg);
+            assert!(r.area_mm2 < 1.5, "paper budget: <1.5mm², got {r:?}");
+        }
+    }
+
+    #[test]
+    fn engine_throughput_at_dram_clock() {
+        let g = aes_engine_gbps_at_dram_clock();
+        assert!((g - 12.619).abs() < 0.01);
+    }
+
+    #[test]
+    fn required_rates() {
+        assert!((required_chip_gbps(&DDR4_X4) - 12.8).abs() < 1e-9);
+        assert!((required_chip_gbps(&DDR4_X8) - 25.6).abs() < 1e-9);
+        assert!((required_chip_gbps(&DDR5_X4) - 35.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn attestation_power_is_small() {
+        let (ec, sha) = attestation_power_mw();
+        // Paper prose: 14.2 mW and 21 mW.
+        assert!((ec - 14.2).abs() < 0.3, "{ec}");
+        assert!((sha - 21.0).abs() < 0.3, "{sha}");
+    }
+}

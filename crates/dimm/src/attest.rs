@@ -1,0 +1,264 @@
+//! Boot-time memory attestation and key exchange (Section III-F).
+//!
+//! The memory vendor embeds an endorsement keypair `(EKp, EKs)` in each
+//! rank's ECC chip and a certificate authority signs `EKp`. At every power
+//! up (or legitimate DIMM replacement) the processor and the rank run an
+//! authenticated Diffie–Hellman exchange: the rank signs its ephemeral
+//! public key with `EKs`, the processor validates the certificate chain and
+//! the signature, both derive the transaction key `Kt`, and the processor
+//! picks and shares the initial counter value (plaintext is fine — counter
+//! tampering surfaces as MAC failures). The processor then clears memory.
+
+use secddr_crypto::aes::Aes128;
+use secddr_crypto::dh::{self, DhKeyPair, Signature, U256};
+
+/// Errors raised by the processor while validating the rank's attestation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttestError {
+    /// The endorsement key's certificate does not verify against the CA.
+    BadCertificate,
+    /// The key-exchange message signature does not verify under `EKp`.
+    BadSignature,
+}
+
+impl core::fmt::Display for AttestError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            AttestError::BadCertificate => write!(f, "endorsement certificate invalid"),
+            AttestError::BadSignature => write!(f, "key-exchange signature invalid"),
+        }
+    }
+}
+
+impl std::error::Error for AttestError {}
+
+/// The certificate authority trusted by the processor (the memory vendor
+/// or a third party).
+#[derive(Debug)]
+pub struct CertificateAuthority {
+    keypair: DhKeyPair,
+}
+
+impl CertificateAuthority {
+    /// Creates a CA with a deterministic key for the given seed.
+    pub fn new(seed: u64) -> Self {
+        let mut s = [0u8; 32];
+        s[..8].copy_from_slice(&seed.to_le_bytes());
+        s[31] = 0xCA;
+        Self { keypair: DhKeyPair::from_seed(&s) }
+    }
+
+    /// The CA's public key, provisioned into processors.
+    pub fn public(&self) -> U256 {
+        self.keypair.public
+    }
+
+    /// Issues a certificate: a signature over the endorsement public key.
+    pub fn issue(&self, ek_public: &U256) -> Signature {
+        dh::sign(&self.keypair, &ek_public.to_le_bytes())
+    }
+}
+
+/// The rank's attestation identity: endorsement keypair plus certificate.
+#[derive(Debug)]
+pub struct RankIdentity {
+    endorsement: DhKeyPair,
+    /// CA certificate over the endorsement public key.
+    pub certificate: Signature,
+}
+
+impl RankIdentity {
+    /// Manufactures an identity: generates `EK` and obtains a certificate.
+    pub fn manufacture(seed: u64, ca: &CertificateAuthority) -> Self {
+        let mut s = [0u8; 32];
+        s[..8].copy_from_slice(&seed.to_le_bytes());
+        s[31] = 0xEC;
+        let endorsement = DhKeyPair::from_seed(&s);
+        let certificate = ca.issue(&endorsement.public);
+        Self { endorsement, certificate }
+    }
+
+    /// The endorsement public key `EKp`.
+    pub fn ek_public(&self) -> U256 {
+        self.endorsement.public
+    }
+}
+
+/// The rank's half of the key exchange.
+#[derive(Debug)]
+pub struct RankKexResponse {
+    /// The rank's ephemeral DH public key.
+    pub ephemeral_public: U256,
+    /// `EKp` for certificate validation.
+    pub ek_public: U256,
+    /// The CA certificate over `EKp`.
+    pub certificate: Signature,
+    /// Signature (under `EKs`) over the exchange transcript.
+    pub signature: Signature,
+}
+
+/// Result of a successful attestation on the processor side.
+#[derive(Debug)]
+pub struct AttestationOutcome {
+    /// The derived transaction key `Kt` (both ends compute the same).
+    pub kt: Aes128,
+    /// The initial transaction-counter value chosen by the processor.
+    pub initial_ct: u64,
+}
+
+fn transcript(host_pub: &U256, rank_pub: &U256) -> Vec<u8> {
+    let mut t = Vec::with_capacity(64 + 16);
+    t.extend_from_slice(b"secddr-kex-v1");
+    t.extend_from_slice(&host_pub.to_le_bytes());
+    t.extend_from_slice(&rank_pub.to_le_bytes());
+    t
+}
+
+/// The rank answers the processor's ephemeral public key: it generates its
+/// own ephemeral pair, signs the transcript with `EKs`, and derives `Kt`.
+/// Returns the wire response and the rank's derived key.
+pub fn rank_respond(
+    identity: &RankIdentity,
+    host_ephemeral_public: &U256,
+    seed: u64,
+) -> (RankKexResponse, Aes128) {
+    let mut s = [0u8; 32];
+    s[..8].copy_from_slice(&seed.to_le_bytes());
+    s[31] = 0xEF;
+    let eph = DhKeyPair::from_seed(&s);
+    let signature = dh::sign(
+        &identity.endorsement,
+        &transcript(host_ephemeral_public, &eph.public),
+    );
+    let shared = eph.shared_secret(host_ephemeral_public);
+    let kt_bytes = DhKeyPair::derive_kt(&shared, host_ephemeral_public, &eph.public);
+    let resp = RankKexResponse {
+        ephemeral_public: eph.public,
+        ek_public: identity.ek_public(),
+        certificate: identity.certificate,
+        signature,
+    };
+    (resp, Aes128::new(&kt_bytes))
+}
+
+/// The processor validates the rank's response and derives the channel
+/// parameters.
+///
+/// # Errors
+///
+/// * [`AttestError::BadCertificate`] if `EKp` is not certified by the CA.
+/// * [`AttestError::BadSignature`] if the transcript signature fails —
+///   e.g. a man-in-the-middle substituted its own ephemeral key.
+pub fn host_verify(
+    host_ephemeral: &DhKeyPair,
+    resp: &RankKexResponse,
+    ca_public: &U256,
+    initial_ct: u64,
+) -> Result<AttestationOutcome, AttestError> {
+    if !dh::verify(ca_public, &resp.ek_public.to_le_bytes(), &resp.certificate) {
+        return Err(AttestError::BadCertificate);
+    }
+    if !dh::verify(
+        &resp.ek_public,
+        &transcript(&host_ephemeral.public, &resp.ephemeral_public),
+        &resp.signature,
+    ) {
+        return Err(AttestError::BadSignature);
+    }
+    let shared = host_ephemeral.shared_secret(&resp.ephemeral_public);
+    let kt_bytes =
+        DhKeyPair::derive_kt(&shared, &host_ephemeral.public, &resp.ephemeral_public);
+    Ok(AttestationOutcome { kt: Aes128::new(&kt_bytes), initial_ct })
+}
+
+/// Convenience: the host's ephemeral keypair for this boot.
+pub fn host_ephemeral(seed: u64) -> DhKeyPair {
+    let mut s = [0u8; 32];
+    s[..8].copy_from_slice(&seed.to_le_bytes());
+    s[31] = 0x10;
+    DhKeyPair::from_seed(&s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dimm::DimmRank;
+    use crate::processor::{EncryptionMode, SecDdrProcessor};
+
+    #[test]
+    fn full_attestation_establishes_working_channel() {
+        let ca = CertificateAuthority::new(1);
+        let identity = RankIdentity::manufacture(2, &ca);
+        let host = host_ephemeral(3);
+        let (resp, rank_kt) = rank_respond(&identity, &host.public, 4);
+        let outcome = host_verify(&host, &resp, &ca.public(), 1000).unwrap();
+
+        // Both ends derived the same Kt: a channel built from the two
+        // halves round-trips.
+        let mut processor =
+            SecDdrProcessor::new(EncryptionMode::Xts, outcome.kt, outcome.initial_ct, 5);
+        let mut rank = DimmRank::new(rank_kt, outcome.initial_ct);
+        let tx = processor.begin_write(0x40, &[0xAA; 64]);
+        assert_eq!(rank.accept_write(&tx), crate::dimm::WriteOutcome::Committed);
+        let resp = rank.serve_read(crate::geometry::decode(0x40));
+        assert_eq!(processor.finish_read(0x40, &resp).unwrap(), [0xAA; 64]);
+    }
+
+    #[test]
+    fn mitm_substituting_ephemeral_key_is_rejected() {
+        let ca = CertificateAuthority::new(1);
+        let identity = RankIdentity::manufacture(2, &ca);
+        let host = host_ephemeral(3);
+        let (mut resp, _) = rank_respond(&identity, &host.public, 4);
+        // MITM swaps in its own ephemeral key (hoping to sit between).
+        let mallory = host_ephemeral(666);
+        resp.ephemeral_public = mallory.public;
+        assert_eq!(
+            host_verify(&host, &resp, &ca.public(), 0).unwrap_err(),
+            AttestError::BadSignature
+        );
+    }
+
+    #[test]
+    fn uncertified_endorsement_key_is_rejected() {
+        let ca = CertificateAuthority::new(1);
+        let rogue_ca = CertificateAuthority::new(99);
+        // A counterfeit DIMM with a key certified by the wrong CA.
+        let identity = RankIdentity::manufacture(2, &rogue_ca);
+        let host = host_ephemeral(3);
+        let (resp, _) = rank_respond(&identity, &host.public, 4);
+        assert_eq!(
+            host_verify(&host, &resp, &ca.public(), 0).unwrap_err(),
+            AttestError::BadCertificate
+        );
+    }
+
+    #[test]
+    fn tampered_transcript_signature_is_rejected() {
+        let ca = CertificateAuthority::new(1);
+        let identity = RankIdentity::manufacture(2, &ca);
+        let host = host_ephemeral(3);
+        let (mut resp, _) = rank_respond(&identity, &host.public, 4);
+        resp.signature.s = resp.signature.s.add_mod(
+            secddr_crypto::dh::U256::ONE,
+            &secddr_crypto::dh::group_order(),
+        );
+        assert_eq!(
+            host_verify(&host, &resp, &ca.public(), 0).unwrap_err(),
+            AttestError::BadSignature
+        );
+    }
+
+    #[test]
+    fn distinct_boots_derive_distinct_keys() {
+        let ca = CertificateAuthority::new(1);
+        let identity = RankIdentity::manufacture(2, &ca);
+        let host_a = host_ephemeral(3);
+        let host_b = host_ephemeral(4);
+        let (_, kt_a) = rank_respond(&identity, &host_a.public, 10);
+        let (_, kt_b) = rank_respond(&identity, &host_b.public, 11);
+        // Keys are secret; compare behaviourally.
+        let block = [0u8; 16];
+        assert_ne!(kt_a.encrypt_block(&block), kt_b.encrypt_block(&block));
+    }
+}

@@ -1,0 +1,88 @@
+//! Bus transactions and the attacker interposition trait.
+//!
+//! The threat model (Section II-A) lets the adversary tamper with anything
+//! on the memory bus or the DIMM interconnects: data, E-MACs, eWCRCs, and
+//! the command/address (CCCA) signals. [`Interposer`] is that adversary's
+//! vantage point; the prebuilt attackers live in [`crate::attacks`].
+
+use secddr_crypto::crc::WriteAddress;
+
+/// Everything a write transaction puts on the wires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteTransaction {
+    /// CCCA signals: the decoded write address as chips will observe it.
+    pub addr: WriteAddress,
+    /// Ciphertext line for the data chips.
+    pub data: [u8; 64],
+    /// Encrypted MAC (E-MAC) for the ECC chip.
+    pub emac: u64,
+    /// Encrypted eWCRC trailing the ECC-chip burst.
+    pub ewcrc: u16,
+}
+
+/// Everything a read response puts on the wires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadResponse {
+    /// Ciphertext line from the data chips.
+    pub data: [u8; 64],
+    /// Encrypted MAC from the ECC chip.
+    pub emac: u64,
+}
+
+/// What the adversary did with an intercepted write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteAction {
+    /// Forward (possibly after mutating the transaction in place).
+    Deliver,
+    /// Suppress the write entirely.
+    Drop,
+    /// Corrupt the command encoding so the DIMM performs a read instead.
+    ConvertToRead,
+}
+
+/// A man-in-the-middle on the memory bus / DIMM interconnect.
+///
+/// Default implementations are honest; attackers override the hooks they
+/// need. All state the attacker wants (recorded transactions, triggers)
+/// lives in the implementing type.
+pub trait Interposer {
+    /// Observes / mutates / suppresses an in-flight write.
+    fn on_write(&mut self, _tx: &mut WriteTransaction) -> WriteAction {
+        WriteAction::Deliver
+    }
+
+    /// Observes / mutates the CCCA signals of an in-flight read command.
+    fn on_read_cmd(&mut self, _addr: &mut WriteAddress) {}
+
+    /// Observes / mutates an in-flight read response.
+    fn on_read_resp(&mut self, _resp: &mut ReadResponse) {}
+}
+
+/// The honest bus: no interference.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PassThrough;
+
+impl Interposer for PassThrough {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passthrough_delivers_untouched() {
+        let mut p = PassThrough;
+        let mut tx = WriteTransaction {
+            addr: WriteAddress::default(),
+            data: [1; 64],
+            emac: 2,
+            ewcrc: 3,
+        };
+        let orig = tx;
+        assert_eq!(p.on_write(&mut tx), WriteAction::Deliver);
+        assert_eq!(tx, orig);
+        let mut resp = ReadResponse { data: [4; 64], emac: 5 };
+        let orig_resp = resp;
+        p.on_read_resp(&mut resp);
+        assert_eq!(resp, orig_resp);
+    }
+}

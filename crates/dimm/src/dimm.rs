@@ -1,0 +1,219 @@
+//! The DIMM rank: data chips, stored MACs, and the ECC chip's SecDDR logic
+//! (Sections III-A, III-B, III-E of the paper).
+//!
+//! The ECC chip is the only trusted component on an untrusted DIMM. It
+//! holds the transaction key register, the counter pair, and AES engines;
+//! on writes it removes the write pad, checks the encrypted eWCRC against
+//! the address it actually observed on the CCCA wires, and only then
+//! commits; on reads it re-pads the stored MAC with a fresh read pad. It
+//! never verifies data MACs — all verification is the processor's job.
+
+use secddr_crypto::aes::Aes128;
+use secddr_crypto::crc::{Ewcrc, WriteAddress};
+use secddr_crypto::otp::TransactionCounter;
+
+use crate::bus::{ReadResponse, WriteTransaction};
+use crate::geometry;
+
+use std::collections::HashMap;
+
+/// What happened to a write on the DIMM / bus. Only [`Committed`] stores
+/// data; everything else leaves the old `(data, MAC)` in place — which is
+/// precisely what the stale-data attacks try to exploit and what the
+/// protocol must detect later.
+///
+/// [`Committed`]: WriteOutcome::Committed
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteOutcome {
+    /// The eWCRC verified and the write was performed.
+    Committed,
+    /// The ECC chip's encrypted eWCRC check failed (address/data tampering
+    /// observed at the chip); the write was suppressed and the chip raised
+    /// its alert signal.
+    EwcrcRejected,
+    /// The attacker suppressed the write on the bus; the DIMM never saw it.
+    DroppedOnBus,
+    /// The attacker converted the write command into a read.
+    ConvertedToRead,
+}
+
+/// One rank of the DIMM with its ECC-chip security logic.
+#[derive(Debug)]
+pub struct DimmRank {
+    /// Data-chip contents (ciphertext lines), keyed by canonical address.
+    data: HashMap<u64, [u8; 64]>,
+    /// ECC-chip contents: stored plaintext MACs (per Section III-A they
+    /// are at rest un-padded; the pad only protects the bus).
+    macs: HashMap<u64, u64>,
+    /// Transaction key register inside the ECC chip.
+    kt: Aes128,
+    /// The chip's transaction counter pair.
+    counter: TransactionCounter,
+    /// Count of eWCRC alerts raised (DDR ALERT_n pulses).
+    pub ewcrc_alerts: u64,
+}
+
+/// A frozen copy of the DIMM state, as captured by a cold-boot /
+/// DIMM-substitution attacker (Section III-C). Data remanence preserves the
+/// arrays *and* the ECC chip's last counter state.
+#[derive(Debug, Clone)]
+pub struct DimmSnapshot {
+    data: HashMap<u64, [u8; 64]>,
+    macs: HashMap<u64, u64>,
+    counter: TransactionCounter,
+}
+
+impl DimmRank {
+    /// Creates a rank that has completed attestation: it shares `kt` and
+    /// the initial counter with the processor.
+    pub fn new(kt: Aes128, initial_ct: u64) -> Self {
+        Self {
+            data: HashMap::new(),
+            macs: HashMap::new(),
+            kt,
+            counter: TransactionCounter::new(initial_ct),
+            ewcrc_alerts: 0,
+        }
+    }
+
+    /// The chip's `(read, write)` counter state.
+    pub fn counter_state(&self) -> (u64, u64) {
+        self.counter.state()
+    }
+
+    /// Handles a write burst arriving at the chips. The address is whatever
+    /// the CCCA wires carried — possibly corrupted in flight.
+    pub fn accept_write(&mut self, tx: &WriteTransaction) -> WriteOutcome {
+        // The chip derives OTPw from the address it observed. If the
+        // attacker redirected the write, this pad differs from the
+        // processor's and the decrypted eWCRC turns to noise.
+        let pad = self.counter.write_pad(&self.kt, tx.addr.as_u64());
+        let mac = pad.apply(tx.emac);
+        let crc = pad.apply_crc(tx.ewcrc);
+        if !Ewcrc::verify(&mac.to_le_bytes(), &tx.addr, crc) {
+            self.ewcrc_alerts += 1;
+            return WriteOutcome::EwcrcRejected;
+        }
+        let line = geometry::encode(&tx.addr);
+        self.data.insert(line, tx.data);
+        self.macs.insert(line, mac);
+        WriteOutcome::Committed
+    }
+
+    /// Serves a read at the observed address: returns stored data and the
+    /// stored MAC re-encrypted under a fresh read pad.
+    pub fn serve_read(&mut self, addr: WriteAddress) -> ReadResponse {
+        let line = geometry::encode(&addr);
+        let data = self.data.get(&line).copied().unwrap_or([0u8; 64]);
+        let mac = self.macs.get(&line).copied().unwrap_or(0);
+        let pad = self.counter.read_pad(&self.kt);
+        ReadResponse { data, emac: pad.apply(mac) }
+    }
+
+    /// Raw stored tuple for attacker inspection (the adversary can read
+    /// bus traffic and probe chips' stored ciphertext; confidentiality of
+    /// plaintext is the encryption engine's job, not SecDDR's).
+    pub fn raw_stored(&self, line_addr: u64) -> Option<([u8; 64], u64)> {
+        let canonical = geometry::encode(&geometry::decode(line_addr));
+        Some((*self.data.get(&canonical)?, *self.macs.get(&canonical)?))
+    }
+
+    /// Directly overwrites the stored tuple, modelling an attacker with
+    /// physical access to the chips at rest (e.g. replaying both data and
+    /// MAC images captured earlier — the classic at-rest replay).
+    pub fn tamper_stored(&mut self, line_addr: u64, data: [u8; 64], mac: u64) {
+        let canonical = geometry::encode(&geometry::decode(line_addr));
+        self.data.insert(canonical, data);
+        self.macs.insert(canonical, mac);
+    }
+
+    /// Captures the full module state (cold-boot attacker freezing the
+    /// DIMM).
+    pub fn snapshot(&self) -> DimmSnapshot {
+        DimmSnapshot {
+            data: self.data.clone(),
+            macs: self.macs.clone(),
+            counter: self.counter,
+        }
+    }
+
+    /// Replaces the module state with a previously captured snapshot
+    /// (plugging the frozen DIMM back in).
+    pub fn restore(&mut self, snap: DimmSnapshot) {
+        self.data = snap.data;
+        self.macs = snap.macs;
+        self.counter = snap.counter;
+    }
+
+    /// Non-adversarial DIMM replacement (Section III-F): the platform
+    /// re-attests, installing a fresh key and counter, and the processor
+    /// clears memory — any prior content is discarded.
+    pub fn reattest(&mut self, kt: Aes128, initial_ct: u64) {
+        self.kt = kt;
+        self.counter = TransactionCounter::new(initial_ct);
+        self.data.clear();
+        self.macs.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rank() -> DimmRank {
+        DimmRank::new(Aes128::new(&[7; 16]), 0)
+    }
+
+    #[test]
+    fn read_of_empty_line_returns_zeroes() {
+        let mut r = rank();
+        let resp = r.serve_read(geometry::decode(0x40));
+        assert_eq!(resp.data, [0u8; 64]);
+    }
+
+    #[test]
+    fn counter_advances_per_transaction() {
+        let mut r = rank();
+        let (r0, w0) = r.counter_state();
+        let _ = r.serve_read(geometry::decode(0));
+        assert_eq!(r.counter_state(), (r0 + 2, w0));
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrips_state() {
+        let mut r = rank();
+        let _ = r.serve_read(geometry::decode(0));
+        let snap = r.snapshot();
+        let _ = r.serve_read(geometry::decode(0x40));
+        assert_ne!(r.counter_state(), snap.counter.state());
+        r.restore(snap.clone());
+        assert_eq!(r.counter_state(), snap.counter.state());
+    }
+
+    #[test]
+    fn reattest_clears_memory() {
+        let mut r = rank();
+        r.tamper_stored(0x40, [1; 64], 99);
+        assert!(r.raw_stored(0x40).is_some());
+        r.reattest(Aes128::new(&[8; 16]), 100);
+        assert!(r.raw_stored(0x40).is_none());
+        assert_eq!(r.counter_state(), (100, 101));
+    }
+
+    #[test]
+    fn ewcrc_alert_on_garbage_write() {
+        let mut r = rank();
+        // A transaction not produced by the legitimate processor: random
+        // emac/ewcrc under the chip's pad will fail the CRC check with
+        // overwhelming probability.
+        let tx = WriteTransaction {
+            addr: geometry::decode(0x80),
+            data: [0xEE; 64],
+            emac: 0x1234_5678_9ABC_DEF0,
+            ewcrc: 0x4242,
+        };
+        assert_eq!(r.accept_write(&tx), WriteOutcome::EwcrcRejected);
+        assert_eq!(r.ewcrc_alerts, 1);
+        assert!(r.raw_stored(0x80).is_none(), "rejected write must not commit");
+    }
+}

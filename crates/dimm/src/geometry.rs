@@ -1,0 +1,66 @@
+//! Line-address ↔ DRAM-coordinate mapping for the functional model.
+//!
+//! The functional DIMM only needs a deterministic, injective mapping so the
+//! eWCRC can bind rank/bank/row/column; the performance-accurate mapping
+//! lives in `dram-sim`.
+
+use secddr_crypto::crc::WriteAddress;
+
+const COL_BITS: u32 = 7; // 128 lines per row
+const BANK_BITS: u32 = 2;
+const BG_BITS: u32 = 2;
+const RANK_BITS: u32 = 1;
+
+/// Decodes a byte address into DRAM write coordinates.
+pub fn decode(line_addr: u64) -> WriteAddress {
+    let mut a = line_addr >> 6;
+    let column = (a & ((1 << COL_BITS) - 1)) as u16;
+    a >>= COL_BITS;
+    let bank = (a & ((1 << BANK_BITS) - 1)) as u8;
+    a >>= BANK_BITS;
+    let bank_group = (a & ((1 << BG_BITS) - 1)) as u8;
+    a >>= BG_BITS;
+    let rank = (a & ((1 << RANK_BITS) - 1)) as u8;
+    a >>= RANK_BITS;
+    let row = (a & 0xFFFF_FFFF) as u32;
+    WriteAddress { rank, bank_group, bank, row, column }
+}
+
+/// Re-encodes coordinates to a canonical line address (inverse of
+/// [`decode`]).
+pub fn encode(w: &WriteAddress) -> u64 {
+    let mut a = u64::from(w.row);
+    a = (a << RANK_BITS) | u64::from(w.rank);
+    a = (a << BG_BITS) | u64::from(w.bank_group);
+    a = (a << BANK_BITS) | u64::from(w.bank);
+    a = (a << COL_BITS) | u64::from(w.column);
+    a << 6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        // Addressable range is 50 bits (32-bit row + 18 low bits).
+        for addr in [0u64, 0x40, 0x1000, 0xDEAD_BE40, 0xFFFF_FFC0, 0x2_1234_5678_9AC0 & !63] {
+            assert_eq!(encode(&decode(addr)), addr, "{addr:#x}");
+        }
+    }
+
+    #[test]
+    fn adjacent_lines_share_row() {
+        let a = decode(0);
+        let b = decode(64);
+        assert_eq!(a.row, b.row);
+        assert_eq!(b.column, a.column + 1);
+    }
+
+    #[test]
+    fn distinct_addresses_distinct_coordinates() {
+        let a = decode(0x1000);
+        let b = decode(0x2000);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,139 @@
+//! The full memory module: multiple ranks, each with independent SecDDR
+//! security state, plus the two TCB placements of the paper.
+
+use secddr_crypto::aes::Aes128;
+
+use crate::dimm::DimmRank;
+
+/// Where the SecDDR security logic lives (Sections III-E and VI-C).
+///
+/// Both placements run the identical protocol; they differ in which
+/// physical attacks the threat model admits:
+///
+/// * [`UntrustedDimm`] — logic on the DRAM die of the ECC chip(s). Only
+///   the processor and the ECC chip are trusted; every on-DIMM
+///   interconnect and buffer is attacker-accessible (the main design of
+///   the paper, Figure 5).
+/// * [`TrustedDimm`] — logic in the ECC chip's data buffer (DB), acting as
+///   the DIMM's root of trust; the whole DIMM is in the TCB. This is the
+///   iso-security baseline used for the InvisiMem comparison (Figure 11).
+///
+/// [`UntrustedDimm`]: TcbPlacement::UntrustedDimm
+/// [`TrustedDimm`]: TcbPlacement::TrustedDimm
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TcbPlacement {
+    /// Security logic on the ECC chip's DRAM die; DIMM untrusted.
+    #[default]
+    UntrustedDimm,
+    /// Security logic in the ECC data buffer; entire DIMM trusted.
+    TrustedDimm,
+}
+
+impl TcbPlacement {
+    /// Can the attacker interpose on the DIMM's *internal* interconnects
+    /// (between buffers and chips)? Only in the untrusted-DIMM model are
+    /// such attacks in scope — and SecDDR still defeats them, because the
+    /// E-MAC pads are removed only inside the ECC chip.
+    pub fn on_dimm_attacks_in_scope(&self) -> bool {
+        matches!(self, TcbPlacement::UntrustedDimm)
+    }
+}
+
+/// A memory module with `N` ranks, each holding an independent secure
+/// channel endpoint (Section III-E: "If the memory module has multiple
+/// ranks, the ECC chip(s) in each rank are independent. The processor must
+/// establish a separate secure E-MAC channel and use a different
+/// transaction counter for each rank.").
+#[derive(Debug)]
+pub struct Dimm {
+    ranks: Vec<DimmRank>,
+    /// The TCB variant this module models.
+    pub tcb: TcbPlacement,
+}
+
+impl Dimm {
+    /// Builds a module with `ranks` independently-keyed ranks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ranks` is zero.
+    pub fn new(ranks: usize, tcb: TcbPlacement, seed: u64) -> Self {
+        assert!(ranks > 0, "a DIMM has at least one rank");
+        let ranks = (0..ranks)
+            .map(|r| {
+                let mut key = [0u8; 16];
+                key[..8].copy_from_slice(&seed.to_le_bytes());
+                key[8] = r as u8;
+                key[15] = 0xDA;
+                DimmRank::new(Aes128::new(&key), seed.wrapping_mul(2) + r as u64 * 1000)
+            })
+            .collect();
+        Self { ranks, tcb }
+    }
+
+    /// Number of ranks.
+    pub fn rank_count(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Access a rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn rank(&self, index: usize) -> &DimmRank {
+        &self.ranks[index]
+    }
+
+    /// Mutable access to a rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn rank_mut(&mut self, index: usize) -> &mut DimmRank {
+        &mut self.ranks[index]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry;
+
+    #[test]
+    fn ranks_have_independent_counters() {
+        let mut dimm = Dimm::new(2, TcbPlacement::UntrustedDimm, 5);
+        let before_1 = dimm.rank(1).counter_state();
+        let _ = dimm.rank_mut(0).serve_read(geometry::decode(0x40));
+        assert_eq!(
+            dimm.rank(1).counter_state(),
+            before_1,
+            "rank 1 unaffected by rank 0 traffic"
+        );
+        assert_ne!(dimm.rank(0).counter_state().0, before_1.0);
+    }
+
+    #[test]
+    fn tcb_scope_flags() {
+        assert!(TcbPlacement::UntrustedDimm.on_dimm_attacks_in_scope());
+        assert!(!TcbPlacement::TrustedDimm.on_dimm_attacks_in_scope());
+        assert_eq!(TcbPlacement::default(), TcbPlacement::UntrustedDimm);
+    }
+
+    #[test]
+    fn both_placements_run_the_same_protocol() {
+        // The placement changes the threat model, not the wire protocol:
+        // a read served by either module variant is indistinguishable.
+        let mut a = Dimm::new(1, TcbPlacement::UntrustedDimm, 9);
+        let mut b = Dimm::new(1, TcbPlacement::TrustedDimm, 9);
+        let ra = a.rank_mut(0).serve_read(geometry::decode(0x80));
+        let rb = b.rank_mut(0).serve_read(geometry::decode(0x80));
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_rejected() {
+        let _ = Dimm::new(0, TcbPlacement::UntrustedDimm, 1);
+    }
+}

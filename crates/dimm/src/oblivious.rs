@@ -1,0 +1,149 @@
+//! Traffic-oblivious SecDDR: the paper's future-work extension
+//! (Section VIII — "SecDDR can be extended to use the on-DIMM encryption
+//! units to encrypt the address and command for traffic obliviousness").
+//!
+//! The memory controller permutes the line address with a keyed
+//! format-preserving permutation (shared with the ECC-side logic via the
+//! attested `Kt`); a bus observer sees valid-but-uncorrelated DRAM
+//! addresses, hiding the access pattern's spatial structure. All SecDDR
+//! integrity machinery runs unchanged *underneath* the permuted address
+//! space — the E-MAC and eWCRC bind the permuted (bus-visible) address,
+//! which is exactly the address an attacker would have to tamper with.
+
+use secddr_crypto::aes::Aes128;
+use secddr_crypto::feistel::FeistelPermutation;
+
+use crate::bus::Interposer;
+use crate::dimm::WriteOutcome;
+use crate::processor::IntegrityError;
+use crate::{EncryptionMode, SecureChannel};
+
+/// Address-space width covered by the permutation (line index bits).
+const LINE_INDEX_BITS: u32 = 32;
+
+/// A [`SecureChannel`] whose bus addresses are obfuscated by a keyed
+/// permutation over line indices.
+///
+/// ```
+/// use dimm_model::oblivious::ObliviousChannel;
+/// use dimm_model::EncryptionMode;
+///
+/// let mut ch = ObliviousChannel::new_attested(EncryptionMode::Xts, 9);
+/// ch.write(0x40, &[1u8; 64]);
+/// assert_eq!(ch.read(0x40).unwrap(), [1u8; 64]);
+/// assert_ne!(ch.bus_address_of(0x40), 0x40, "bus address is obfuscated");
+/// ```
+#[derive(Debug)]
+pub struct ObliviousChannel<I: Interposer = crate::PassThrough> {
+    inner: SecureChannel<I>,
+    permutation: FeistelPermutation,
+}
+
+impl ObliviousChannel<crate::PassThrough> {
+    /// Builds an attested oblivious channel.
+    pub fn new_attested(mode: EncryptionMode, seed: u64) -> Self {
+        Self::with_interposer(mode, seed, crate::PassThrough)
+    }
+}
+
+impl<I: Interposer> ObliviousChannel<I> {
+    /// Builds an attested oblivious channel with an attacker installed on
+    /// the (obfuscated) bus.
+    pub fn with_interposer(mode: EncryptionMode, seed: u64, interposer: I) -> Self {
+        let inner = SecureChannel::with_interposer(mode, seed, interposer);
+        let mut key = [0u8; 16];
+        key[..8].copy_from_slice(&seed.to_le_bytes());
+        key[15] = 0x0B;
+        Self { inner, permutation: FeistelPermutation::new(&Aes128::new(&key), LINE_INDEX_BITS) }
+    }
+
+    /// The bus-visible (permuted) byte address for a logical line address.
+    pub fn bus_address_of(&self, line_addr: u64) -> u64 {
+        self.permutation.permute((line_addr >> 6) & 0xFFFF_FFFF) << 6
+    }
+
+    /// Secure write at a logical address; the bus carries the permuted
+    /// address.
+    pub fn write(&mut self, line_addr: u64, data: &[u8; 64]) -> WriteOutcome {
+        let bus_addr = self.bus_address_of(line_addr);
+        self.inner.write(bus_addr, data)
+    }
+
+    /// Secure read at a logical address.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`IntegrityError`] from the underlying SecDDR channel.
+    pub fn read(&mut self, line_addr: u64) -> Result<[u8; 64], IntegrityError> {
+        let bus_addr = self.bus_address_of(line_addr);
+        self.inner.read(bus_addr)
+    }
+
+    /// The attacker's vantage point (for tests).
+    pub fn interposer_mut(&mut self) -> &mut I {
+        &mut self.inner.interposer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attacks::BusReplay;
+
+    #[test]
+    fn roundtrips_like_a_normal_channel() {
+        let mut ch = ObliviousChannel::new_attested(EncryptionMode::Xts, 61);
+        for i in 0..50u64 {
+            let mut data = [0u8; 64];
+            data[0] = i as u8;
+            assert_eq!(ch.write(i * 64, &data), WriteOutcome::Committed);
+        }
+        for i in 0..50u64 {
+            assert_eq!(ch.read(i * 64).unwrap()[0], i as u8);
+        }
+    }
+
+    #[test]
+    fn sequential_logical_addresses_scatter_on_the_bus() {
+        let ch = ObliviousChannel::new_attested(EncryptionMode::Xts, 62);
+        let adjacent = (0..500u64)
+            .filter(|i| {
+                let a = ch.bus_address_of(i * 64);
+                let b = ch.bus_address_of((i + 1) * 64);
+                a.abs_diff(b) == 64
+            })
+            .count();
+        assert!(adjacent < 3, "{adjacent} sequential bus pairs leaked");
+    }
+
+    #[test]
+    fn distinct_logical_lines_never_collide() {
+        let ch = ObliviousChannel::new_attested(EncryptionMode::Xts, 63);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..2000u64 {
+            assert!(seen.insert(ch.bus_address_of(i * 64)), "collision at line {i}");
+        }
+    }
+
+    #[test]
+    fn replay_protection_is_preserved_under_obliviousness() {
+        let mut ch = ObliviousChannel::with_interposer(
+            EncryptionMode::Xts,
+            64,
+            BusReplay::new(0, 1),
+        );
+        ch.write(0x40, &[1; 64]);
+        assert!(ch.read(0x40).is_ok());
+        ch.write(0x40, &[2; 64]);
+        assert!(ch.read(0x40).is_err(), "replay must still be detected");
+    }
+
+    #[test]
+    fn different_boots_permute_differently() {
+        let a = ObliviousChannel::new_attested(EncryptionMode::Xts, 65);
+        let b = ObliviousChannel::new_attested(EncryptionMode::Xts, 66);
+        let differing =
+            (0..100u64).filter(|i| a.bus_address_of(i * 64) != b.bus_address_of(i * 64)).count();
+        assert!(differing > 90);
+    }
+}

@@ -1,0 +1,172 @@
+//! Physical-address decoding into DRAM coordinates.
+//!
+//! The mapping interleaves consecutive cache lines across bank groups and
+//! banks before ranks and rows (Co→Bg→Ba→Ra→Row from the low bits up), the
+//! usual choice for maximizing bank-level parallelism on streaming access,
+//! with an XOR swizzle of low row bits into the bank index to break
+//! pathological power-of-two strides.
+
+use crate::config::DramConfig;
+
+/// A physical address decomposed into DRAM coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DecodedAddr {
+    /// Rank index.
+    pub rank: u32,
+    /// Bank group index.
+    pub bank_group: u32,
+    /// Bank index within the group.
+    pub bank: u32,
+    /// Row index.
+    pub row: u32,
+    /// Column index (cache-line granularity).
+    pub column: u32,
+}
+
+impl DecodedAddr {
+    /// Flat bank identifier on the channel, `0..config.total_banks()`.
+    pub fn flat_bank(&self, cfg: &DramConfig) -> u32 {
+        (self.rank * cfg.bank_groups + self.bank_group) * cfg.banks_per_group + self.bank
+    }
+}
+
+/// Address mapping for one channel.
+#[derive(Debug, Clone)]
+pub struct AddressMapping {
+    line_shift: u32,
+    col_bits: u32,
+    bg_bits: u32,
+    bank_bits: u32,
+    rank_bits: u32,
+    row_bits: u32,
+}
+
+impl AddressMapping {
+    /// Builds the mapping for `cfg`.
+    pub fn new(cfg: &DramConfig) -> Self {
+        Self {
+            line_shift: cfg.line_bytes.trailing_zeros(),
+            col_bits: cfg.columns.trailing_zeros(),
+            bg_bits: cfg.bank_groups.trailing_zeros(),
+            bank_bits: cfg.banks_per_group.trailing_zeros(),
+            rank_bits: cfg.ranks.trailing_zeros(),
+            row_bits: cfg.rows.trailing_zeros(),
+        }
+    }
+
+    /// Decodes a byte address into DRAM coordinates. Addresses beyond the
+    /// channel capacity wrap (the modulo keeps synthetic traces simple).
+    pub fn decode(&self, addr: u64) -> DecodedAddr {
+        let mut a = addr >> self.line_shift;
+        let take = |a: &mut u64, bits: u32| -> u32 {
+            let v = (*a & ((1 << bits) - 1)) as u32;
+            *a >>= bits;
+            v
+        };
+        let mut a2 = a;
+        // Bank group first: consecutive lines rotate bank groups so
+        // streaming traffic is gated by tCCD_S, not tCCD_L — the standard
+        // DDR4 bank-group interleaving.
+        let bank_group = take(&mut a2, self.bg_bits);
+        let bank = take(&mut a2, self.bank_bits);
+        let column = take(&mut a2, self.col_bits);
+        let rank = take(&mut a2, self.rank_bits);
+        let row = take(&mut a2, self.row_bits);
+        a = a2;
+        let _ = a;
+        // XOR swizzle: fold low row bits into the bank/bank-group indices.
+        let bank = bank ^ (row & ((1 << self.bank_bits) - 1));
+        let bank_group = bank_group ^ ((row >> self.bank_bits) & ((1 << self.bg_bits) - 1));
+        DecodedAddr { rank, bank_group, bank, row, column }
+    }
+
+    /// Re-encodes coordinates into a canonical byte address (inverse of
+    /// [`Self::decode`] up to capacity wrapping).
+    pub fn encode(&self, d: &DecodedAddr) -> u64 {
+        let bank_group = d.bank_group ^ ((d.row >> self.bank_bits) & ((1 << self.bg_bits) - 1));
+        let bank = d.bank ^ (d.row & ((1 << self.bank_bits) - 1));
+        let mut a = u64::from(d.row);
+        a = (a << self.rank_bits) | u64::from(d.rank);
+        a = (a << self.col_bits) | u64::from(d.column);
+        a = (a << self.bank_bits) | u64::from(bank);
+        a = (a << self.bg_bits) | u64::from(bank_group);
+        a << self.line_shift
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mapping() -> (DramConfig, AddressMapping) {
+        let cfg = DramConfig::ddr4_3200();
+        let m = AddressMapping::new(&cfg);
+        (cfg, m)
+    }
+
+    #[test]
+    fn decode_encode_roundtrip() {
+        let (_, m) = mapping();
+        for addr in [0u64, 64, 4096, 0xDEAD_BE40, 0x3_FFFF_FFC0, 0x1_0000_0000] {
+            let d = m.decode(addr);
+            assert_eq!(m.encode(&d), addr & !63, "addr {addr:#x}");
+        }
+    }
+
+    #[test]
+    fn consecutive_lines_rotate_bank_groups() {
+        let (cfg, m) = mapping();
+        // Adjacent lines land in different bank groups (tCCD_S gating)...
+        let d0 = m.decode(0);
+        let d1 = m.decode(64);
+        assert_ne!(d0.bank_group, d1.bank_group);
+        assert_eq!(d0.row, d1.row);
+        // ...and a 16-line stride returns to the same bank, next column.
+        let stride = u64::from(cfg.bank_groups * cfg.banks_per_group * cfg.line_bytes);
+        let d16 = m.decode(stride);
+        assert_eq!(d0.flat_bank(&cfg), d16.flat_bank(&cfg));
+        assert_eq!(d16.column, d0.column + 1);
+        assert_eq!(d16.row, d0.row);
+    }
+
+    #[test]
+    fn coordinates_stay_in_range() {
+        let (cfg, m) = mapping();
+        let mut addr = 0x9E37_79B9_7F4A_7C15u64;
+        for _ in 0..1000 {
+            addr = addr.wrapping_mul(0x2545_F491_4F6C_DD1D).wrapping_add(0x63);
+            let d = m.decode(addr);
+            assert!(d.rank < cfg.ranks);
+            assert!(d.bank_group < cfg.bank_groups);
+            assert!(d.bank < cfg.banks_per_group);
+            assert!(d.row < cfg.rows);
+            assert!(d.column < cfg.columns);
+        }
+    }
+
+    #[test]
+    fn flat_bank_is_injective() {
+        let (cfg, _) = mapping();
+        let mut seen = std::collections::HashSet::new();
+        for rank in 0..cfg.ranks {
+            for bg in 0..cfg.bank_groups {
+                for bank in 0..cfg.banks_per_group {
+                    let d = DecodedAddr { rank, bank_group: bg, bank, row: 0, column: 0 };
+                    assert!(seen.insert(d.flat_bank(&cfg)));
+                }
+            }
+        }
+        assert_eq!(seen.len() as u32, cfg.total_banks());
+    }
+
+    #[test]
+    fn swizzle_varies_bank_with_row() {
+        let (cfg, m) = mapping();
+        // Same column stride across rows should not always hit one bank.
+        let row_stride =
+            u64::from(cfg.columns * cfg.line_bytes) * u64::from(cfg.total_banks() / cfg.ranks);
+        let banks: std::collections::HashSet<u32> =
+            (0..8u64).map(|i| m.decode(i * row_stride * 2).flat_bank(&cfg)).collect();
+        assert!(banks.len() > 1, "swizzle should spread strided rows");
+    }
+}

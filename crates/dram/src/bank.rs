@@ -1,0 +1,99 @@
+//! Per-bank and per-rank DDR4 timing state.
+
+use std::collections::VecDeque;
+
+/// Timing state of one DRAM bank.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Bank {
+    /// Currently open row, if any.
+    pub open_row: Option<u32>,
+    /// Earliest cycle an ACT may issue (tRP / tRFC).
+    pub next_act: u64,
+    /// Earliest cycle a READ may issue (tRCD after ACT).
+    pub next_read: u64,
+    /// Earliest cycle a WRITE may issue.
+    pub next_write: u64,
+    /// Earliest cycle a PRE may issue (tRAS / tRTP / tWR).
+    pub next_pre: u64,
+}
+
+/// Timing state shared by all banks of a rank.
+#[derive(Debug, Clone)]
+pub(crate) struct Rank {
+    /// Issue times of the most recent ACTs (tFAW window, max 4 retained).
+    pub act_window: VecDeque<u64>,
+    /// Earliest next ACT anywhere in the rank (tRRD_S).
+    pub next_act_any: u64,
+    /// Earliest next ACT per bank group (tRRD_L).
+    pub next_act_same_bg: Vec<u64>,
+    /// Earliest next column command anywhere in the rank (tCCD_S).
+    pub next_col_any: u64,
+    /// Earliest next column command per bank group (tCCD_L).
+    pub next_col_same_bg: Vec<u64>,
+    /// Earliest next READ anywhere in the rank (tWTR_S after a write).
+    pub next_read_any: u64,
+    /// Earliest next READ per bank group (tWTR_L after a write).
+    pub next_read_same_bg: Vec<u64>,
+    /// Cycle at which the next refresh becomes due.
+    pub refresh_due: u64,
+    /// Whether a refresh is pending (blocks new row activity).
+    pub refresh_pending: bool,
+}
+
+impl Rank {
+    pub fn new(bank_groups: u32, t_refi: u64) -> Self {
+        Self {
+            act_window: VecDeque::with_capacity(4),
+            next_act_any: 0,
+            next_act_same_bg: vec![0; bank_groups as usize],
+            next_col_any: 0,
+            next_col_same_bg: vec![0; bank_groups as usize],
+            next_read_any: 0,
+            next_read_same_bg: vec![0; bank_groups as usize],
+            refresh_due: t_refi,
+            refresh_pending: false,
+        }
+    }
+
+    /// Earliest ACT permitted by the four-activate window.
+    pub fn faw_ready(&self, t_faw: u64) -> u64 {
+        if self.act_window.len() < 4 {
+            0
+        } else {
+            self.act_window[0] + t_faw
+        }
+    }
+
+    /// Records an ACT at `cycle` in the tFAW window.
+    pub fn record_act(&mut self, cycle: u64) {
+        if self.act_window.len() == 4 {
+            self.act_window.pop_front();
+        }
+        self.act_window.push_back(cycle);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faw_window_tracks_last_four() {
+        let mut r = Rank::new(4, 1000);
+        assert_eq!(r.faw_ready(34), 0);
+        for t in [10, 20, 30, 40] {
+            r.record_act(t);
+        }
+        assert_eq!(r.faw_ready(34), 10 + 34);
+        r.record_act(50);
+        assert_eq!(r.faw_ready(34), 20 + 34);
+        assert_eq!(r.act_window.len(), 4);
+    }
+
+    #[test]
+    fn bank_default_is_closed_and_ready() {
+        let b = Bank::default();
+        assert!(b.open_row.is_none());
+        assert_eq!(b.next_act, 0);
+    }
+}

@@ -1,0 +1,87 @@
+//! Controller statistics.
+
+/// Aggregate statistics for one simulated channel.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DramStats {
+    /// Reads completed.
+    pub reads: u64,
+    /// Writes completed.
+    pub writes: u64,
+    /// Reads served by store-to-load forwarding from the write queue.
+    pub forwarded_reads: u64,
+    /// Column commands that hit an already-open row.
+    pub row_hits: u64,
+    /// ACT commands issued.
+    pub activates: u64,
+    /// PRE commands issued.
+    pub precharges: u64,
+    /// REF commands issued.
+    pub refreshes: u64,
+    /// Memory cycles the data bus carried a burst.
+    pub data_bus_busy_cycles: u64,
+    /// Total cycles simulated.
+    pub cycles: u64,
+    /// Sum of read latencies (enqueue to last beat), for averaging.
+    pub read_latency_sum: u64,
+    /// Sum of read queueing delays (enqueue to first command).
+    pub read_queue_delay_sum: u64,
+}
+
+impl DramStats {
+    /// Mean read latency in memory cycles.
+    pub fn avg_read_latency(&self) -> f64 {
+        if self.reads == 0 {
+            0.0
+        } else {
+            self.read_latency_sum as f64 / self.reads as f64
+        }
+    }
+
+    /// Row-buffer hit rate over all column commands.
+    pub fn row_hit_rate(&self) -> f64 {
+        let cols = self.reads - self.forwarded_reads + self.writes;
+        if cols == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / cols as f64
+        }
+    }
+
+    /// Fraction of cycles the data bus was busy.
+    pub fn bus_utilization(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.data_bus_busy_cycles as f64 / self.cycles as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn averages_handle_zero_counts() {
+        let s = DramStats::default();
+        assert_eq!(s.avg_read_latency(), 0.0);
+        assert_eq!(s.row_hit_rate(), 0.0);
+        assert_eq!(s.bus_utilization(), 0.0);
+    }
+
+    #[test]
+    fn averages_compute() {
+        let s = DramStats {
+            reads: 4,
+            read_latency_sum: 200,
+            row_hits: 3,
+            writes: 2,
+            cycles: 100,
+            data_bus_busy_cycles: 25,
+            ..Default::default()
+        };
+        assert_eq!(s.avg_read_latency(), 50.0);
+        assert_eq!(s.row_hit_rate(), 0.5);
+        assert_eq!(s.bus_utilization(), 0.25);
+    }
+}

@@ -1,0 +1,153 @@
+//! Synthetic graphs in CSR form for the GAPBS kernels.
+//!
+//! The GAP Benchmark Suite runs on Kronecker/uniform synthetic graphs; we
+//! generate a power-law-ish graph with a deterministic RNG so traces are
+//! reproducible. The CSR arrays are also given *memory layout* base
+//! addresses, because the kernels emit the address stream of their real
+//! data-structure accesses.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A directed graph in compressed-sparse-row form.
+#[derive(Debug, Clone)]
+pub struct CsrGraph {
+    /// Per-vertex offsets into `neighbors` (len = vertices + 1).
+    pub offsets: Vec<u32>,
+    /// Flattened adjacency lists.
+    pub neighbors: Vec<u32>,
+}
+
+/// Base virtual addresses of the graph data structures in the simulated
+/// address space (distinct regions so streams do not alias).
+#[derive(Debug, Clone, Copy)]
+pub struct GraphLayout {
+    /// Base of the offsets array (4 B elements).
+    pub offsets_base: u64,
+    /// Base of the neighbors array (4 B elements).
+    pub neighbors_base: u64,
+    /// Base of the first per-vertex property array (8 B elements).
+    pub prop_a_base: u64,
+    /// Base of the second per-vertex property array (8 B elements).
+    pub prop_b_base: u64,
+    /// Base of the worklist/frontier region (4 B elements).
+    pub frontier_base: u64,
+}
+
+impl Default for GraphLayout {
+    fn default() -> Self {
+        Self {
+            offsets_base: 0x1000_0000,
+            neighbors_base: 0x4000_0000,
+            prop_a_base: 0x8000_0000,
+            prop_b_base: 0xA000_0000,
+            frontier_base: 0xC000_0000,
+        }
+    }
+}
+
+impl CsrGraph {
+    /// Generates a graph with `vertices` vertices and average degree
+    /// `avg_degree`, with a skewed (power-law-ish) degree distribution.
+    pub fn synthetic(vertices: u32, avg_degree: u32, seed: u64) -> Self {
+        assert!(vertices >= 2, "graph needs at least two vertices");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let total_edges = u64::from(vertices) * u64::from(avg_degree);
+        // Skewed degree assignment: half the edges go to the first
+        // sqrt-sized hub set, the rest uniformly.
+        let mut degrees = vec![0u32; vertices as usize];
+        let hubs = (f64::from(vertices).sqrt() as u32).max(1);
+        for _ in 0..total_edges {
+            let u = if rng.gen_bool(0.3) {
+                rng.gen_range(0..hubs)
+            } else {
+                rng.gen_range(0..vertices)
+            };
+            degrees[u as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(vertices as usize + 1);
+        offsets.push(0u32);
+        for d in &degrees {
+            let last = *offsets.last().expect("nonempty");
+            offsets.push(last + d);
+        }
+        let mut neighbors = Vec::with_capacity(total_edges as usize);
+        for u in 0..vertices {
+            for _ in 0..degrees[u as usize] {
+                // Destination skew mirrors the source skew.
+                let v = if rng.gen_bool(0.3) {
+                    rng.gen_range(0..hubs)
+                } else {
+                    rng.gen_range(0..vertices)
+                };
+                neighbors.push(v);
+            }
+        }
+        // Sort each adjacency list (GAPBS graphs are sorted; also needed
+        // for triangle counting's merge intersections).
+        for u in 0..vertices as usize {
+            let (s, e) = (offsets[u] as usize, offsets[u + 1] as usize);
+            neighbors[s..e].sort_unstable();
+        }
+        Self { offsets, neighbors }
+    }
+
+    /// Number of vertices.
+    pub fn vertices(&self) -> u32 {
+        (self.offsets.len() - 1) as u32
+    }
+
+    /// Number of directed edges.
+    pub fn edges(&self) -> u64 {
+        self.neighbors.len() as u64
+    }
+
+    /// The adjacency list of `u`.
+    pub fn neighbors_of(&self, u: u32) -> &[u32] {
+        let s = self.offsets[u as usize] as usize;
+        let e = self.offsets[u as usize + 1] as usize;
+        &self.neighbors[s..e]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_size() {
+        let g = CsrGraph::synthetic(1000, 8, 42);
+        assert_eq!(g.vertices(), 1000);
+        assert_eq!(g.edges(), 8000);
+        assert_eq!(*g.offsets.last().unwrap() as u64, g.edges());
+    }
+
+    #[test]
+    fn neighbors_in_range_and_sorted() {
+        let g = CsrGraph::synthetic(500, 10, 7);
+        for u in 0..g.vertices() {
+            let adj = g.neighbors_of(u);
+            assert!(adj.windows(2).all(|w| w[0] <= w[1]), "sorted");
+            assert!(adj.iter().all(|&v| v < g.vertices()));
+        }
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = CsrGraph::synthetic(200, 4, 9);
+        let b = CsrGraph::synthetic(200, 4, 9);
+        assert_eq!(a.neighbors, b.neighbors);
+        let c = CsrGraph::synthetic(200, 4, 10);
+        assert_ne!(a.neighbors, c.neighbors);
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        let g = CsrGraph::synthetic(10_000, 16, 1);
+        let max_deg = (0..g.vertices())
+            .map(|u| g.neighbors_of(u).len())
+            .max()
+            .unwrap();
+        assert!(max_deg > 16 * 5, "hubs should be much hotter than average");
+    }
+}

@@ -1,0 +1,168 @@
+//! Workloads for the SecDDR reproduction: the 29 benchmarks of the paper's
+//! Figure 6 (23 SPEC CPU2017 profiles + 6 GAPBS kernels).
+//!
+//! GAPBS kernels are real graph algorithms executed on synthetic graphs
+//! with their address streams captured ([`gapbs`]); SPEC benchmarks are
+//! synthetic generators calibrated to each benchmark's miss rate, access
+//! pattern, and write intensity ([`spec`]). Both produce
+//! [`cpu_model::TraceOp`] streams consumed by the full-system simulator in
+//! `secddr-core`.
+//!
+//! # Example
+//!
+//! ```
+//! use workloads::Benchmark;
+//!
+//! let all = Benchmark::all();
+//! assert_eq!(all.len(), 29);
+//! let mcf = Benchmark::by_name("mcf").unwrap();
+//! let trace = mcf.generate(10_000, 42);
+//! let instrs: u64 = trace.iter().map(|o| o.instructions()).sum();
+//! assert!(instrs >= 9_000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gapbs;
+pub mod graph;
+pub mod sink;
+pub mod spec;
+
+pub use gapbs::Kernel;
+pub use graph::{CsrGraph, GraphLayout};
+pub use sink::TraceSink;
+pub use spec::{Pattern, SpecProfile};
+
+use cpu_model::TraceOp;
+use std::sync::OnceLock;
+
+/// Which suite a benchmark belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// SPEC CPU2017 (rate).
+    Spec,
+    /// GAP Benchmark Suite.
+    Gapbs,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Kind {
+    Spec(SpecProfile),
+    Gapbs(Kernel),
+}
+
+/// One benchmark of the paper's evaluation.
+#[derive(Debug, Clone, Copy)]
+pub struct Benchmark {
+    kind: Kind,
+}
+
+/// GAPBS graph scale used for trace generation: 2^21 vertices, average
+/// degree 8. The per-vertex property arrays alone are 16 MB — 4x the LLC —
+/// so the kernels' scattered property reads genuinely miss, as on the
+/// paper's full-size GAPBS inputs.
+const GRAPH_VERTICES: u32 = 1 << 21;
+const GRAPH_DEGREE: u32 = 8;
+
+fn shared_graph() -> &'static CsrGraph {
+    static GRAPH: OnceLock<CsrGraph> = OnceLock::new();
+    GRAPH.get_or_init(|| CsrGraph::synthetic(GRAPH_VERTICES, GRAPH_DEGREE, 0xBEEF))
+}
+
+impl Benchmark {
+    /// All 29 benchmarks in Figure 6 order.
+    pub fn all() -> Vec<Benchmark> {
+        let mut v: Vec<Benchmark> = spec::spec_profiles()
+            .into_iter()
+            .map(|p| Benchmark { kind: Kind::Spec(p) })
+            .collect();
+        for k in [Kernel::Bfs, Kernel::Pr, Kernel::Tc, Kernel::Cc, Kernel::Bc, Kernel::Sssp] {
+            v.push(Benchmark { kind: Kind::Gapbs(k) });
+        }
+        v
+    }
+
+    /// Looks a benchmark up by its paper label.
+    pub fn by_name(name: &str) -> Option<Benchmark> {
+        Self::all().into_iter().find(|b| b.name() == name)
+    }
+
+    /// The paper's label for this benchmark.
+    pub fn name(&self) -> &'static str {
+        match &self.kind {
+            Kind::Spec(p) => p.name,
+            Kind::Gapbs(k) => k.name(),
+        }
+    }
+
+    /// Which suite it belongs to.
+    pub fn suite(&self) -> Suite {
+        match self.kind {
+            Kind::Spec(_) => Suite::Spec,
+            Kind::Gapbs(_) => Suite::Gapbs,
+        }
+    }
+
+    /// Generates an instruction trace of roughly `instruction_budget`
+    /// instructions. The same `(budget, seed)` always yields the same
+    /// trace, so all security configurations are compared on identical
+    /// input.
+    pub fn generate(&self, instruction_budget: u64, seed: u64) -> Vec<TraceOp> {
+        match &self.kind {
+            Kind::Spec(p) => p.generate(instruction_budget, seed),
+            Kind::Gapbs(k) => gapbs::trace(
+                *k,
+                shared_graph(),
+                GraphLayout::default(),
+                instruction_budget,
+                seed,
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_29_benchmarks_in_paper_order() {
+        let all = Benchmark::all();
+        assert_eq!(all.len(), 29);
+        assert_eq!(all[0].name(), "perlbench");
+        assert_eq!(all[22].name(), "roms");
+        assert_eq!(all[23].name(), "bfs");
+        assert_eq!(all[28].name(), "sssp");
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let all = Benchmark::all();
+        let set: std::collections::HashSet<&str> = all.iter().map(|b| b.name()).collect();
+        assert_eq!(set.len(), all.len());
+    }
+
+    #[test]
+    fn by_name_finds_everything() {
+        for b in Benchmark::all() {
+            assert!(Benchmark::by_name(b.name()).is_some(), "{}", b.name());
+        }
+        assert!(Benchmark::by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn suites_partition() {
+        let all = Benchmark::all();
+        assert_eq!(all.iter().filter(|b| b.suite() == Suite::Spec).count(), 23);
+        assert_eq!(all.iter().filter(|b| b.suite() == Suite::Gapbs).count(), 6);
+    }
+
+    #[test]
+    fn gapbs_traces_generate() {
+        let b = Benchmark::by_name("pr").unwrap();
+        let t = b.generate(30_000, 1);
+        let instrs: u64 = t.iter().map(|o| o.instructions()).sum();
+        assert!(instrs >= 25_000);
+    }
+}

@@ -1,0 +1,142 @@
+//! Budgeted trace recorder used by the workload generators.
+
+use cpu_model::TraceOp;
+
+/// Collects [`TraceOp`]s up to an instruction budget.
+///
+/// Kernels call [`TraceSink::load`]/[`TraceSink::store`]/
+/// [`TraceSink::compute`] as they execute and poll [`TraceSink::full`] to
+/// stop early once the budget is reached (mirroring the paper's
+/// 200M-instruction SimPoint regions, scaled down).
+#[derive(Debug)]
+pub struct TraceSink {
+    ops: Vec<TraceOp>,
+    instructions: u64,
+    budget: u64,
+    pending_compute: u32,
+}
+
+impl TraceSink {
+    /// A sink that stops accepting work after `instruction_budget`
+    /// instructions.
+    pub fn new(instruction_budget: u64) -> Self {
+        Self {
+            ops: Vec::with_capacity(1024),
+            instructions: 0,
+            budget: instruction_budget,
+            pending_compute: 0,
+        }
+    }
+
+    /// True once the budget is exhausted.
+    pub fn full(&self) -> bool {
+        self.instructions >= self.budget
+    }
+
+    /// Instructions recorded so far.
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    fn flush_compute(&mut self) {
+        if self.pending_compute > 0 {
+            self.ops.push(TraceOp::Compute(self.pending_compute));
+            self.pending_compute = 0;
+        }
+    }
+
+    /// Records `n` non-memory instructions (coalesced).
+    pub fn compute(&mut self, n: u32) {
+        if self.full() {
+            return;
+        }
+        self.pending_compute += n;
+        self.instructions += u64::from(n);
+        if self.pending_compute >= 1 << 16 {
+            self.flush_compute();
+        }
+    }
+
+    /// Records a load.
+    pub fn load(&mut self, addr: u64) {
+        if self.full() {
+            return;
+        }
+        self.flush_compute();
+        self.ops.push(TraceOp::Load(addr));
+        self.instructions += 1;
+    }
+
+    /// Records a pointer-chase load (serialized behind the previous one).
+    pub fn chase(&mut self, addr: u64) {
+        if self.full() {
+            return;
+        }
+        self.flush_compute();
+        self.ops.push(TraceOp::DependentLoad(addr));
+        self.instructions += 1;
+    }
+
+    /// Records a store.
+    pub fn store(&mut self, addr: u64) {
+        if self.full() {
+            return;
+        }
+        self.flush_compute();
+        self.ops.push(TraceOp::Store(addr));
+        self.instructions += 1;
+    }
+
+    /// Finishes recording and returns the trace.
+    pub fn into_trace(mut self) -> Vec<TraceOp> {
+        self.flush_compute();
+        self.ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coalesces_compute() {
+        let mut s = TraceSink::new(1000);
+        s.compute(5);
+        s.compute(7);
+        s.load(0x40);
+        let t = s.into_trace();
+        assert_eq!(t, vec![TraceOp::Compute(12), TraceOp::Load(0x40)]);
+    }
+
+    #[test]
+    fn respects_budget() {
+        let mut s = TraceSink::new(10);
+        for i in 0..100 {
+            s.load(i * 64);
+        }
+        assert!(s.full());
+        let t = s.into_trace();
+        assert_eq!(t.len(), 10);
+    }
+
+    #[test]
+    fn instruction_count_matches() {
+        let mut s = TraceSink::new(1000);
+        s.compute(30);
+        s.load(0);
+        s.store(64);
+        s.chase(128);
+        assert_eq!(s.instructions(), 33);
+        let total: u64 = s.into_trace().iter().map(|o| o.instructions()).sum();
+        assert_eq!(total, 33);
+    }
+
+    #[test]
+    fn trailing_compute_flushed() {
+        let mut s = TraceSink::new(1000);
+        s.load(0);
+        s.compute(9);
+        let t = s.into_trace();
+        assert_eq!(t.last(), Some(&TraceOp::Compute(9)));
+    }
+}

@@ -1,0 +1,80 @@
+//! Boot-time attestation walkthrough (Section III-F of the paper).
+//!
+//! Plays out the full life cycle: manufacturing (endorsement keys + CA
+//! certificate), boot (authenticated key exchange, counter agreement,
+//! memory clearing), normal operation, a cold-boot substitution attempt,
+//! and a legitimate DIMM replacement.
+//!
+//! Run with: `cargo run --release --example attestation_boot`
+
+use secddr::functional::attest::{
+    host_ephemeral, host_verify, rank_respond, CertificateAuthority, RankIdentity,
+};
+use secddr::functional::dimm::DimmRank;
+use secddr::functional::processor::{EncryptionMode, SecDdrProcessor};
+use secddr::functional::geometry;
+
+fn main() {
+    println!("== SecDDR attestation & boot walkthrough ==\n");
+
+    // --- Manufacturing time -------------------------------------------
+    let ca = CertificateAuthority::new(2026);
+    let identity = RankIdentity::manufacture(7, &ca);
+    println!("[factory] endorsement keypair embedded in the rank's ECC chip");
+    println!("[factory] CA issued certificate over EKp\n");
+
+    // --- Boot: authenticated key exchange ------------------------------
+    let host = host_ephemeral(0xB007);
+    println!("[boot] processor sends ephemeral DH public key");
+    let (response, rank_kt) = rank_respond(&identity, &host.public, 0xD1);
+    println!("[boot] rank responds: ephemeral key + EKp + certificate + signature");
+    let outcome = host_verify(&host, &response, &ca.public(), /* initial Ct */ 1_000)
+        .expect("genuine DIMM attests successfully");
+    println!("[boot] processor verified certificate chain and transcript signature");
+    println!("[boot] both ends derived Kt; initial counter = 1000 shared in plaintext");
+
+    // --- Channel becomes operational -----------------------------------
+    let mut cpu =
+        SecDdrProcessor::new(EncryptionMode::Xts, outcome.kt, outcome.initial_ct, 99);
+    let mut rank = DimmRank::new(rank_kt, outcome.initial_ct);
+    println!("[boot] processor clears memory (zero writes) — pre-boot state discarded\n");
+
+    let payload = *b"enclave page: sealed against replay by the E-MAC channel.......!";
+    let tx = cpu.begin_write(0x7000, &payload);
+    assert_eq!(
+        rank.accept_write(&tx),
+        secddr::functional::dimm::WriteOutcome::Committed
+    );
+    let resp = rank.serve_read(geometry::decode(0x7000));
+    let got = cpu.finish_read(0x7000, &resp).expect("verified");
+    assert_eq!(got, payload);
+    println!("[run] secure write + verified read: OK");
+    println!("[run] counters: cpu {:?} / rank {:?}\n", cpu.counter_state(), rank.counter_state());
+
+    // --- Cold-boot substitution attempt ---------------------------------
+    let frozen = rank.snapshot();
+    let tx = cpu.begin_write(0x7000, &[0xFF; 64]);
+    rank.accept_write(&tx);
+    rank.restore(frozen); // attacker swaps the frozen module back in
+    let resp = rank.serve_read(geometry::decode(0x7000));
+    match cpu.finish_read(0x7000, &resp) {
+        Err(e) => println!("[attack] cold-boot substitution: DETECTED ({e})"),
+        Ok(_) => unreachable!("stale counters cannot verify"),
+    }
+
+    // --- Legitimate replacement -----------------------------------------
+    let ca2_identity = RankIdentity::manufacture(8, &ca);
+    let host2 = host_ephemeral(0xB008);
+    let (resp2, new_rank_kt) = rank_respond(&ca2_identity, &host2.public, 0xD2);
+    let outcome2 =
+        host_verify(&host2, &resp2, &ca.public(), 50_000).expect("new DIMM attests");
+    rank.reattest(new_rank_kt, outcome2.initial_ct);
+    let mut cpu2 =
+        SecDdrProcessor::new(EncryptionMode::Xts, outcome2.kt, outcome2.initial_ct, 100);
+    println!("\n[swap] legitimate replacement: re-attested, memory cleared");
+    let tx = cpu2.begin_write(0x9000, &[0x11; 64]);
+    rank.accept_write(&tx);
+    let resp = rank.serve_read(geometry::decode(0x9000));
+    assert!(cpu2.finish_read(0x9000, &resp).is_ok());
+    println!("[swap] fresh channel operational — lifecycle complete.");
+}

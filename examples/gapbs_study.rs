@@ -1,0 +1,61 @@
+//! Graph-analytics case study: why integrity trees hurt irregular
+//! workloads and SecDDR does not.
+//!
+//! Runs the six GAPBS kernels under four configurations and reports
+//! normalized IPC together with the metadata traffic that explains it
+//! (counter/tree fetches per kilo-instruction, metadata cache miss rate).
+//!
+//! Run with: `cargo run --release --example gapbs_study`
+//! (set `SECDDR_INSTRS` to change the per-kernel instruction budget)
+
+use secddr_core::config::SecurityConfig;
+use secddr_core::system::{run_benchmark, RunParams, RunResult};
+use workloads::{Benchmark, Suite};
+
+fn main() {
+    let instructions = std::env::var("SECDDR_INSTRS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200_000);
+    let params = RunParams { instructions, seed: 0xD5 };
+
+    let kernels: Vec<Benchmark> = Benchmark::all()
+        .into_iter()
+        .filter(|b| b.suite() == Suite::Gapbs)
+        .collect();
+    let configs = [
+        SecurityConfig::tree_64ary(),
+        SecurityConfig::secddr_ctr(),
+        SecurityConfig::secddr_xts(),
+    ];
+
+    println!("== GAPBS under secure memory ({instructions} instructions per kernel) ==\n");
+    println!(
+        "{:<6} {:>22} {:>12} {:>12} {:>14} {:>12}",
+        "kernel", "config", "norm. IPC", "LLC MPKI", "md fetch/ki", "md miss%"
+    );
+    for bench in &kernels {
+        let tdx = run_benchmark(bench, &SecurityConfig::tdx_baseline(), &params);
+        for cfg in &configs {
+            let r: RunResult = run_benchmark(bench, cfg, &params);
+            let md_per_ki = (r.engine.leaf_fetches + r.engine.tree_fetches) as f64 * 1000.0
+                / r.sim.instructions as f64;
+            println!(
+                "{:<6} {:>22} {:>12.3} {:>12.1} {:>14.2} {:>11.1}%",
+                bench.name(),
+                r.config,
+                r.ipc() / tdx.ipc(),
+                r.llc_mpki(),
+                md_per_ki,
+                r.metadata_miss_rate() * 100.0
+            );
+        }
+        println!();
+    }
+    println!(
+        "Expected shape (paper Figure 6): pr/bc/sssp/cc suffer most under the tree\n\
+         because every scattered property access walks a different branch; tc's\n\
+         sequential intersections keep the metadata cache warm; SecDDR+XTS removes\n\
+         metadata traffic entirely."
+    );
+}

@@ -1,0 +1,61 @@
+//! Quickstart: the SecDDR protocol end to end in a few lines.
+//!
+//! Builds an attested processor↔DIMM channel, writes and reads secure
+//! memory, shows that a bus replay attack is detected, and runs one small
+//! performance comparison (SecDDR+XTS vs a 64-ary integrity tree).
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use secddr::functional::attacks::BusReplay;
+use secddr::functional::{EncryptionMode, SecureChannel};
+use secddr_core::config::SecurityConfig;
+use secddr_core::system::{run_benchmark, RunParams};
+use workloads::Benchmark;
+
+fn main() {
+    // --- 1. Functional protocol: a secure channel that just works. -----
+    println!("== SecDDR quickstart ==\n");
+    let mut channel = SecureChannel::new_attested(EncryptionMode::Xts, 42);
+    let secret = *b"attested memory with replay-protected DDR interface bus!IntactOK";
+    channel.write(0x1000, &secret);
+    let read_back = channel.read(0x1000).expect("honest channel verifies");
+    assert_eq!(read_back, secret);
+    println!("secure write/read round-trip: OK");
+
+    // --- 2. The headline security property: replays are detected. ------
+    let mut attacked = SecureChannel::with_interposer(
+        EncryptionMode::Xts,
+        42,
+        BusReplay::new(0, 1), // capture the first read, replay on the second
+    );
+    attacked.write(0x2000, &[1u8; 64]);
+    let first = attacked.read(0x2000);
+    attacked.write(0x2000, &[2u8; 64]);
+    let replayed = attacked.read(0x2000);
+    println!(
+        "bus replay attack: first read {:?}, replayed read {}",
+        first.map(|d| d[0]),
+        match replayed {
+            Ok(_) => "UNDETECTED (bug!)".to_string(),
+            Err(e) => format!("DETECTED ({e})"),
+        }
+    );
+    assert!(replayed.is_err());
+
+    // --- 3. The headline performance property: no tree walk. -----------
+    println!("\nrunning a small performance comparison on omnetpp...");
+    let params = RunParams { instructions: 150_000, seed: 7 };
+    let bench = Benchmark::by_name("omnetpp").expect("known benchmark");
+    let tdx = run_benchmark(&bench, &SecurityConfig::tdx_baseline(), &params);
+    let tree = run_benchmark(&bench, &SecurityConfig::tree_64ary(), &params);
+    let secddr = run_benchmark(&bench, &SecurityConfig::secddr_xts(), &params);
+    println!(
+        "  64-ary integrity tree: {:.3} (normalized IPC)",
+        tree.ipc() / tdx.ipc()
+    );
+    println!(
+        "  SecDDR+XTS:            {:.3} (normalized IPC)",
+        secddr.ipc() / tdx.ipc()
+    );
+    println!("\nSecDDR provides replay protection at (near) encrypt-only cost.");
+}

@@ -1,0 +1,36 @@
+//! SecDDR reproduction — facade crate.
+//!
+//! This crate re-exports the whole workspace so examples, integration
+//! tests, and downstream users can depend on a single crate:
+//!
+//! * [`core`](secddr_core) — security engines, full-system simulator,
+//!   security analysis (the paper's contribution).
+//! * [`functional`] — byte-accurate protocol model: E-MAC channel, eWCRC,
+//!   attacker interposers, attestation.
+//! * [`crypto`] — AES-128/CTR/XTS, CMAC, SHA-256, CRC-16, DH, power model.
+//! * [`dram`] — cycle-level DDR4 channel simulator.
+//! * [`cpu`] — trace-driven OOO core + cache hierarchy.
+//! * [`workloads`] — the 29 benchmarks of the paper's evaluation.
+//!
+//! # Example
+//!
+//! ```
+//! use secddr::functional::{EncryptionMode, SecureChannel};
+//!
+//! let mut ch = SecureChannel::new_attested(EncryptionMode::Xts, 1);
+//! ch.write(0x40, &[7u8; 64]);
+//! assert_eq!(ch.read(0x40).unwrap(), [7u8; 64]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use cpu_model as cpu;
+pub use dimm_model as functional;
+pub use dram_sim as dram;
+pub use secddr_core as core;
+pub use secddr_crypto as crypto;
+pub use workloads;
+
+pub use secddr_core::config::SecurityConfig;
+pub use secddr_core::system::{run_benchmark, RunParams};

@@ -1,0 +1,135 @@
+//! Property-based tests on the cryptographic substrate.
+
+use proptest::prelude::*;
+
+use secddr::crypto::aes::Aes128;
+use secddr::crypto::crc::{crc16, Ewcrc, WriteAddress};
+use secddr::crypto::ctr::CtrStream;
+use secddr::crypto::dh::U256;
+use secddr::crypto::mac::Cmac;
+use secddr::crypto::otp::TransactionCounter;
+use secddr::crypto::sha256::Sha256;
+use secddr::crypto::xts::XtsAes128;
+
+proptest! {
+    #[test]
+    fn aes_roundtrips(key in any::<[u8; 16]>(), block in any::<[u8; 16]>()) {
+        let aes = Aes128::new(&key);
+        prop_assert_eq!(aes.decrypt_block(&aes.encrypt_block(&block)), block);
+    }
+
+    #[test]
+    fn aes_is_injective_per_key(key in any::<[u8; 16]>(), a in any::<[u8; 16]>(), b in any::<[u8; 16]>()) {
+        prop_assume!(a != b);
+        let aes = Aes128::new(&key);
+        prop_assert_ne!(aes.encrypt_block(&a), aes.encrypt_block(&b));
+    }
+
+    #[test]
+    fn xts_roundtrips(dk in any::<[u8; 16]>(), tk in any::<[u8; 16]>(),
+                      unit in any::<u64>(), data in any::<[u8; 64]>()) {
+        let xts = XtsAes128::new(&dk, &tk);
+        let mut buf = data;
+        xts.encrypt_units(unit, &mut buf);
+        prop_assert_ne!(buf, data);
+        xts.decrypt_units(unit, &mut buf);
+        prop_assert_eq!(buf, data);
+    }
+
+    #[test]
+    fn ctr_roundtrips(key in any::<[u8; 16]>(), nonce in any::<u64>(),
+                      ctr in any::<u64>(), data in any::<[u8; 64]>()) {
+        let ks = CtrStream::new(Aes128::new(&key));
+        let mut buf = data;
+        ks.xor_keystream(nonce, ctr, &mut buf);
+        ks.xor_keystream(nonce, ctr, &mut buf);
+        prop_assert_eq!(buf, data);
+    }
+
+    #[test]
+    fn cmac_detects_any_single_bit_flip(key in any::<[u8; 16]>(), data in any::<[u8; 64]>(),
+                                        addr in any::<u64>(), byte in 0usize..64, bit in 0u8..8) {
+        let cmac = Cmac::new(Aes128::new(&key));
+        let mac = cmac.line_mac(&data, addr);
+        let mut corrupted = data;
+        corrupted[byte] ^= 1 << bit;
+        prop_assert_ne!(cmac.line_mac(&corrupted, addr), mac);
+    }
+
+    #[test]
+    fn cmac_binds_address(key in any::<[u8; 16]>(), data in any::<[u8; 64]>(),
+                          a in any::<u64>(), b in any::<u64>()) {
+        prop_assume!(a != b);
+        let cmac = Cmac::new(Aes128::new(&key));
+        prop_assert_ne!(cmac.line_mac(&data, a), cmac.line_mac(&data, b));
+    }
+
+    #[test]
+    fn crc16_linearity_like_detection(data in proptest::collection::vec(any::<u8>(), 1..64),
+                                      byte_idx in 0usize..64, mask in 1u8..=255) {
+        let idx = byte_idx % data.len();
+        let base = crc16(&data);
+        let mut corrupted = data.clone();
+        corrupted[idx] ^= mask;
+        prop_assert_ne!(crc16(&corrupted), base);
+    }
+
+    #[test]
+    fn ewcrc_detects_any_address_field_change(data in any::<[u8; 8]>(),
+                                              rank in 0u8..2, bg in 0u8..4, bank in 0u8..4,
+                                              row in any::<u32>(), col in 0u16..128,
+                                              row_xor in 1u32..0xFFFF) {
+        let addr = WriteAddress { rank, bank_group: bg, bank, row, column: col };
+        let c = Ewcrc::generate(&data, &addr);
+        let wrong = WriteAddress { row: row ^ row_xor, ..addr };
+        prop_assert!(!Ewcrc::verify(&data, &wrong, c));
+    }
+
+    #[test]
+    fn pads_never_repeat_within_a_run(key in any::<[u8; 16]>(), seed in 0u64..1_000_000,
+                                      ops in proptest::collection::vec(any::<bool>(), 1..64)) {
+        let kt = Aes128::new(&key);
+        let mut ct = TransactionCounter::new(seed);
+        let mut seen = std::collections::HashSet::new();
+        for is_write in ops {
+            let pad = if is_write { ct.write_pad(&kt, 0x40) } else { ct.read_pad(&kt) };
+            // Compare by effect on a fixed MAC value.
+            prop_assert!(seen.insert(pad.apply(0)), "pad reuse detected");
+        }
+    }
+
+    #[test]
+    fn sha256_incremental_equals_oneshot(data in proptest::collection::vec(any::<u8>(), 0..512),
+                                         split in 0usize..512) {
+        let split = split.min(data.len());
+        let oneshot = Sha256::digest(&data);
+        let mut h = Sha256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), oneshot);
+    }
+
+    #[test]
+    fn u256_modular_arithmetic_matches_u128(a in any::<u64>(), b in any::<u64>(), m in 2u64..) {
+        let m256 = U256::from_u64(m);
+        let a256 = U256::from_u64(a % m);
+        let b256 = U256::from_u64(b % m);
+        let sum = a256.add_mod(b256, &m256);
+        prop_assert_eq!(sum, U256::from_u64(((u128::from(a % m) + u128::from(b % m)) % u128::from(m)) as u64));
+        let prod = a256.mul_mod(b256, &m256);
+        prop_assert_eq!(prod, U256::from_u64((u128::from(a % m) * u128::from(b % m) % u128::from(m)) as u64));
+        let diff = a256.sub_mod(b256, &m256);
+        let expect = (u128::from(a % m) + u128::from(m) - u128::from(b % m)) % u128::from(m);
+        prop_assert_eq!(diff, U256::from_u64(expect as u64));
+    }
+
+    #[test]
+    fn u256_pow_matches_u128(base in 1u64..1000, exp in 0u64..64, m in 2u64..1_000_000) {
+        let got = U256::from_u64(base % m).pow_mod(&U256::from_u64(exp), &U256::from_u64(m));
+        let mut expect: u128 = 1;
+        for _ in 0..exp {
+            expect = expect * u128::from(base % m) % u128::from(m);
+        }
+        prop_assert_eq!(got, U256::from_u64(expect as u64));
+    }
+}

@@ -1,0 +1,120 @@
+//! End-to-end performance-shape tests: the orderings the paper's figures
+//! report must hold in the reproduction at small instruction budgets.
+//!
+//! These run the full stack (trace generator -> OOO core -> caches ->
+//! security engine -> DDR4 channel), so they are the closest thing to a
+//! regression test on the headline results.
+
+use secddr::core::config::{EncMode, SecurityConfig};
+use secddr::core::system::{run_benchmark, RunParams};
+use secddr::workloads::Benchmark;
+
+fn norm(bench: &str, cfg: SecurityConfig, instructions: u64) -> f64 {
+    let params = RunParams { instructions, seed: 11 };
+    let b = Benchmark::by_name(bench).expect("benchmark exists");
+    let tdx = run_benchmark(&b, &SecurityConfig::tdx_baseline(), &params);
+    let r = run_benchmark(&b, &cfg, &params);
+    r.ipc() / tdx.ipc()
+}
+
+/// Figure 6 ordering on a random-access, memory-intensive workload.
+#[test]
+fn figure6_ordering_on_random_workload() {
+    let n = 120_000;
+    let tree = norm("omnetpp", SecurityConfig::tree_64ary(), n);
+    let secddr_ctr = norm("omnetpp", SecurityConfig::secddr_ctr(), n);
+    let enc_ctr = norm("omnetpp", SecurityConfig::encrypt_only_ctr(), n);
+    let secddr_xts = norm("omnetpp", SecurityConfig::secddr_xts(), n);
+    let enc_xts = norm("omnetpp", SecurityConfig::encrypt_only_xts(), n);
+
+    assert!(tree < secddr_ctr, "tree {tree} must trail SecDDR+CTR {secddr_ctr}");
+    assert!(
+        secddr_ctr <= enc_ctr * 1.01,
+        "SecDDR+CTR {secddr_ctr} bounded by encrypt-only CTR {enc_ctr}"
+    );
+    assert!(
+        (secddr_xts - enc_xts).abs() < 0.02,
+        "paper: SecDDR+XTS within 1% of encrypt-only XTS ({secddr_xts} vs {enc_xts})"
+    );
+    assert!(
+        secddr_xts > tree * 1.1,
+        "XTS SecDDR {secddr_xts} must clearly beat the tree {tree}"
+    );
+}
+
+/// Figure 8: the 8-ary hash tree is by far the worst configuration.
+#[test]
+fn figure8_hash_tree_is_worst() {
+    let n = 100_000;
+    let hash8 = norm("xz", SecurityConfig::tree_8ary_hash(), n);
+    let tree64 = norm("xz", SecurityConfig::tree_64ary(), n);
+    let secddr = norm("xz", SecurityConfig::secddr_ctr(), n);
+    assert!(hash8 < tree64, "8-ary {hash8} worse than 64-ary {tree64}");
+    assert!(hash8 < secddr, "8-ary {hash8} worse than SecDDR {secddr}");
+}
+
+/// Figures 10/12: SecDDR beats both InvisiMem variants; the realistic
+/// (derated) variant is the slower of the two.
+#[test]
+fn figure10_invisimem_ordering() {
+    let n = 100_000;
+    let secddr = norm("mcf", SecurityConfig::secddr_xts(), n);
+    let unreal = norm("mcf", SecurityConfig::invisimem_unrealistic(EncMode::Xts), n);
+    let real = norm("mcf", SecurityConfig::invisimem_realistic(EncMode::Xts), n);
+    assert!(secddr > unreal, "SecDDR {secddr} vs unrealistic {unreal}");
+    assert!(unreal > real, "unrealistic {unreal} vs realistic {real}");
+}
+
+/// The eWCRC write-burst cost shows on a write-intensive streaming
+/// workload (lbm): SecDDR+CTR trails encrypt-only CTR noticeably more
+/// than on a read-dominated workload.
+#[test]
+fn ewcrc_write_burst_penalty_on_lbm() {
+    let n = 100_000;
+    let lbm_gap = norm("lbm", SecurityConfig::encrypt_only_ctr(), n)
+        / norm("lbm", SecurityConfig::secddr_ctr(), n);
+    assert!(
+        lbm_gap > 1.02,
+        "lbm must pay a visible write-burst penalty (gap {lbm_gap})"
+    );
+}
+
+/// Memory-intensity classification matches the paper's set on clear cases.
+#[test]
+fn memory_intensity_classification() {
+    let params = RunParams { instructions: 150_000, seed: 11 };
+    let mcf = run_benchmark(
+        &Benchmark::by_name("mcf").expect("exists"),
+        &SecurityConfig::tdx_baseline(),
+        &params,
+    );
+    assert!(mcf.llc_mpki() > 10.0, "mcf is memory intensive: {}", mcf.llc_mpki());
+    let exchange2 = run_benchmark(
+        &Benchmark::by_name("exchange2").expect("exists"),
+        &SecurityConfig::tdx_baseline(),
+        &params,
+    );
+    assert!(
+        exchange2.llc_mpki() < mcf.llc_mpki() / 4.0,
+        "exchange2 ({}) far below mcf ({})",
+        exchange2.llc_mpki(),
+        mcf.llc_mpki()
+    );
+}
+
+/// Metadata traffic ordering (drives Figure 7): trees generate strictly
+/// more metadata fetches than tree-less counter configs; XTS SecDDR has
+/// none.
+#[test]
+fn metadata_traffic_ordering() {
+    let params = RunParams { instructions: 100_000, seed: 11 };
+    let b = Benchmark::by_name("omnetpp").expect("exists");
+    let tree = run_benchmark(&b, &SecurityConfig::tree_64ary(), &params);
+    let secddr_ctr = run_benchmark(&b, &SecurityConfig::secddr_ctr(), &params);
+    let secddr_xts = run_benchmark(&b, &SecurityConfig::secddr_xts(), &params);
+    let tree_md = tree.engine.leaf_fetches + tree.engine.tree_fetches;
+    let sc_md = secddr_ctr.engine.leaf_fetches + secddr_ctr.engine.tree_fetches;
+    assert!(tree_md > sc_md, "tree {tree_md} vs secddr+ctr {sc_md}");
+    assert_eq!(secddr_xts.engine.leaf_fetches, 0);
+    assert_eq!(secddr_xts.engine.tree_fetches, 0);
+}

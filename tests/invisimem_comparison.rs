@@ -1,0 +1,102 @@
+//! Functional head-to-head of SecDDR and the DDR-adapted InvisiMem channel
+//! (Section VI of the paper): both detect the same attack classes, but at
+//! different points and with different trust requirements.
+
+use secddr::functional::attacks::WriteDropper;
+use secddr::functional::dimm::WriteOutcome;
+use secddr::functional::invisimem::{attested_pair, ChannelError};
+use secddr::functional::{EncryptionMode, SecureChannel};
+
+/// Both schemes detect a dropped write; InvisiMem at the *next
+/// transaction*, SecDDR at the *next read*.
+#[test]
+fn dropped_write_detection_points_differ() {
+    // InvisiMem: the very next write fails memory-side verification.
+    let (mut cpu, mut module) = attested_pair(1);
+    let _dropped = cpu.begin_write(0x40, &[1; 64]);
+    let next = cpu.begin_write(0x80, &[2; 64]);
+    assert_eq!(
+        module.accept_write(&next).unwrap_err(),
+        ChannelError::BadTransactionMac,
+        "InvisiMem detects at the next write, memory-side"
+    );
+
+    // SecDDR never verifies data MACs on the DIMM, but the counter
+    // desynchronization scrambles the *next* write's decrypted eWCRC, so
+    // the ECC chip raises an alert there; all subsequent reads fail on the
+    // processor as well.
+    let mut ch = SecureChannel::with_interposer(EncryptionMode::Xts, 1, WriteDropper::new(0));
+    assert_eq!(ch.write(0x40, &[1; 64]), WriteOutcome::DroppedOnBus);
+    let next_write = ch.write(0x80, &[2; 64]);
+    assert_eq!(
+        next_write,
+        WriteOutcome::EwcrcRejected,
+        "desynchronized write pads scramble the eWCRC at the chip"
+    );
+    assert_eq!(ch.rank.ewcrc_alerts, 1);
+    assert!(ch.read(0x80).is_err(), "and reads fail processor-side");
+}
+
+/// Tampered writes: InvisiMem rejects in the module (needs the whole line
+/// centralized and trusted); SecDDR's chip-side check covers only the
+/// address binding (eWCRC), while data corruption defers to read-time MAC
+/// verification.
+#[test]
+fn write_tamper_detection_points_differ() {
+    let (mut cpu, mut module) = attested_pair(2);
+    let mut pkt = cpu.begin_write(0x40, &[1; 64]);
+    pkt.data[0] ^= 1;
+    assert!(module.accept_write(&pkt).is_err(), "InvisiMem: immediate");
+
+    let mut ch = SecureChannel::new_attested(EncryptionMode::Xts, 2);
+    let mut tx = ch.processor.begin_write(0x40, &[1; 64]);
+    tx.data[0] ^= 1; // corrupt a data lane (not the ECC lanes)
+    assert_eq!(
+        ch.rank.accept_write(&tx),
+        WriteOutcome::Committed,
+        "SecDDR: the chip does not check data MACs..."
+    );
+    assert!(ch.read(0x40).is_err(), "...detection lands at the next read");
+}
+
+/// Replay resistance is equivalent: both channels reject stale packets.
+#[test]
+fn both_reject_replays() {
+    // InvisiMem.
+    let (mut cpu, mut module) = attested_pair(3);
+    let w = cpu.begin_write(0x40, &[1; 64]);
+    module.accept_write(&w).expect("honest");
+    let ct = cpu.begin_read();
+    let resp = module.serve_read(0x40).expect("ok");
+    assert!(cpu.finish_read(0x40, ct, &resp).is_ok());
+    let ct2 = cpu.begin_read();
+    let _ = module.serve_read(0x40).expect("ok");
+    assert!(cpu.finish_read(0x40, ct2, &resp).is_err(), "InvisiMem replay");
+
+    // SecDDR.
+    use secddr::functional::attacks::BusReplay;
+    let mut ch = SecureChannel::with_interposer(EncryptionMode::Xts, 3, BusReplay::new(0, 1));
+    ch.write(0x40, &[1; 64]);
+    assert!(ch.read(0x40).is_ok());
+    assert!(ch.read(0x40).is_err(), "SecDDR replay");
+}
+
+/// The structural argument of Section VI-B: InvisiMem's memory-side
+/// verification consumes the full line in one operation, which is exactly
+/// what a chip-distributed DDR DIMM cannot provide. SecDDR's chip-side
+/// work touches only the ECC chip's own burst (MAC + CRC).
+#[test]
+fn secddr_chip_work_is_local_to_the_ecc_chip() {
+    // Expressed as an API-level fact: the SecDDR rank write path validates
+    // with only (emac, ewcrc, addr) — 10 bytes of ECC-chip payload — while
+    // the InvisiMem module path requires all 64 data bytes for its MAC.
+    // (The types make the dependency explicit; this test documents it.)
+    let mut ch = SecureChannel::new_attested(EncryptionMode::Xts, 4);
+    let tx = ch.processor.begin_write(0x40, &[5; 64]);
+    // The ECC-chip check is a function of the ECC-lane payload only: a
+    // transaction with identical (addr, emac, ewcrc) but different data
+    // lanes passes the chip check (and is caught later by the processor).
+    let mut forged = tx;
+    forged.data = [6; 64];
+    assert_eq!(ch.rank.accept_write(&forged), WriteOutcome::Committed);
+}
