@@ -1,8 +1,13 @@
-//! Criterion microbenchmarks for the substrates: crypto primitive
-//! throughput (the units SecDDR budgets on the ECC chip) and DRAM/protocol
-//! simulation speed.
+//! Microbenchmarks for the substrates: crypto primitive throughput (the
+//! units SecDDR budgets on the ECC chip) and DRAM/protocol simulation
+//! speed.
+//!
+//! Self-timed (the build environment has no crates.io access for
+//! criterion): each benchmark is calibrated to ~50 ms of wall clock and
+//! reports ns/iter plus MB/s where a byte count applies. Run with
+//! `cargo bench -p secddr-bench --bench microbench`.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::time::{Duration, Instant};
 
 use dimm_model::{EncryptionMode, SecureChannel};
 use dram_sim::{DramConfig, DramSystem, MemRequest, ReqKind};
@@ -13,108 +18,139 @@ use secddr_crypto::otp::TransactionCounter;
 use secddr_crypto::sha256::Sha256;
 use secddr_crypto::xts::XtsAes128;
 
-fn crypto_benches(c: &mut Criterion) {
-    let mut g = c.benchmark_group("crypto");
+/// Times `f` for ~50 ms after a short warmup and prints one result row.
+fn bench(name: &str, bytes: Option<u64>, mut f: impl FnMut()) {
+    // Warmup + calibration: find an iteration count that runs >= 5 ms.
+    let mut calib = 1u64;
+    loop {
+        let start = Instant::now();
+        for _ in 0..calib {
+            f();
+        }
+        if start.elapsed() >= Duration::from_millis(5) || calib > 1 << 30 {
+            break;
+        }
+        calib *= 8;
+    }
+    let target = Duration::from_millis(50);
+    let start = Instant::now();
+    let mut iters = 0u64;
+    while start.elapsed() < target {
+        for _ in 0..calib {
+            f();
+        }
+        iters += calib;
+    }
+    let elapsed = start.elapsed();
+    let ns_per_iter = elapsed.as_nanos() as f64 / iters as f64;
+    match bytes {
+        Some(b) => {
+            let mbps = b as f64 * iters as f64 / elapsed.as_secs_f64() / 1e6;
+            println!("{name:<32} {ns_per_iter:>12.1} ns/iter {mbps:>10.1} MB/s");
+        }
+        None => println!("{name:<32} {ns_per_iter:>12.1} ns/iter"),
+    }
+}
+
+fn crypto_benches() {
+    println!("\n== crypto ==");
     let aes = Aes128::new(&[7; 16]);
     let block = [0xA5u8; 16];
-    g.throughput(Throughput::Bytes(16));
-    g.bench_function("aes128_encrypt_block", |b| {
-        b.iter(|| std::hint::black_box(aes.encrypt_block(std::hint::black_box(&block))))
+    bench("aes128_encrypt_block", Some(16), || {
+        std::hint::black_box(aes.encrypt_block(std::hint::black_box(&block)));
     });
 
     let cmac = Cmac::new(Aes128::new(&[9; 16]));
     let line = [0x3Cu8; 64];
-    g.throughput(Throughput::Bytes(64));
-    g.bench_function("cmac_line_mac", |b| {
-        b.iter(|| std::hint::black_box(cmac.line_mac(std::hint::black_box(&line), 0x40)))
+    bench("cmac_line_mac", Some(64), || {
+        std::hint::black_box(cmac.line_mac(std::hint::black_box(&line), 0x40));
     });
 
     let xts = XtsAes128::new(&[1; 16], &[2; 16]);
-    g.bench_function("xts_encrypt_line", |b| {
-        let mut data = [0u8; 64];
-        b.iter(|| {
-            xts.encrypt_units(0x40, &mut data);
-            std::hint::black_box(data[0])
-        })
+    let mut data = [0u8; 64];
+    bench("xts_encrypt_line", Some(64), || {
+        xts.encrypt_units(0x40, &mut data);
+        std::hint::black_box(data[0]);
     });
 
-    g.throughput(Throughput::Bytes(8));
     let kt = Aes128::new(&[3; 16]);
-    g.bench_function("emac_pad_derivation", |b| {
-        let mut ct = TransactionCounter::new(0);
-        b.iter(|| std::hint::black_box(ct.read_pad(&kt)))
+    let mut ct = TransactionCounter::new(0);
+    bench("emac_pad_derivation", Some(8), || {
+        std::hint::black_box(ct.read_pad(&kt));
     });
 
-    g.throughput(Throughput::Bytes(9));
-    let addr = WriteAddress { rank: 0, bank_group: 1, bank: 2, row: 77, column: 5 };
-    g.bench_function("ewcrc_generate", |b| {
-        b.iter(|| std::hint::black_box(Ewcrc::generate(std::hint::black_box(&line[..8]), &addr)))
+    let addr = WriteAddress {
+        rank: 0,
+        bank_group: 1,
+        bank: 2,
+        row: 77,
+        column: 5,
+    };
+    bench("ewcrc_generate", Some(9), || {
+        std::hint::black_box(Ewcrc::generate(std::hint::black_box(&line[..8]), &addr));
     });
 
-    g.throughput(Throughput::Bytes(64));
-    g.bench_function("sha256_line", |b| {
-        b.iter(|| std::hint::black_box(Sha256::digest(std::hint::black_box(&line))))
+    bench("sha256_line", Some(64), || {
+        std::hint::black_box(Sha256::digest(std::hint::black_box(&line)));
     });
-    g.finish();
 }
 
-fn dram_benches(c: &mut Criterion) {
-    let mut g = c.benchmark_group("dram_sim");
-    g.bench_function("stream_64_reads", |b| {
-        b.iter(|| {
-            let mut dram = DramSystem::new(DramConfig::ddr4_3200());
-            for i in 0..64u64 {
-                dram.enqueue(MemRequest::new(i, ReqKind::Read, i * 64, 0)).unwrap();
-            }
-            let mut done = 0;
-            while done < 64 {
-                done += dram.tick().len();
-            }
-            std::hint::black_box(dram.cycle())
-        })
+fn dram_benches() {
+    println!("\n== dram_sim ==");
+    bench("stream_64_reads", None, || {
+        let mut dram = DramSystem::new(DramConfig::ddr4_3200());
+        for i in 0..64u64 {
+            dram.enqueue(MemRequest::new(i, ReqKind::Read, i * 64, 0))
+                .unwrap();
+        }
+        let mut done = 0;
+        while done < 64 {
+            done += dram.tick().len();
+        }
+        std::hint::black_box(dram.cycle());
     });
-    g.bench_function("random_mixed_64", |b| {
-        b.iter(|| {
-            let mut dram = DramSystem::new(DramConfig::ddr4_3200());
-            let mut x = 0x9E3779B97F4A7C15u64;
-            let mut issued = 0u64;
-            let mut done = 0;
-            while done < 64 {
-                if issued < 64 {
-                    x ^= x << 13;
-                    x ^= x >> 7;
-                    x ^= x << 17;
-                    let kind = if x & 4 == 0 { ReqKind::Write } else { ReqKind::Read };
-                    if dram
-                        .enqueue(MemRequest::new(issued, kind, x % (1 << 34) & !63, 0))
-                        .is_ok()
-                    {
-                        issued += 1;
-                    }
+    bench("random_mixed_64", None, || {
+        let mut dram = DramSystem::new(DramConfig::ddr4_3200());
+        let mut x = 0x9E3779B97F4A7C15u64;
+        let mut issued = 0u64;
+        let mut done = 0;
+        while done < 64 {
+            if issued < 64 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let kind = if x & 4 == 0 {
+                    ReqKind::Write
+                } else {
+                    ReqKind::Read
+                };
+                if dram
+                    .enqueue(MemRequest::new(issued, kind, (x % (1 << 34)) & !63, 0))
+                    .is_ok()
+                {
+                    issued += 1;
                 }
-                done += dram.tick().len();
             }
-            std::hint::black_box(dram.cycle())
-        })
+            done += dram.tick().len();
+        }
+        std::hint::black_box(dram.cycle());
     });
-    g.finish();
 }
 
-fn protocol_benches(c: &mut Criterion) {
-    let mut g = c.benchmark_group("secddr_protocol");
-    g.throughput(Throughput::Bytes(64));
-    g.bench_function("secure_write_read_roundtrip", |b| {
-        let mut ch = SecureChannel::new_attested(EncryptionMode::Xts, 1);
-        let data = [0x42u8; 64];
-        let mut addr = 0u64;
-        b.iter(|| {
-            addr = (addr + 64) % (1 << 20);
-            ch.write(addr, &data);
-            std::hint::black_box(ch.read(addr).expect("honest channel"))
-        })
+fn protocol_benches() {
+    println!("\n== secddr_protocol ==");
+    let mut ch = SecureChannel::new_attested(EncryptionMode::Xts, 1);
+    let data = [0x42u8; 64];
+    let mut addr = 0u64;
+    bench("secure_write_read_roundtrip", Some(64), || {
+        addr = (addr + 64) % (1 << 20);
+        ch.write(addr, &data);
+        std::hint::black_box(ch.read(addr).expect("honest channel"));
     });
-    g.finish();
 }
 
-criterion_group!(benches, crypto_benches, dram_benches, protocol_benches);
-criterion_main!(benches);
+fn main() {
+    crypto_benches();
+    dram_benches();
+    protocol_benches();
+}

@@ -14,18 +14,32 @@
 
 use secddr_core::config::SecurityConfig;
 use secddr_core::engine::EngineOptions;
-use secddr_core::system::{run_benchmark, run_benchmark_with_options, RunParams};
+use secddr_core::system::{run_trace_with_options, RunParams};
 use workloads::Benchmark;
 
-fn norm_with(
+use crate::runner::par_sweep;
+
+/// Normalized IPC (vs the TDX baseline) of each `(config, options)`
+/// variant, sharing one generated trace and one baseline run across the
+/// whole row.
+fn norms(
     bench: &Benchmark,
-    cfg: &SecurityConfig,
     params: &RunParams,
-    options: EngineOptions,
-) -> f64 {
-    let tdx = run_benchmark(bench, &SecurityConfig::tdx_baseline(), params);
-    let r = run_benchmark_with_options(bench, cfg, params, options);
-    r.ipc() / tdx.ipc()
+    variants: &[(SecurityConfig, EngineOptions)],
+) -> Vec<f64> {
+    let trace = bench.generate(params.instructions, params.seed);
+    let tdx = run_trace_with_options(
+        bench,
+        &trace,
+        &SecurityConfig::tdx_baseline(),
+        EngineOptions::default(),
+    );
+    variants
+        .iter()
+        .map(|(cfg, options)| {
+            run_trace_with_options(bench, &trace, cfg, *options).ipc() / tdx.ipc()
+        })
+        .collect()
 }
 
 /// Runs all four ablations.
@@ -51,8 +65,8 @@ pub fn run_with_budget(instructions: u64, seed: u64) {
             let total = 4_000u64;
             let mut last = 0u64;
             while done < total {
-                if issued < total {
-                    if dram
+                if issued < total
+                    && dram
                         .enqueue(MemRequest::new(
                             issued,
                             ReqKind::Write,
@@ -60,9 +74,8 @@ pub fn run_with_budget(instructions: u64, seed: u64) {
                             dram.cycle(),
                         ))
                         .is_ok()
-                    {
-                        issued += 1;
-                    }
+                {
+                    issued += 1;
                 }
                 for c in dram.tick() {
                     done += 1;
@@ -79,20 +92,25 @@ pub fn run_with_budget(instructions: u64, seed: u64) {
             (bl10 as f64 / bl8 as f64 - 1.0) * 100.0
         );
     }
-    for name in ["lbm", "omnetpp"] {
+    let a1_rows = par_sweep(&["lbm", "omnetpp"], |name| {
         let bench = Benchmark::by_name(name).expect("known benchmark");
-        let bl10 = norm_with(
+        let row = norms(
             &bench,
-            &SecurityConfig::secddr_ctr(),
             &params,
-            EngineOptions::default(),
+            &[
+                (SecurityConfig::secddr_ctr(), EngineOptions::default()),
+                (
+                    SecurityConfig::secddr_ctr(),
+                    EngineOptions {
+                        force_bl8: true,
+                        ..Default::default()
+                    },
+                ),
+            ],
         );
-        let bl8 = norm_with(
-            &bench,
-            &SecurityConfig::secddr_ctr(),
-            &params,
-            EngineOptions { force_bl8: true, ..Default::default() },
-        );
+        (*name, row[0], row[1])
+    });
+    for (name, bl10, bl8) in a1_rows {
         println!(
             "  {name:<10} SecDDR+CTR BL10: {bl10:.3}   BL8 (no eWCRC): {bl8:.3}   \
              eWCRC cost: {:.1}%",
@@ -111,29 +129,51 @@ pub fn run_with_budget(instructions: u64, seed: u64) {
         "  {:<10} {:>22} {:>14}",
         "md cache", "Integrity Tree 64ary", "SecDDR+CTR"
     );
-    for kb in [32u64, 128, 512, 2048] {
-        let opt = EngineOptions { metadata_cache_bytes: kb << 10, ..Default::default() };
-        let tree = norm_with(&bench, &SecurityConfig::tree_64ary(), &params, opt);
-        let secddr = norm_with(&bench, &SecurityConfig::secddr_ctr(), &params, opt);
-        println!("  {:<10} {:>22.3} {:>14.3}", format!("{kb} KB"), tree, secddr);
+    let a2_rows = par_sweep(&[32u64, 128, 512, 2048], |&kb| {
+        let opt = EngineOptions {
+            metadata_cache_bytes: kb << 10,
+            ..Default::default()
+        };
+        let row = norms(
+            &bench,
+            &params,
+            &[
+                (SecurityConfig::tree_64ary(), opt),
+                (SecurityConfig::secddr_ctr(), opt),
+            ],
+        );
+        (kb, row[0], row[1])
+    });
+    for (kb, tree, secddr) in a2_rows {
+        println!(
+            "  {:<10} {:>22.3} {:>14.3}",
+            format!("{kb} KB"),
+            tree,
+            secddr
+        );
     }
     println!("  (the tree depends on the cache much more strongly than SecDDR)");
 
     println!("\n=== Ablation A3: parallel vs serial tree-level fetch ===\n");
-    for name in ["omnetpp", "pr"] {
+    let a3_rows = par_sweep(&["omnetpp", "pr"], |name| {
         let bench = Benchmark::by_name(name).expect("known benchmark");
-        let parallel = norm_with(
+        let row = norms(
             &bench,
-            &SecurityConfig::tree_64ary(),
             &params,
-            EngineOptions::default(),
+            &[
+                (SecurityConfig::tree_64ary(), EngineOptions::default()),
+                (
+                    SecurityConfig::tree_64ary(),
+                    EngineOptions {
+                        serial_tree_fetch: true,
+                        ..Default::default()
+                    },
+                ),
+            ],
         );
-        let serial = norm_with(
-            &bench,
-            &SecurityConfig::tree_64ary(),
-            &params,
-            EngineOptions { serial_tree_fetch: true, ..Default::default() },
-        );
+        (*name, row[0], row[1])
+    });
+    for (name, parallel, serial) in a3_rows {
         println!(
             "  {name:<10} parallel: {parallel:.3}   serial: {serial:.3}   \
              parallelism gain: +{:.1}%",
@@ -153,7 +193,12 @@ pub fn run_with_budget(instructions: u64, seed: u64) {
             while done < total {
                 if issued < total
                     && dram
-                        .enqueue(MemRequest::new(issued, ReqKind::Write, issued * 64, dram.cycle()))
+                        .enqueue(MemRequest::new(
+                            issued,
+                            ReqKind::Write,
+                            issued * 64,
+                            dram.cycle(),
+                        ))
                         .is_ok()
                 {
                     issued += 1;
@@ -181,20 +226,25 @@ pub fn run_with_budget(instructions: u64, seed: u64) {
     }
 
     println!("\n=== Ablation A4: FR-FCFS vs FCFS scheduling ===\n");
-    for name in ["bwaves", "omnetpp"] {
+    let a4_rows = par_sweep(&["bwaves", "omnetpp"], |name| {
         let bench = Benchmark::by_name(name).expect("known benchmark");
-        let frfcfs = norm_with(
+        let row = norms(
             &bench,
-            &SecurityConfig::secddr_xts(),
             &params,
-            EngineOptions::default(),
+            &[
+                (SecurityConfig::secddr_xts(), EngineOptions::default()),
+                (
+                    SecurityConfig::secddr_xts(),
+                    EngineOptions {
+                        fcfs: true,
+                        ..Default::default()
+                    },
+                ),
+            ],
         );
-        let fcfs = norm_with(
-            &bench,
-            &SecurityConfig::secddr_xts(),
-            &params,
-            EngineOptions { fcfs: true, ..Default::default() },
-        );
+        (*name, row[0], row[1])
+    });
+    for (name, frfcfs, fcfs) in a4_rows {
         println!(
             "  {name:<10} FR-FCFS: {frfcfs:.3}   FCFS: {fcfs:.3}   \
              row-hit-first gain: +{:.1}%",

@@ -1,0 +1,4 @@
+//! Binary wrapper for the `bench_kernel` perf-baseline harness.
+fn main() {
+    secddr_bench::bench_kernel::run();
+}

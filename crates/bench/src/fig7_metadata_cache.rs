@@ -5,6 +5,8 @@ use secddr_core::config::SecurityConfig;
 use secddr_core::system::{run_benchmark, RunParams};
 use workloads::Benchmark;
 
+use crate::runner::par_sweep;
+
 /// Runs the Figure 7 measurement and prints the two series.
 pub fn run_with_budget(instructions: u64, seed: u64) {
     println!("\n=== Figure 7: Metadata cache behavior (64-ary tree baseline) ===\n");
@@ -20,25 +22,11 @@ pub fn run_with_budget(instructions: u64, seed: u64) {
         None => Benchmark::all(),
     };
 
-    let threads = std::thread::available_parallelism().map_or(4, |n| n.get()).min(16);
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let mut rows: Vec<Option<(f64, f64)>> = vec![None; benches.len()];
-    let rows_m = std::sync::Mutex::new(&mut rows);
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= benches.len() {
-                    break;
-                }
-                let r = run_benchmark(&benches[i], &cfg, &params);
-                rows_m.lock().expect("lock")[i] =
-                    Some((r.metadata_mpki(), r.metadata_miss_rate()));
-            });
-        }
+    let rows = par_sweep(&benches, |bench| {
+        let r = run_benchmark(bench, &cfg, &params);
+        (r.metadata_mpki(), r.metadata_miss_rate())
     });
-    for (b, row) in benches.iter().zip(rows.iter()) {
-        let (mpki, mr) = row.expect("computed");
+    for (b, (mpki, mr)) in benches.iter().zip(rows.iter()) {
         println!("{:<12} {:>10.2} {:>9.1}%", b.name(), mpki, mr * 100.0);
     }
     println!(

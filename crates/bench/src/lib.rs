@@ -18,6 +18,7 @@
 #![forbid(unsafe_code)]
 
 pub mod ablations;
+pub mod bench_kernel;
 pub mod fig10_invisimem_xts;
 pub mod fig12_invisimem_ctr;
 pub mod fig6_performance;

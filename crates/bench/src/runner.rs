@@ -1,12 +1,59 @@
-//! Shared experiment runner: sweeps benchmarks × configurations in
-//! parallel and prints paper-style normalized tables.
+//! Shared experiment runner: the generic [`par_sweep`] worker pool every
+//! figure/table harness runs on, plus the benchmark × configuration sweep
+//! and paper-style normalized tables built on it.
 
 use secddr_core::config::SecurityConfig;
-use secddr_core::system::{gmean, run_benchmark, RunParams, RunResult};
+use secddr_core::engine::EngineOptions;
+use secddr_core::system::{gmean, run_trace_with_options, RunParams, RunResult};
 use workloads::{Benchmark, Suite};
 
 /// The paper's memory-intensity threshold (LLC MPKI >= 10).
 pub const MEM_INTENSIVE_MPKI: f64 = 10.0;
+
+/// Maps `f` over `items` on a scoped worker pool, preserving input order.
+///
+/// This is the one parallel harness in the repository: every figure and
+/// table binary fans out through it (directly or via [`sweep`]), so the
+/// thread-count policy and work distribution live in exactly one place.
+/// Work is claimed by atomic index, results land in per-item slots, and
+/// the scope joins before returning — no channels, no unsafe, no
+/// hand-rolled pools at the call sites.
+pub fn par_sweep<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let threads = std::thread::available_parallelism()
+        .map_or(4, |n| n.get())
+        .min(16)
+        .min(items.len());
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = Vec::new();
+    slots.resize_with(items.len(), || None);
+    let slots = std::sync::Mutex::new(&mut slots);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let result = f(&items[i]);
+                slots.lock().expect("no poisoned locks")[i] = Some(result);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("scope joined")
+        .iter_mut()
+        .map(|slot| slot.take().expect("all slots filled"))
+        .collect()
+}
 
 /// Results of a full sweep: `results[bench][config]`.
 pub struct Sweep {
@@ -21,8 +68,19 @@ pub struct Sweep {
 }
 
 /// Runs every benchmark under every configuration (plus the TDX
-/// normalization baseline), in parallel across benchmarks.
+/// normalization baseline), in parallel across benchmarks via
+/// [`par_sweep`].
 pub fn sweep(configs: &[SecurityConfig], params: RunParams) -> Sweep {
+    sweep_with_options(configs, params, EngineOptions::default())
+}
+
+/// As [`sweep`] with explicit engine options (ablation knobs, clock
+/// advance policy).
+pub fn sweep_with_options(
+    configs: &[SecurityConfig],
+    params: RunParams,
+    options: EngineOptions,
+) -> Sweep {
     let benches: Vec<Benchmark> = match crate::bench_filter() {
         Some(filter) => Benchmark::all()
             .into_iter()
@@ -32,39 +90,31 @@ pub fn sweep(configs: &[SecurityConfig], params: RunParams) -> Sweep {
     };
     let tdx = SecurityConfig::tdx_baseline();
 
-    let threads = std::thread::available_parallelism().map_or(4, |n| n.get()).min(16);
-    let work: Vec<(usize, Benchmark)> = benches.iter().copied().enumerate().collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let mut slots: Vec<Option<(RunResult, Vec<RunResult>)>> = Vec::new();
-    slots.resize_with(benches.len(), || None);
-    let slots = std::sync::Mutex::new(slots);
-
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= work.len() {
-                    break;
-                }
-                let (idx, bench) = work[i];
-                let base = run_benchmark(&bench, &tdx, &params);
-                let row: Vec<RunResult> = configs
-                    .iter()
-                    .map(|c| run_benchmark(&bench, c, &params))
-                    .collect();
-                slots.lock().expect("no poisoned locks")[idx] = Some((base, row));
-            });
-        }
+    let rows = par_sweep(&benches, |bench| {
+        // One trace per benchmark, shared by the baseline and every
+        // configuration (identical input is also what normalization
+        // assumes).
+        let trace = bench.generate(params.instructions, params.seed);
+        let base = run_trace_with_options(bench, &trace, &tdx, options);
+        let row: Vec<RunResult> = configs
+            .iter()
+            .map(|c| run_trace_with_options(bench, &trace, c, options))
+            .collect();
+        (base, row)
     });
 
     let mut baseline = Vec::with_capacity(benches.len());
     let mut results = Vec::with_capacity(benches.len());
-    for slot in slots.into_inner().expect("scope joined") {
-        let (base, row) = slot.expect("all slots filled");
+    for (base, row) in rows {
         baseline.push(base);
         results.push(row);
     }
-    Sweep { benches, configs: configs.to_vec(), results, baseline }
+    Sweep {
+        benches,
+        configs: configs.to_vec(),
+        results,
+        baseline,
+    }
 }
 
 impl Sweep {
@@ -82,14 +132,19 @@ impl Sweep {
     /// benchmarks, and over the memory-intensive subset:
     /// `(gmean_all, gmean_mem_intensive)`.
     pub fn gmeans(&self, config: usize) -> (f64, f64) {
-        let all: Vec<f64> =
-            (0..self.benches.len()).map(|b| self.normalized(b, config)).collect();
+        let all: Vec<f64> = (0..self.benches.len())
+            .map(|b| self.normalized(b, config))
+            .collect();
         let mem: Vec<f64> = (0..self.benches.len())
             .filter(|b| self.is_mem_intensive(*b))
             .map(|b| self.normalized(b, config))
             .collect();
         let g_all = gmean(&all);
-        let g_mem = if mem.is_empty() { f64::NAN } else { gmean(&mem) };
+        let g_mem = if mem.is_empty() {
+            f64::NAN
+        } else {
+            gmean(&mem)
+        };
         (g_all, g_mem)
     }
 
@@ -121,8 +176,16 @@ impl Sweep {
         for ci in 0..self.configs.len() {
             print!(" {:>26.3}", self.gmeans(ci).0);
         }
-        println!("\n(* = memory intensive, LLC MPKI >= 10; suites: {} SPEC + {} GAPBS)",
-            self.benches.iter().filter(|b| b.suite() == Suite::Spec).count(),
-            self.benches.iter().filter(|b| b.suite() == Suite::Gapbs).count());
+        println!(
+            "\n(* = memory intensive, LLC MPKI >= 10; suites: {} SPEC + {} GAPBS)",
+            self.benches
+                .iter()
+                .filter(|b| b.suite() == Suite::Spec)
+                .count(),
+            self.benches
+                .iter()
+                .filter(|b| b.suite() == Suite::Gapbs)
+                .count()
+        );
     }
 }

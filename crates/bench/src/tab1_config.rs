@@ -40,9 +40,7 @@ pub fn run() {
         md.line_bytes,
         md.ways
     );
-    println!(
-        "Security Mech.    {CRYPTO_LATENCY} processor-cycles encryption and MAC"
-    );
+    println!("Security Mech.    {CRYPTO_LATENCY} processor-cycles encryption and MAC");
     println!(
         "Main Memory       {} GB DRAM, 1 channel, {} ranks, {} bank-groups,\n\
          \x20                 {} banks, x8. {} read- and {} write-entry queues.",

@@ -8,12 +8,31 @@ use secddr_crypto::power::{
 fn print_column(cfg: &DimmPowerConfig) {
     let r = evaluate(cfg);
     println!("  {:<26} {}", "configuration", cfg.label);
-    println!("  {:<26} {}", "AES units per ECC chip", r.aes_units_per_ecc_chip);
-    println!("  {:<26} {:.1} mW", "AES power per ECC chip", r.aes_power_per_chip_mw);
-    println!("  {:<26} {:.0} mW", "DRAM chip power", cfg.dram_chip_power_mw);
-    println!("  {:<26} {:.0} mW", "16GB dual-rank DIMM power", cfg.dimm_power_mw);
-    println!("  {:<26} {:.1}%", "overhead per rank", r.overhead_per_rank * 100.0);
-    println!("  {:<26} {:.3} mm^2 (45nm)", "security-logic area", r.area_mm2);
+    println!(
+        "  {:<26} {}",
+        "AES units per ECC chip", r.aes_units_per_ecc_chip
+    );
+    println!(
+        "  {:<26} {:.1} mW",
+        "AES power per ECC chip", r.aes_power_per_chip_mw
+    );
+    println!(
+        "  {:<26} {:.0} mW",
+        "DRAM chip power", cfg.dram_chip_power_mw
+    );
+    println!(
+        "  {:<26} {:.0} mW",
+        "16GB dual-rank DIMM power", cfg.dimm_power_mw
+    );
+    println!(
+        "  {:<26} {:.1}%",
+        "overhead per rank",
+        r.overhead_per_rank * 100.0
+    );
+    println!(
+        "  {:<26} {:.3} mm^2 (45nm)",
+        "security-logic area", r.area_mm2
+    );
     println!();
 }
 

@@ -30,7 +30,12 @@ pub struct EwcrcAttackModel {
 
 impl Default for EwcrcAttackModel {
     fn default() -> Self {
-        Self { ber: 1e-16, ccca_rate: 400e6, signal_count: 26.0, crc_bits: 16 }
+        Self {
+            ber: 1e-16,
+            ccca_rate: 400e6,
+            signal_count: 26.0,
+            crc_bits: 16,
+        }
     }
 }
 
@@ -42,13 +47,19 @@ impl EwcrcAttackModel {
 
     /// The realistic-BER variant (1e-21, Section III-B cites 1e-22..1e-21).
     pub fn realistic() -> Self {
-        Self { ber: 1e-21, ..Self::default() }
+        Self {
+            ber: 1e-21,
+            ..Self::default()
+        }
     }
 
     /// The low end of the realistic BER range (1e-22), which reproduces
     /// the paper's parallel-attack figure of >86,000 years.
     pub fn realistic_low() -> Self {
-        Self { ber: 1e-22, ..Self::default() }
+        Self {
+            ber: 1e-22,
+            ..Self::default()
+        }
     }
 
     /// Mean time between *naturally occurring* CCCA errors on one channel,

@@ -67,42 +67,74 @@ impl SecurityConfig {
     /// The Intel-TDX-like normalization baseline: AES-XTS + MAC in ECC,
     /// no replay protection.
     pub fn tdx_baseline() -> Self {
-        Self { mechanism: Mechanism::Tdx, enc: EncMode::Xts, ctr_packing: 64 }
+        Self {
+            mechanism: Mechanism::Tdx,
+            enc: EncMode::Xts,
+            ctr_packing: 64,
+        }
     }
 
     /// Section IV-B config 1: 64-ary counter tree, counter-mode encryption.
     pub fn tree_64ary() -> Self {
-        Self { mechanism: Mechanism::CounterTree { arity: 64 }, enc: EncMode::Ctr, ctr_packing: 64 }
+        Self {
+            mechanism: Mechanism::CounterTree { arity: 64 },
+            enc: EncMode::Ctr,
+            ctr_packing: 64,
+        }
     }
 
     /// 128-ary counter tree (MorphTree-like, Figure 8).
     pub fn tree_128ary() -> Self {
-        Self { mechanism: Mechanism::CounterTree { arity: 128 }, enc: EncMode::Ctr, ctr_packing: 128 }
+        Self {
+            mechanism: Mechanism::CounterTree { arity: 128 },
+            enc: EncMode::Ctr,
+            ctr_packing: 128,
+        }
     }
 
     /// 8-ary hash/Merkle tree over MACs (Figure 8; XTS-compatible).
     pub fn tree_8ary_hash() -> Self {
-        Self { mechanism: Mechanism::HashTree { arity: 8 }, enc: EncMode::Xts, ctr_packing: 64 }
+        Self {
+            mechanism: Mechanism::HashTree { arity: 8 },
+            enc: EncMode::Xts,
+            ctr_packing: 64,
+        }
     }
 
     /// Section IV-B config 2: SecDDR with counter-mode encryption.
     pub fn secddr_ctr() -> Self {
-        Self { mechanism: Mechanism::SecDdr, enc: EncMode::Ctr, ctr_packing: 64 }
+        Self {
+            mechanism: Mechanism::SecDdr,
+            enc: EncMode::Ctr,
+            ctr_packing: 64,
+        }
     }
 
     /// Section IV-B config 4: SecDDR with AES-XTS.
     pub fn secddr_xts() -> Self {
-        Self { mechanism: Mechanism::SecDdr, enc: EncMode::Xts, ctr_packing: 64 }
+        Self {
+            mechanism: Mechanism::SecDdr,
+            enc: EncMode::Xts,
+            ctr_packing: 64,
+        }
     }
 
     /// Section IV-B config 3: encrypt-only, counter mode.
     pub fn encrypt_only_ctr() -> Self {
-        Self { mechanism: Mechanism::EncryptOnly, enc: EncMode::Ctr, ctr_packing: 64 }
+        Self {
+            mechanism: Mechanism::EncryptOnly,
+            enc: EncMode::Ctr,
+            ctr_packing: 64,
+        }
     }
 
     /// Section IV-B config 5: encrypt-only, AES-XTS.
     pub fn encrypt_only_xts() -> Self {
-        Self { mechanism: Mechanism::EncryptOnly, enc: EncMode::Xts, ctr_packing: 64 }
+        Self {
+            mechanism: Mechanism::EncryptOnly,
+            enc: EncMode::Xts,
+            ctr_packing: 64,
+        }
     }
 
     /// Returns a copy with a different counter packing (Figure 8).
@@ -113,12 +145,20 @@ impl SecurityConfig {
 
     /// InvisiMem at full 3200 MT/s ("unrealistic", Section VI-D).
     pub fn invisimem_unrealistic(enc: EncMode) -> Self {
-        Self { mechanism: Mechanism::InvisiMem { realistic: false }, enc, ctr_packing: 64 }
+        Self {
+            mechanism: Mechanism::InvisiMem { realistic: false },
+            enc,
+            ctr_packing: 64,
+        }
     }
 
     /// InvisiMem derated to 2400 MT/s ("realistic").
     pub fn invisimem_realistic(enc: EncMode) -> Self {
-        Self { mechanism: Mechanism::InvisiMem { realistic: true }, enc, ctr_packing: 64 }
+        Self {
+            mechanism: Mechanism::InvisiMem { realistic: true },
+            enc,
+            ctr_packing: 64,
+        }
     }
 
     /// Short display label matching the paper's legends.
@@ -134,9 +174,7 @@ impl SecurityConfig {
             (Mechanism::InvisiMem { realistic: false }, _) => {
                 "InvisiMem - unrealistic @ 3200".into()
             }
-            (Mechanism::InvisiMem { realistic: true }, _) => {
-                "InvisiMem - realistic @ 2400".into()
-            }
+            (Mechanism::InvisiMem { realistic: true }, _) => "InvisiMem - realistic @ 2400".into(),
         }
     }
 
@@ -153,9 +191,7 @@ impl SecurityConfig {
                  (use a hash tree, Section V-A)"
                     .into(),
             ),
-            (Mechanism::CounterTree { arity } | Mechanism::HashTree { arity }, _)
-                if arity < 2 =>
-            {
+            (Mechanism::CounterTree { arity } | Mechanism::HashTree { arity }, _) if arity < 2 => {
                 Err("tree arity must be at least 2".into())
             }
             _ if !self.ctr_packing.is_power_of_two() => {
@@ -231,18 +267,25 @@ mod tests {
     #[test]
     fn realistic_invisimem_is_derated() {
         assert_eq!(
-            SecurityConfig::invisimem_realistic(EncMode::Xts).dram_config().freq_mhz,
+            SecurityConfig::invisimem_realistic(EncMode::Xts)
+                .dram_config()
+                .freq_mhz,
             1200
         );
         assert_eq!(
-            SecurityConfig::invisimem_unrealistic(EncMode::Xts).dram_config().freq_mhz,
+            SecurityConfig::invisimem_unrealistic(EncMode::Xts)
+                .dram_config()
+                .freq_mhz,
             1600
         );
     }
 
     #[test]
     fn labels_match_paper_legends() {
-        assert_eq!(SecurityConfig::tree_64ary().label(), "Integrity Tree, 64ary");
+        assert_eq!(
+            SecurityConfig::tree_64ary().label(),
+            "Integrity Tree, 64ary"
+        );
         assert_eq!(SecurityConfig::secddr_ctr().label(), "SecDDR+CTR");
         assert_eq!(
             SecurityConfig::invisimem_realistic(EncMode::Xts).label(),

@@ -10,17 +10,18 @@
 //! line; dirty metadata evictions become extra DRAM writes and propagate
 //! dirtiness to parent tree nodes.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use cpu_model::cache::{Cache, CacheConfig, CacheStats};
 use cpu_model::system::{AccessKind, Busy, MemoryBackend};
 use dram_sim::{DramSystem, MemRequest, ReqKind};
+use sim_kernel::{Advance, EventQueue, FxHashMap};
 
 use crate::config::{EncMode, Mechanism, SecurityConfig, CRYPTO_LATENCY};
 use crate::metadata::{MetadataLayout, DATA_SPAN};
 
 /// Traffic and cache statistics accumulated by the engine.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineStats {
     /// Demand data reads issued to DRAM.
     pub data_reads: u64,
@@ -65,6 +66,9 @@ pub struct EngineOptions {
     /// Schedule first-come-first-served instead of FR-FCFS (no row-hit
     /// prioritization).
     pub fcfs: bool,
+    /// Clock advance policy for the engine's DRAM channel: event-driven
+    /// idle-skip (default) or the per-cycle reference semantics.
+    pub advance: Advance,
 }
 
 impl Default for EngineOptions {
@@ -74,6 +78,7 @@ impl Default for EngineOptions {
             serial_tree_fetch: false,
             force_bl8: false,
             fcfs: false,
+            advance: Advance::ToNextEvent,
         }
     }
 }
@@ -90,9 +95,15 @@ pub struct SecurityEngine {
     mem_mhz: u64,
     next_token: u64,
     next_part: u64,
-    part_token: HashMap<u64, u64>,
-    transactions: HashMap<u64, Transaction>,
-    ready: Vec<(u64, u64)>, // (ready_cpu_cycle, token)
+    part_token: FxHashMap<u64, u64>,
+    transactions: FxHashMap<u64, Transaction>,
+    /// Lower bound on `extra_latency` across in-flight transactions
+    /// (tightened on insert, reset when none remain). Lets
+    /// [`MemoryBackend::next_completion_event`] push the CPU's wake-up
+    /// past the crypto latency instead of the next raw DRAM activity.
+    min_extra_in_flight: u64,
+    /// Completed reads, scheduled at the CPU cycle they become visible.
+    ready: EventQueue<u64>,
     pending_md_writes: VecDeque<u64>,
     stats: EngineStats,
     options: EngineOptions,
@@ -166,9 +177,10 @@ impl SecurityEngine {
             mem_mhz,
             next_token: 0,
             next_part: 0,
-            part_token: HashMap::new(),
-            transactions: HashMap::new(),
-            ready: Vec::new(),
+            part_token: FxHashMap::default(),
+            transactions: FxHashMap::default(),
+            min_extra_in_flight: u64::MAX,
+            ready: EventQueue::new(),
             pending_md_writes: VecDeque::new(),
             stats: EngineStats::default(),
             options,
@@ -246,7 +258,10 @@ impl SecurityEngine {
         // Fetch from DRAM.
         let part = self.next_part;
         self.next_part += 1;
-        match self.dram.enqueue(MemRequest::new(part, ReqKind::Read, line, now_mem)) {
+        match self
+            .dram
+            .enqueue(MemRequest::new(part, ReqKind::Read, line, now_mem))
+        {
             Ok(()) => {
                 if let Some(t) = token {
                     self.part_token.insert(part, t);
@@ -314,10 +329,54 @@ impl SecurityEngine {
         2 * (1 + self.layout.as_ref().map_or(0, |l| 2 + l.tree_levels()))
     }
 
+    /// Lower bound (CPU cycles) on the next visible read-token time:
+    /// already-computed ready times, plus in-flight transactions whose
+    /// parts finish no earlier than the earliest pending data beat or —
+    /// for parts still queued — the earliest possible READ issue plus CAS
+    /// latency and burst, with the transaction's crypto latency on top.
+    fn completion_bound(&self) -> u64 {
+        let mut bound = u64::MAX;
+        if let Some(t) = self.ready.peek_time() {
+            bound = bound.min(t);
+        }
+        if !self.transactions.is_empty() {
+            let mut part_finish = self.dram.next_read_finish_cycle();
+            if let Some(t) = self.dram.next_pending_completion() {
+                part_finish = part_finish.min(t);
+            }
+            // Defensive floor: a part must finish strictly in the future.
+            part_finish = part_finish.max(self.dram.cycle() + 1);
+            let extra = if self.min_extra_in_flight == u64::MAX {
+                0
+            } else {
+                self.min_extra_in_flight
+            };
+            bound = bound.min(self.cpu_cycle_for(part_finish).saturating_add(extra));
+        }
+        bound
+    }
+
     /// Advances the DRAM channel to `mem_due`, harvesting completions into
     /// the ready queue.
+    ///
+    /// With the event-driven policy, quiescent stretches of the channel
+    /// are skipped in one jump; metadata-writeback retries interleave at
+    /// exactly the same cycles as the per-cycle reference because write
+    /// queue space only frees when a command issues — an activity the
+    /// skip never jumps over.
     fn advance(&mut self, mem_due: u64) {
         while self.dram.cycle() < mem_due {
+            // Only consult the (amortized but nonzero cost) activity bound
+            // when the remaining window could actually be skipped.
+            if self.options.advance.is_event_driven()
+                && mem_due > self.dram.cycle() + 1
+                && self.dram.is_quiescent()
+            {
+                let next = self.dram.next_activity_cycle().min(mem_due);
+                if next > self.dram.cycle() + 1 {
+                    self.dram.skip_idle_to(next - 1);
+                }
+            }
             for completion in self.dram.tick() {
                 let Some(token) = self.part_token.remove(&completion.id) else {
                     continue; // untracked metadata traffic
@@ -328,8 +387,11 @@ impl SecurityEngine {
                     txn.latest_arrival_cpu = txn.latest_arrival_cpu.max(arrival);
                     if txn.remaining == 0 {
                         let txn = self.transactions.remove(&token).expect("present");
+                        if self.transactions.is_empty() {
+                            self.min_extra_in_flight = u64::MAX;
+                        }
                         self.ready
-                            .push((txn.latest_arrival_cpu + txn.extra_latency, token));
+                            .push(txn.latest_arrival_cpu + txn.extra_latency, token);
                     }
                 }
             }
@@ -391,14 +453,8 @@ impl MemoryBackend for SecurityEngine {
                 let mut tree_misses = 0u64;
                 if let Some(layout) = self.layout.clone() {
                     let leaf = layout.leaf_line_of(addr);
-                    leaf_missed = self.metadata_access(
-                        leaf,
-                        false,
-                        Some(token),
-                        now_mem,
-                        &mut parts,
-                        false,
-                    );
+                    leaf_missed =
+                        self.metadata_access(leaf, false, Some(token), now_mem, &mut parts, false);
                     // Tree walk: climb until a cached (trusted) ancestor.
                     for node in layout.tree_path_of(leaf) {
                         let missed = self.metadata_access(
@@ -422,13 +478,18 @@ impl MemoryBackend for SecurityEngine {
                     // beyond the first adds a dependent round trip; model
                     // it as one uncontended access per extra level.
                     let cfg = self.dram.config();
-                    let per_fetch = self
-                        .cpu_cycle_for(cfg.t_rcd + cfg.t_cl + cfg.read_burst_cycles);
+                    let per_fetch =
+                        self.cpu_cycle_for(cfg.t_rcd + cfg.t_cl + cfg.read_burst_cycles);
                     extra += (tree_misses - 1) * per_fetch;
                 }
+                self.min_extra_in_flight = self.min_extra_in_flight.min(extra);
                 self.transactions.insert(
                     token,
-                    Transaction { remaining: parts, latest_arrival_cpu: 0, extra_latency: extra },
+                    Transaction {
+                        remaining: parts,
+                        latest_arrival_cpu: 0,
+                        extra_latency: extra,
+                    },
                 );
                 Ok(token)
             }
@@ -450,8 +511,7 @@ impl MemoryBackend for SecurityEngine {
                     if let Some(layout) = self.layout.clone() {
                         let leaf = layout.leaf_line_of(addr);
                         let mut parts = 0u32;
-                        let _ =
-                            self.metadata_access(leaf, true, None, now_mem, &mut parts, false);
+                        let _ = self.metadata_access(leaf, true, None, now_mem, &mut parts, false);
                     }
                 }
                 // Writes are posted; token unused by the caller.
@@ -466,15 +526,58 @@ impl MemoryBackend for SecurityEngine {
         let mem_due = self.mem_cycle_for(now);
         self.advance(mem_due);
         let mut done = Vec::new();
-        self.ready.retain(|&(ready_at, token)| {
-            if ready_at <= now {
-                done.push(token);
-                false
-            } else {
-                true
-            }
-        });
+        while let Some((_, token)) = self.ready.pop_due(now) {
+            done.push(token);
+        }
         done
+    }
+
+    fn next_event(&self, now: u64) -> Option<u64> {
+        let mut bound = self.completion_bound();
+        // Any queued or in-flight DRAM work can free queue space
+        // (unblocking Busy submits and writeback retries); bound it by
+        // the channel's next possible activity. Pure refresh upkeep on an
+        // idle channel is invisible to the CPU and is caught up on the
+        // next tick, so it adds no bound here.
+        if !self.dram.is_idle() {
+            let mem_next = if self.dram.is_quiescent() {
+                self.dram.next_activity_cycle()
+            } else {
+                self.dram.cycle() + 1
+            };
+            bound = bound.min(self.cpu_cycle_for(mem_next));
+        }
+        if bound == u64::MAX {
+            None
+        } else {
+            Some(bound.max(now + 1))
+        }
+    }
+
+    fn next_completion_event(&self, now: u64) -> Option<u64> {
+        let bound = self.completion_bound();
+        if bound == u64::MAX {
+            None
+        } else {
+            Some(bound.max(now + 1))
+        }
+    }
+
+    fn next_read_capacity_event(&self, now: u64) -> Option<u64> {
+        // Read-queue capacity frees exactly when a READ column command
+        // issues; completions stay observable through the same bound.
+        let mut bound = self.completion_bound();
+        if self.dram.read_queue_len() > 0 {
+            bound = bound.min(self.cpu_cycle_for(self.dram.next_read_issue_cycle()));
+        } else {
+            // Capacity is already available; retry immediately.
+            bound = bound.min(now + 1);
+        }
+        if bound == u64::MAX {
+            None
+        } else {
+            Some(bound.max(now + 1))
+        }
     }
 }
 
@@ -516,7 +619,7 @@ mod tests {
         let t2 = e.submit(AccessKind::Read, 0x4040, 5_000, false).unwrap();
         drive_to_completion(&mut e, t2, 5_001);
         assert_eq!(e.stats().leaf_fetches, 1);
-        assert_eq!(e.stats().metadata_cache.hits, 0 + 1);
+        assert_eq!(e.stats().metadata_cache.hits, 1);
     }
 
     #[test]
@@ -621,9 +724,21 @@ mod tests {
         // nearly every write misses (some fetches are elided under queue
         // saturation, so compare cache misses, and require substantial
         // real fetch + writeback traffic).
-        assert!(s.metadata_cache.misses > 4_000, "write misses: {:?}", s.metadata_cache);
-        assert!(s.leaf_fetches > 500, "fetch-on-write-miss: {}", s.leaf_fetches);
-        assert!(s.metadata_writebacks > 1_000, "dirty evictions: {}", s.metadata_writebacks);
+        assert!(
+            s.metadata_cache.misses > 4_000,
+            "write misses: {:?}",
+            s.metadata_cache
+        );
+        assert!(
+            s.leaf_fetches > 500,
+            "fetch-on-write-miss: {}",
+            s.leaf_fetches
+        );
+        assert!(
+            s.metadata_writebacks > 1_000,
+            "dirty evictions: {}",
+            s.metadata_writebacks
+        );
     }
 
     #[test]
@@ -647,7 +762,10 @@ mod tests {
         let e = SecurityEngine::with_options(
             SecurityConfig::secddr_xts(),
             CPU_MHZ,
-            EngineOptions { force_bl8: true, ..Default::default() },
+            EngineOptions {
+                force_bl8: true,
+                ..Default::default()
+            },
         );
         assert_eq!(e.dram.config().write_burst_cycles, 4);
         assert_eq!(e.dram.config().write_extra_cycles, 0);
@@ -660,7 +778,10 @@ mod tests {
         let e = SecurityEngine::with_options(
             SecurityConfig::tree_64ary(),
             CPU_MHZ,
-            EngineOptions { metadata_cache_bytes: 32 << 10, ..Default::default() },
+            EngineOptions {
+                metadata_cache_bytes: 32 << 10,
+                ..Default::default()
+            },
         );
         assert_eq!(e.md_cache.config().size_bytes, 32 << 10);
     }
@@ -671,7 +792,10 @@ mod tests {
             let mut e = SecurityEngine::with_options(
                 SecurityConfig::tree_64ary(),
                 CPU_MHZ,
-                EngineOptions { serial_tree_fetch: serial, ..Default::default() },
+                EngineOptions {
+                    serial_tree_fetch: serial,
+                    ..Default::default()
+                },
             );
             let t = e.submit(AccessKind::Read, 0x55_5000, 100, false).unwrap();
             drive_to_completion(&mut e, t, 101) - 100

@@ -68,7 +68,13 @@ impl MetadataLayout {
                 offset += count;
             }
         }
-        Self { entries_per_line, arity: arity.max(1), leaves, levels, leaf_base }
+        Self {
+            entries_per_line,
+            arity: arity.max(1),
+            leaves,
+            levels,
+            leaf_base,
+        }
     }
 
     /// Number of off-chip tree levels (the root is on-chip).
@@ -83,7 +89,10 @@ impl MetadataLayout {
     ///
     /// Panics if `data_addr` is outside the data region.
     pub fn leaf_line_of(&self, data_addr: u64) -> u64 {
-        assert!(data_addr < DATA_SPAN, "address {data_addr:#x} beyond protected span");
+        assert!(
+            data_addr < DATA_SPAN,
+            "address {data_addr:#x} beyond protected span"
+        );
         let leaf_index = (data_addr / LINE) / self.entries_per_line;
         self.leaf_base + leaf_index * LINE
     }

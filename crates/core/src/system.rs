@@ -1,6 +1,7 @@
 //! One-call experiment runner: benchmark × configuration → IPC.
 
 use cpu_model::{CpuConfig, CpuSystem, SimResult};
+use sim_kernel::Advance;
 use workloads::Benchmark;
 
 use crate::config::SecurityConfig;
@@ -19,7 +20,10 @@ pub struct RunParams {
 
 impl Default for RunParams {
     fn default() -> Self {
-        Self { instructions: 500_000, seed: 0xD5 }
+        Self {
+            instructions: 500_000,
+            seed: 0xD5,
+        }
     }
 }
 
@@ -66,12 +70,26 @@ impl RunResult {
 }
 
 /// Runs `bench` under `config` and returns the full result set.
-pub fn run_benchmark(
+pub fn run_benchmark(bench: &Benchmark, config: &SecurityConfig, params: &RunParams) -> RunResult {
+    run_benchmark_with_options(bench, config, params, EngineOptions::default())
+}
+
+/// As [`run_benchmark`] with an explicit clock-advance policy.
+///
+/// [`Advance::PerCycle`] runs the lock-step reference semantics; the
+/// equivalence tests compare it against the default event-driven fast
+/// path, which must produce identical results.
+pub fn run_benchmark_with_advance(
     bench: &Benchmark,
     config: &SecurityConfig,
     params: &RunParams,
+    advance: Advance,
 ) -> RunResult {
-    run_benchmark_with_options(bench, config, params, EngineOptions::default())
+    let options = EngineOptions {
+        advance,
+        ..EngineOptions::default()
+    };
+    run_benchmark_with_options(bench, config, params, options)
 }
 
 /// As [`run_benchmark`] with explicit engine ablation knobs.
@@ -81,11 +99,29 @@ pub fn run_benchmark_with_options(
     params: &RunParams,
     options: EngineOptions,
 ) -> RunResult {
-    let cpu_cfg = CpuConfig::default();
+    let trace = bench.generate(params.instructions, params.seed);
+    run_trace_with_options(bench, &trace, config, options)
+}
+
+/// Runs an already-generated trace under `config`.
+///
+/// Sweeps that evaluate one benchmark under several configurations
+/// generate the trace once and reuse it here — trace generation (graph
+/// kernels, calibrated generators) is pure overhead to repeat per
+/// configuration.
+pub fn run_trace_with_options(
+    bench: &Benchmark,
+    trace: &[cpu_model::TraceOp],
+    config: &SecurityConfig,
+    options: EngineOptions,
+) -> RunResult {
+    let cpu_cfg = CpuConfig {
+        advance: options.advance,
+        ..CpuConfig::default()
+    };
     let engine = SecurityEngine::with_options(*config, cpu_cfg.clock_mhz, options);
     let mut system = CpuSystem::new(cpu_cfg, engine);
-    let trace = bench.generate(params.instructions, params.seed);
-    let sim = system.run(trace.into_iter());
+    let sim = system.run(trace.iter().copied());
     let engine_stats = system.backend().stats();
     let dram = system.backend().dram_stats().clone();
     RunResult {
@@ -119,7 +155,10 @@ mod tests {
     use super::*;
 
     fn quick(name: &str, cfg: SecurityConfig) -> RunResult {
-        let params = RunParams { instructions: 60_000, seed: 7 };
+        let params = RunParams {
+            instructions: 60_000,
+            seed: 7,
+        };
         run_benchmark(&Benchmark::by_name(name).unwrap(), &cfg, &params)
     }
 
@@ -159,7 +198,12 @@ mod tests {
         let enc = quick("omnetpp", SecurityConfig::encrypt_only_xts());
         let secddr = quick("omnetpp", SecurityConfig::secddr_xts());
         // Within a small tolerance (SecDDR pays only the longer bursts).
-        assert!(secddr.ipc() <= enc.ipc() * 1.02, "{} vs {}", secddr.ipc(), enc.ipc());
+        assert!(
+            secddr.ipc() <= enc.ipc() * 1.02,
+            "{} vs {}",
+            secddr.ipc(),
+            enc.ipc()
+        );
     }
 
     #[test]

@@ -17,17 +17,29 @@ pub struct CacheConfig {
 impl CacheConfig {
     /// 32 KB, 64 B lines, 4-way (Table I L1D).
     pub fn l1d() -> Self {
-        Self { size_bytes: 32 << 10, line_bytes: 64, ways: 4 }
+        Self {
+            size_bytes: 32 << 10,
+            line_bytes: 64,
+            ways: 4,
+        }
     }
 
     /// 4 MB, 64 B lines, 16-way (Table I shared LLC).
     pub fn llc() -> Self {
-        Self { size_bytes: 4 << 20, line_bytes: 64, ways: 16 }
+        Self {
+            size_bytes: 4 << 20,
+            line_bytes: 64,
+            ways: 16,
+        }
     }
 
     /// 128 KB, 64 B lines, 8-way (Table I metadata cache).
     pub fn metadata() -> Self {
-        Self { size_bytes: 128 << 10, line_bytes: 64, ways: 8 }
+        Self {
+            size_bytes: 128 << 10,
+            line_bytes: 64,
+            ways: 8,
+        }
     }
 
     fn sets(&self) -> usize {
@@ -89,10 +101,21 @@ impl Cache {
     /// Panics if the geometry is not a power-of-two number of sets.
     pub fn new(cfg: CacheConfig) -> Self {
         let sets = cfg.sets();
-        assert!(sets.is_power_of_two(), "cache must have a power-of-two set count");
+        assert!(
+            sets.is_power_of_two(),
+            "cache must have a power-of-two set count"
+        );
         Self {
             sets: vec![
-                vec![Line { tag: 0, valid: false, dirty: false, lru: 0 }; cfg.ways as usize];
+                vec![
+                    Line {
+                        tag: 0,
+                        valid: false,
+                        dirty: false,
+                        lru: 0
+                    };
+                    cfg.ways as usize
+                ];
                 sets
             ],
             stamp: 0,
@@ -116,7 +139,10 @@ impl Cache {
     #[inline]
     fn index(&self, addr: u64) -> (usize, u64) {
         let line = addr >> self.line_shift;
-        ((line & self.set_mask) as usize, line >> self.set_mask.count_ones())
+        (
+            (line & self.set_mask) as usize,
+            line >> self.set_mask.count_ones(),
+        )
     }
 
     /// Looks up `addr`; on a hit updates recency (and the dirty bit when
@@ -162,14 +188,19 @@ impl Cache {
             .expect("ways >= 1");
         let evicted = if victim.valid && victim.dirty {
             let set_bits = self.set_mask.count_ones();
-            Some(((victim.tag << set_bits | set as u64) << self.line_shift) as u64)
+            Some((victim.tag << set_bits | set as u64) << self.line_shift)
         } else {
             None
         };
         if evicted.is_some() {
             self.stats.writebacks += 1;
         }
-        *victim = Line { tag, valid: true, dirty: is_write, lru: stamp };
+        *victim = Line {
+            tag,
+            valid: true,
+            dirty: is_write,
+            lru: stamp,
+        };
         evicted
     }
 
@@ -201,7 +232,11 @@ mod tests {
 
     fn tiny() -> Cache {
         // 4 sets x 2 ways x 64B = 512B
-        Cache::new(CacheConfig { size_bytes: 512, line_bytes: 64, ways: 2 })
+        Cache::new(CacheConfig {
+            size_bytes: 512,
+            line_bytes: 64,
+            ways: 2,
+        })
     }
 
     #[test]
@@ -291,7 +326,11 @@ mod tests {
 
     #[test]
     fn working_set_within_capacity_has_no_capacity_misses() {
-        let mut c = Cache::new(CacheConfig { size_bytes: 4096, line_bytes: 64, ways: 4 });
+        let mut c = Cache::new(CacheConfig {
+            size_bytes: 4096,
+            line_bytes: 64,
+            ways: 4,
+        });
         let lines = 4096 / 64;
         for pass in 0..3 {
             for i in 0..lines {

@@ -2,6 +2,8 @@
 
 use std::collections::VecDeque;
 
+use sim_kernel::Advance;
+
 /// Core configuration. Defaults follow Table I of the paper: 6-wide
 /// fetch/retire, 224-entry ROB, 3.2 GHz, L1 32 KB, LLC 4 MB.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -22,6 +24,9 @@ pub struct CpuConfig {
     pub line_bytes: u64,
     /// Core clock in MHz (used to derive the DRAM clock ratio).
     pub clock_mhz: u32,
+    /// Clock advance policy: event-driven idle-skip (default) or the
+    /// per-cycle reference semantics.
+    pub advance: Advance,
 }
 
 impl Default for CpuConfig {
@@ -35,6 +40,7 @@ impl Default for CpuConfig {
             fill_latency: 4,
             line_bytes: 64,
             clock_mhz: 3200,
+            advance: Advance::ToNextEvent,
         }
     }
 }
@@ -72,7 +78,12 @@ pub(crate) struct Rob {
 
 impl Rob {
     pub fn new(capacity: usize) -> Self {
-        Self { entries: VecDeque::new(), capacity, occupancy: 0, next_seq: 0 }
+        Self {
+            entries: VecDeque::new(),
+            capacity,
+            occupancy: 0,
+            next_seq: 0,
+        }
     }
 
     pub fn space(&self) -> usize {
@@ -96,7 +107,7 @@ impl Rob {
         self.next_seq += 1;
         // Merge with a trailing ready compute entry to keep the deque small.
         if let Some(back) = self.entries.back_mut() {
-            if back.kind == EntryKind::Compute && back.ready_at.map_or(false, |r| r <= now) {
+            if back.kind == EntryKind::Compute && back.ready_at.is_some_and(|r| r <= now) {
                 back.count += n;
                 return;
             }
@@ -116,7 +127,12 @@ impl Rob {
         self.occupancy += 1;
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.entries.push_back(Entry { kind: EntryKind::Load, count: 1, ready_at, seq });
+        self.entries.push_back(Entry {
+            kind: EntryKind::Load,
+            count: 1,
+            ready_at,
+            seq,
+        });
         seq
     }
 
@@ -146,13 +162,24 @@ impl Rob {
         debug_assert!(false, "mark_ready on unknown seq {seq}");
     }
 
+    /// The cycle at which the head entry becomes retirable; `None` when
+    /// the ROB is empty or the head is waiting on a memory completion.
+    ///
+    /// Retirement is in order, so nothing can retire before this cycle —
+    /// the bound the event-driven run loop skips to.
+    pub fn next_retire_at(&self) -> Option<u64> {
+        self.entries.front().and_then(|e| e.ready_at)
+    }
+
     /// Retires up to `width` instructions at cycle `now`; returns the
     /// number retired.
     pub fn retire(&mut self, width: u32, now: u64) -> u64 {
         let mut budget = width;
         let mut retired = 0u64;
         while budget > 0 {
-            let Some(head) = self.entries.front_mut() else { break };
+            let Some(head) = self.entries.front_mut() else {
+                break;
+            };
             match head.ready_at {
                 Some(r) if r <= now => {}
                 _ => break,

@@ -44,5 +44,6 @@ pub mod trace;
 pub use crate::core::CpuConfig;
 pub use cache::{Cache, CacheConfig, CacheStats};
 pub use prefetcher::StreamPrefetcher;
+pub use sim_kernel::Advance;
 pub use system::{AccessKind, CpuSystem, FixedLatencyBackend, MemoryBackend, SimResult};
 pub use trace::TraceOp;

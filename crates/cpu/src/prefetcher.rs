@@ -59,7 +59,7 @@ impl StreamPrefetcher {
         let mut matched: Option<usize> = None;
         for (i, s) in self.streams.iter().enumerate() {
             let delta = line as i64 - s.last_line as i64;
-            if delta != 0 && delta.abs() as u64 <= self.distance {
+            if delta != 0 && delta.unsigned_abs() <= self.distance {
                 matched = Some(i);
                 break;
             }
@@ -91,7 +91,12 @@ impl StreamPrefetcher {
         }
 
         // Allocate a new stream (LRU replacement).
-        let entry = Stream { last_line: line, direction: 1, confidence: 0, lru: stamp };
+        let entry = Stream {
+            last_line: line,
+            direction: 1,
+            confidence: 0,
+            lru: stamp,
+        };
         if self.streams.len() < self.max_streams {
             self.streams.push(entry);
         } else if let Some(victim) = self.streams.iter_mut().min_by_key(|s| s.lru) {
@@ -137,7 +142,9 @@ mod tests {
         let mut total = 0;
         let mut x = 12345u64;
         for _ in 0..100 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             total += p.on_demand_miss((x >> 20) & !63).len();
         }
         assert_eq!(total, 0, "no stream should form on random addresses");

@@ -1,8 +1,18 @@
 //! Full CPU-side system: core + L1 + LLC + prefetcher over a pluggable
 //! memory backend.
+//!
+//! The run loop rides the shared event-driven kernel: with
+//! [`sim_kernel::Advance::ToNextEvent`] (the [`CpuConfig`] default) it
+//! skips stretches where the per-cycle reference would provably do
+//! nothing — no retirement (ROB head not ready), no dispatch (stalled on
+//! a miss, a full ROB, or a busy backend), and no backend completion
+//! before the backend's own [`MemoryBackend::next_event`] bound. Skipped
+//! cycles still count toward [`SimResult::cycles`], so results are
+//! bit-identical to [`sim_kernel::Advance::PerCycle`].
 
-use std::collections::HashMap;
 use std::collections::VecDeque;
+
+use sim_kernel::{EventQueue, FxHashMap, SimClock};
 
 use crate::cache::{Cache, CacheConfig, CacheStats};
 use crate::core::{CpuConfig, Rob};
@@ -53,6 +63,40 @@ pub trait MemoryBackend {
 
     /// Advances to CPU cycle `now`; returns completed read tokens.
     fn tick(&mut self, now: u64) -> Vec<u64>;
+
+    /// Lower bound on the next CPU cycle at which this backend's
+    /// observable state can change: a read completing, or queue space
+    /// freeing up after a [`Busy`] rejection.
+    ///
+    /// `None` means "no internal events pending" (nothing will ever
+    /// complete without a new submission), which lets the event-driven
+    /// run loop skip freely. The default is the always-safe "wake me
+    /// every cycle", so custom backends keep per-cycle semantics unless
+    /// they opt in.
+    fn next_event(&self, now: u64) -> Option<u64> {
+        Some(now + 1)
+    }
+
+    /// Lower bound on the next CPU cycle at which [`Self::tick`] could
+    /// return a completed read token.
+    ///
+    /// Callers that are only waiting on completions (no writeback or
+    /// submission blocked on [`Busy`]) may sleep to this bound instead of
+    /// [`Self::next_event`]; it can be much larger because queue-space
+    /// changes do not have to be observed. Defaults to `next_event`.
+    fn next_completion_event(&self, now: u64) -> Option<u64> {
+        self.next_event(now)
+    }
+
+    /// Lower bound on the next CPU cycle at which either a read could
+    /// complete or read-queue capacity could free up.
+    ///
+    /// Used when a load is stalled on [`Busy`]: read capacity frees when
+    /// a read leaves the backend's queues, which can be bounded far more
+    /// loosely than "any observable change". Defaults to `next_event`.
+    fn next_read_capacity_event(&self, now: u64) -> Option<u64> {
+        self.next_event(now)
+    }
 }
 
 /// A constant-latency backend for tests and upper-bound experiments.
@@ -60,13 +104,17 @@ pub trait MemoryBackend {
 pub struct FixedLatencyBackend {
     latency: u64,
     next_token: u64,
-    in_flight: VecDeque<(u64, u64)>, // (finish, token)
+    in_flight: EventQueue<u64>, // token, scheduled at its finish cycle
 }
 
 impl FixedLatencyBackend {
     /// Backend whose every read completes after `latency` CPU cycles.
     pub fn new(latency: u64) -> Self {
-        Self { latency, next_token: 0, in_flight: VecDeque::new() }
+        Self {
+            latency,
+            next_token: 0,
+            in_flight: EventQueue::new(),
+        }
     }
 }
 
@@ -81,27 +129,26 @@ impl MemoryBackend for FixedLatencyBackend {
         let token = self.next_token;
         self.next_token += 1;
         if kind == AccessKind::Read {
-            self.in_flight.push_back((now + self.latency, token));
+            self.in_flight.push(now + self.latency, token);
         }
         Ok(token)
     }
 
     fn tick(&mut self, now: u64) -> Vec<u64> {
         let mut done = Vec::new();
-        while let Some(&(finish, token)) = self.in_flight.front() {
-            if finish <= now {
-                done.push(token);
-                self.in_flight.pop_front();
-            } else {
-                break;
-            }
+        while let Some((_, token)) = self.in_flight.pop_due(now) {
+            done.push(token);
         }
         done
+    }
+
+    fn next_event(&self, _now: u64) -> Option<u64> {
+        self.in_flight.peek_time()
     }
 }
 
 /// Result of one simulation run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SimResult {
     /// Instructions retired.
     pub instructions: u64,
@@ -152,12 +199,12 @@ pub struct CpuSystem<B> {
     llc: Cache,
     prefetcher: StreamPrefetcher,
     rob: Rob,
-    cycle: u64,
+    clock: SimClock,
     instructions: u64,
     /// line address -> outstanding miss state
-    outstanding: HashMap<u64, Outstanding>,
+    outstanding: FxHashMap<u64, Outstanding>,
     /// backend token -> line address
-    token_line: HashMap<u64, u64>,
+    token_line: FxHashMap<u64, u64>,
     /// Writebacks the backend refused; retried each cycle.
     pending_writebacks: VecDeque<u64>,
     /// A dispatch-blocked memory op waiting for backend space.
@@ -165,7 +212,21 @@ pub struct CpuSystem<B> {
     /// Line of the most recent dependent load still in flight (serializes
     /// pointer-chase chains).
     chase_outstanding: Option<u64>,
+    /// Exponential backoff for skip attempts in event-dense phases where
+    /// the bounds keep yielding tiny skips (heuristic only — never
+    /// affects simulated results, just when bounds are computed).
+    skip_backoff: u32,
+    /// Remaining idle cycles to run per-cycle before probing again.
+    skip_cooldown: u32,
 }
+
+/// A computed wake-up must skip at least this many cycles to count as
+/// paying for its own bound computation (drives the backoff heuristic).
+const MIN_SKIP_YIELD: u64 = 8;
+
+/// Number of consecutive idle cycles before the run loop starts probing
+/// skip bounds: short bubbles are cheaper to simulate than to analyze.
+const MIN_IDLE_STREAK: u32 = 16;
 
 impl<B: MemoryBackend> CpuSystem<B> {
     /// Builds a system with Table I cache geometry.
@@ -176,13 +237,15 @@ impl<B: MemoryBackend> CpuSystem<B> {
             llc: Cache::new(CacheConfig::llc()),
             prefetcher: StreamPrefetcher::new(cfg.line_bytes),
             rob: Rob::new(cfg.rob_entries),
-            cycle: 0,
+            clock: SimClock::new(),
             instructions: 0,
-            outstanding: HashMap::new(),
-            token_line: HashMap::new(),
+            outstanding: FxHashMap::default(),
+            token_line: FxHashMap::default(),
             pending_writebacks: VecDeque::new(),
             stalled_op: None,
             chase_outstanding: None,
+            skip_backoff: 0,
+            skip_cooldown: 0,
             cfg,
         }
     }
@@ -201,29 +264,63 @@ impl<B: MemoryBackend> CpuSystem<B> {
     /// misses) and returns the aggregate result.
     pub fn run<T: Iterator<Item = TraceOp>>(&mut self, mut trace: T) -> SimResult {
         let mut trace_done = false;
+        // Consecutive do-nothing cycles so far. Pure heuristic filter:
+        // the skip bound below is sound on its own, but computing it only
+        // pays off for long stalls — short retire/issue bubbles cost more
+        // to analyze than to simulate — so probe only once a stall has
+        // demonstrably set in.
+        let mut idle_streak = 0u32;
         loop {
-            self.cycle += 1;
+            // 0. Event-driven fast path: jump over cycles where the
+            // per-cycle reference would provably do nothing.
+            if idle_streak >= MIN_IDLE_STREAK && self.cfg.advance.is_event_driven() {
+                if self.skip_cooldown > 0 {
+                    // Recent bounds yielded next to nothing (an event-dense
+                    // phase): run per-cycle for a while instead of paying
+                    // for bounds that cannot pay off.
+                    self.skip_cooldown -= 1;
+                } else if let Some(wake) = self.next_event_cycle(trace_done) {
+                    let skip_yield = wake.saturating_sub(self.clock.now() + 1);
+                    if skip_yield >= MIN_SKIP_YIELD {
+                        self.skip_backoff = 0;
+                    } else if skip_yield <= 1 {
+                        // A probe that bought nothing: the phase is
+                        // event-dense, so probe exponentially less often.
+                        self.skip_backoff = (self.skip_backoff * 2 + 1).min(32);
+                        self.skip_cooldown = self.skip_backoff;
+                    }
+                    if wake > self.clock.now() + 1 {
+                        self.clock.skip_to(wake - 1);
+                    }
+                }
+            }
+            let now = self.clock.tick();
+            let mut progressed = false;
 
             // 1. Memory completions.
-            for token in self.backend.tick(self.cycle) {
+            for token in self.backend.tick(now) {
                 self.handle_completion(token);
+                progressed = true;
             }
 
             // 2. Retry refused writebacks.
             while let Some(&wb) = self.pending_writebacks.front() {
                 if self
                     .backend
-                    .submit(AccessKind::Write, wb, self.cycle, false)
+                    .submit(AccessKind::Write, wb, now, false)
                     .is_ok()
                 {
                     self.pending_writebacks.pop_front();
+                    progressed = true;
                 } else {
                     break;
                 }
             }
 
             // 3. Retire.
-            self.instructions += self.rob.retire(self.cfg.retire_width, self.cycle);
+            let retired = self.rob.retire(self.cfg.retire_width, now);
+            self.instructions += retired;
+            progressed |= retired > 0;
 
             // 4. Dispatch.
             let mut budget = self.cfg.dispatch_width;
@@ -252,6 +349,9 @@ impl<B: MemoryBackend> CpuSystem<B> {
                 }
             }
 
+            progressed |= budget < self.cfg.dispatch_width;
+            idle_streak = if progressed { 0 } else { idle_streak + 1 };
+
             // 5. Termination.
             if trace_done
                 && self.stalled_op.is_none()
@@ -264,11 +364,82 @@ impl<B: MemoryBackend> CpuSystem<B> {
         }
         SimResult {
             instructions: self.instructions,
-            cycles: self.cycle,
+            cycles: self.clock.now(),
             l1: *self.l1.stats(),
             llc: *self.llc.stats(),
             prefetches: self.prefetcher.issued(),
         }
+    }
+
+    /// Lower bound on the next cycle at which the per-cycle loop could do
+    /// any work, or `None` when it must run the very next cycle.
+    ///
+    /// Skipping is sound only when nothing can happen in between:
+    ///
+    /// * *dispatch* makes progress every cycle unless the ROB is full,
+    ///   the trace is exhausted, or the front op is stalled — and every
+    ///   stall reason resolves via a retirement or a backend event;
+    /// * *retirement* is in order, so it cannot happen before the ROB
+    ///   head's ready cycle;
+    /// * *completions* and *writeback retries* (backend queue space only
+    ///   frees when the backend makes progress) cannot happen before
+    ///   [`MemoryBackend::next_event`].
+    fn next_event_cycle(&self, trace_done: bool) -> Option<u64> {
+        let now = self.clock.now();
+        let dispatch_idle = match &self.stalled_op {
+            // A compute remainder only stalls on ROB space (a plain
+            // budget cut dispatches again next cycle with fresh width).
+            Some(TraceOp::Compute(_)) => self.rob.space() == 0,
+            // A blocked pointer chase resumes on its completion event.
+            Some(TraceOp::DependentLoad(_)) if self.chase_outstanding.is_some() => true,
+            // Other memory ops stalled on ROB space (retire event) or a
+            // busy backend (backend queues only drain on backend events).
+            Some(_) => true,
+            // A fresh op could dispatch unless the ROB is full (it would
+            // merely become the stalled op, which is equivalent).
+            None => trace_done || self.rob.space() == 0,
+        };
+        if !dispatch_idle {
+            return None;
+        }
+        let mut bound = u64::MAX;
+        if let Some(t) = self.rob.next_retire_at() {
+            // Cheap early-out for one-cycle retire bubbles: the head
+            // retires next cycle, so no skip is possible and the backend
+            // bound (the expensive part) is not worth computing.
+            if t <= now + 1 {
+                return None;
+            }
+            bound = bound.min(t);
+        }
+        // Backend queue-space changes are only observable through a
+        // blocked writeback or a Busy-stalled op; a pure completion wait
+        // can use the (often much larger) completion bound, and a load
+        // stalled on read capacity the read-issue bound.
+        let busy_stalled = match &self.stalled_op {
+            Some(TraceOp::Compute(_)) | None => None,
+            Some(TraceOp::DependentLoad(_)) if self.chase_outstanding.is_some() => None,
+            Some(op) if self.rob.space() > 0 => Some(*op), // Busy, not ROB-stalled
+            Some(_) => None,
+        };
+        let backend_bound = if !self.pending_writebacks.is_empty()
+            || matches!(busy_stalled, Some(TraceOp::Store(_)))
+        {
+            // Write-queue capacity must be watched at full granularity.
+            self.backend.next_event(now)
+        } else if busy_stalled.is_some() {
+            self.backend.next_read_capacity_event(now)
+        } else {
+            self.backend.next_completion_event(now)
+        };
+        if let Some(t) = backend_bound {
+            bound = bound.min(t);
+        }
+        if bound == u64::MAX {
+            // Nothing scheduled at all: the loop is about to terminate.
+            return None;
+        }
+        Some(bound.max(now + 1))
     }
 
     /// Attempts to dispatch one trace op; returns it back on stall.
@@ -280,7 +451,7 @@ impl<B: MemoryBackend> CpuSystem<B> {
                     return Err(op);
                 }
                 let take = n.min(space);
-                self.rob.push_compute(take, self.cycle);
+                self.rob.push_compute(take, self.clock.now());
                 *budget -= take;
                 if take < n {
                     return Err(TraceOp::Compute(n - take));
@@ -307,13 +478,18 @@ impl<B: MemoryBackend> CpuSystem<B> {
                         self.chase_outstanding = Some(line);
                     }
                 } else if self.l1.access(line, false) {
-                    self.rob.push_load(Some(self.cycle + self.cfg.l1_latency));
+                    self.rob
+                        .push_load(Some(self.clock.now() + self.cfg.l1_latency));
                 } else if self.llc.access(line, false) {
-                    self.rob.push_load(Some(self.cycle + self.cfg.llc_latency));
+                    self.rob
+                        .push_load(Some(self.clock.now() + self.cfg.llc_latency));
                     self.fill_l1(line, false);
                 } else {
                     // LLC demand miss: go to memory.
-                    match self.backend.submit(AccessKind::Read, line, self.cycle, false) {
+                    match self
+                        .backend
+                        .submit(AccessKind::Read, line, self.clock.now(), false)
+                    {
                         Ok(token) => {
                             let seq = self.rob.push_load(None);
                             self.outstanding.insert(
@@ -357,7 +533,10 @@ impl<B: MemoryBackend> CpuSystem<B> {
                 } else {
                     // RFO: fetch the line for ownership; the store itself is
                     // posted and does not block retirement.
-                    match self.backend.submit(AccessKind::Read, line, self.cycle, false) {
+                    match self
+                        .backend
+                        .submit(AccessKind::Read, line, self.clock.now(), false)
+                    {
                         Ok(token) => {
                             self.outstanding.insert(
                                 line,
@@ -377,7 +556,7 @@ impl<B: MemoryBackend> CpuSystem<B> {
                         }
                     }
                 }
-                self.rob.push_store(self.cycle);
+                self.rob.push_store(self.clock.now());
                 *budget -= 1;
                 Ok(())
             }
@@ -392,11 +571,16 @@ impl<B: MemoryBackend> CpuSystem<B> {
             }
             // Prefetches are best-effort; drop when the backend is busy.
             if let Ok(token) =
-                self.backend.submit(AccessKind::Read, pf_line, self.cycle, true)
+                self.backend
+                    .submit(AccessKind::Read, pf_line, self.clock.now(), true)
             {
                 self.outstanding.insert(
                     pf_line,
-                    Outstanding { waiters: Vec::new(), fill_write: false, prefetch: true },
+                    Outstanding {
+                        waiters: Vec::new(),
+                        fill_write: false,
+                        prefetch: true,
+                    },
                 );
                 self.token_line.insert(token, pf_line);
             }
@@ -420,7 +604,7 @@ impl<B: MemoryBackend> CpuSystem<B> {
         if !out.prefetch {
             self.fill_l1(line, out.fill_write);
         }
-        let wake_at = self.cycle + self.cfg.fill_latency;
+        let wake_at = self.clock.now() + self.cfg.fill_latency;
         for seq in out.waiters {
             self.rob.mark_ready(seq, wake_at);
         }
@@ -441,7 +625,7 @@ impl<B: MemoryBackend> CpuSystem<B> {
     fn writeback(&mut self, addr: u64) {
         if self
             .backend
-            .submit(AccessKind::Write, addr, self.cycle, false)
+            .submit(AccessKind::Write, addr, self.clock.now(), false)
             .is_err()
         {
             self.pending_writebacks.push_back(addr);
@@ -469,14 +653,13 @@ mod tests {
     fn memory_latency_reduces_ipc() {
         // Pointer-chase-like loads to distinct lines, little compute.
         let make_trace = || {
-            (0..2_000u64).flat_map(|i| {
-                [TraceOp::Load(i * 64 * 131), TraceOp::Compute(2)].into_iter()
-            })
+            (0..2_000u64)
+                .flat_map(|i| [TraceOp::Load(i * 64 * 131), TraceOp::Compute(2)].into_iter())
         };
-        let fast = CpuSystem::new(CpuConfig::default(), FixedLatencyBackend::new(20))
-            .run(make_trace());
-        let slow = CpuSystem::new(CpuConfig::default(), FixedLatencyBackend::new(400))
-            .run(make_trace());
+        let fast =
+            CpuSystem::new(CpuConfig::default(), FixedLatencyBackend::new(20)).run(make_trace());
+        let slow =
+            CpuSystem::new(CpuConfig::default(), FixedLatencyBackend::new(400)).run(make_trace());
         assert_eq!(fast.instructions, slow.instructions);
         assert!(
             fast.ipc() > slow.ipc() * 2.0,
@@ -543,7 +726,11 @@ mod tests {
             .run(stream.into_iter());
         let r_random = CpuSystem::new(CpuConfig::default(), FixedLatencyBackend::new(100))
             .run(random.into_iter());
-        assert!(r_stream.llc_mpki() < 5.0, "cold misses only: {}", r_stream.llc_mpki());
+        assert!(
+            r_stream.llc_mpki() < 5.0,
+            "cold misses only: {}",
+            r_stream.llc_mpki()
+        );
         assert!(r_random.llc_mpki() > 100.0);
     }
 
@@ -566,8 +753,9 @@ mod tests {
         // total time approaches n * latency, unlike independent loads.
         let n = 200u64;
         let lat = 300u64;
-        let chase: Vec<TraceOp> =
-            (0..n).map(|i| TraceOp::DependentLoad(i * 64 * 977)).collect();
+        let chase: Vec<TraceOp> = (0..n)
+            .map(|i| TraceOp::DependentLoad(i * 64 * 977))
+            .collect();
         let indep: Vec<TraceOp> = (0..n).map(|i| TraceOp::Load(i * 64 * 977)).collect();
         let r_chase = CpuSystem::new(CpuConfig::default(), FixedLatencyBackend::new(lat))
             .run(chase.into_iter());

@@ -118,7 +118,13 @@ mod tests {
     }
 
     fn addr() -> WriteAddress {
-        WriteAddress { rank: 1, bank_group: 2, bank: 3, row: 0x1234, column: 0x56 }
+        WriteAddress {
+            rank: 1,
+            bank_group: 2,
+            bank: 3,
+            row: 0x1234,
+            column: 0x56,
+        }
     }
 
     #[test]

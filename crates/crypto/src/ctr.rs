@@ -51,7 +51,10 @@ impl CtrStream {
     ///
     /// Panics if `data.len()` is not a multiple of 16.
     pub fn xor_keystream(&self, nonce: u64, counter: u64, data: &mut [u8]) {
-        assert!(data.len() % 16 == 0, "counter mode operates on 16-byte blocks");
+        assert!(
+            data.len().is_multiple_of(16),
+            "counter mode operates on 16-byte blocks"
+        );
         for (i, chunk) in data.chunks_exact_mut(16).enumerate() {
             let ks = self.keystream_block(nonce, counter, i as u32);
             for (b, k) in chunk.iter_mut().zip(ks.iter()) {

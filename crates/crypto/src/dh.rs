@@ -77,10 +77,10 @@ impl U256 {
     fn overflowing_add(self, rhs: U256) -> (U256, bool) {
         let mut out = [0u64; 4];
         let mut carry = false;
-        for i in 0..4 {
+        for (i, slot) in out.iter_mut().enumerate() {
             let (s1, c1) = self.0[i].overflowing_add(rhs.0[i]);
             let (s2, c2) = s1.overflowing_add(u64::from(carry));
-            out[i] = s2;
+            *slot = s2;
             carry = c1 | c2;
         }
         (U256(out), carry)
@@ -89,10 +89,10 @@ impl U256 {
     fn overflowing_sub(self, rhs: U256) -> (U256, bool) {
         let mut out = [0u64; 4];
         let mut borrow = false;
-        for i in 0..4 {
+        for (i, slot) in out.iter_mut().enumerate() {
             let (d1, b1) = self.0[i].overflowing_sub(rhs.0[i]);
             let (d2, b2) = d1.overflowing_sub(u64::from(borrow));
-            out[i] = d2;
+            *slot = d2;
             borrow = b1 | b2;
         }
         (U256(out), borrow)
@@ -104,9 +104,8 @@ impl U256 {
         for i in 0..4 {
             let mut carry: u128 = 0;
             for j in 0..4 {
-                let acc = u128::from(out[i + j])
-                    + u128::from(self.0[i]) * u128::from(rhs.0[j])
-                    + carry;
+                let acc =
+                    u128::from(out[i + j]) + u128::from(self.0[i]) * u128::from(rhs.0[j]) + carry;
                 out[i + j] = acc as u64;
                 carry = acc >> 64;
             }
@@ -356,8 +355,14 @@ mod tests {
         let p = group_prime();
         assert_eq!(U256::from_u64(7).pow_mod(&U256::ZERO, &p), U256::ONE);
         assert_eq!(U256::from_u64(7).pow_mod(&U256::ONE, &p), U256::from_u64(7));
-        assert_eq!(U256::from_u64(7).pow_mod(&U256::from_u64(2), &p), U256::from_u64(49));
-        assert_eq!(U256::from_u64(7).pow_mod(&U256::ONE, &U256::ONE), U256::ZERO);
+        assert_eq!(
+            U256::from_u64(7).pow_mod(&U256::from_u64(2), &p),
+            U256::from_u64(49)
+        );
+        assert_eq!(
+            U256::from_u64(7).pow_mod(&U256::ONE, &U256::ONE),
+            U256::ZERO
+        );
     }
 
     #[test]

@@ -26,8 +26,15 @@ impl FeistelPermutation {
     ///
     /// Panics if `bits` is odd, zero, or above 62.
     pub fn new(key: &Aes128, bits: u32) -> Self {
-        assert!(bits > 0 && bits % 2 == 0 && bits <= 62, "bits must be even, 2..=62");
-        Self { aes: key.clone(), half_bits: bits / 2, rounds: 4 }
+        assert!(
+            bits > 0 && bits.is_multiple_of(2) && bits <= 62,
+            "bits must be even, 2..=62"
+        );
+        Self {
+            aes: key.clone(),
+            half_bits: bits / 2,
+            rounds: 4,
+        }
     }
 
     fn round(&self, round: u32, half: u64) -> u64 {
@@ -36,8 +43,7 @@ impl FeistelPermutation {
         block[8] = round as u8;
         block[9] = 0xF5; // domain separation from other AES uses of the key
         let out = self.aes.encrypt_block(&block);
-        u64::from_le_bytes(out[0..8].try_into().expect("8 bytes"))
-            & ((1 << self.half_bits) - 1)
+        u64::from_le_bytes(out[0..8].try_into().expect("8 bytes")) & ((1 << self.half_bits) - 1)
     }
 
     /// Permutes `value` (must fit in the configured width).
@@ -111,7 +117,9 @@ mod tests {
     fn different_keys_give_different_permutations() {
         let a = FeistelPermutation::new(&Aes128::new(&[1; 16]), 16);
         let b = FeistelPermutation::new(&Aes128::new(&[2; 16]), 16);
-        let differing = (0..100u64).filter(|v| a.permute(*v) != b.permute(*v)).count();
+        let differing = (0..100u64)
+            .filter(|v| a.permute(*v) != b.permute(*v))
+            .count();
         assert!(differing > 90);
     }
 
@@ -127,7 +135,10 @@ mod tests {
                 a.abs_diff(b) == 1
             })
             .count();
-        assert!(adjacent_pairs < 5, "{adjacent_pairs} sequential pairs leaked");
+        assert!(
+            adjacent_pairs < 5,
+            "{adjacent_pairs} sequential pairs leaked"
+        );
     }
 
     #[test]

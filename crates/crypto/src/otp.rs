@@ -50,7 +50,10 @@ impl EmacPad {
     /// Panics if `ct_read` is odd or `ct_write` even — the protocol keeps
     /// reads on even and writes on odd values.
     pub fn derive_read(kt: &Aes128, ct_read: u64, ct_write: u64) -> Self {
-        assert!(ct_read % 2 == 0, "read transactions use even counter values");
+        assert!(
+            ct_read.is_multiple_of(2),
+            "read transactions use even counter values"
+        );
         assert!(ct_write % 2 == 1, "write counter ranges over odd values");
         Self::base(kt, ct_read, ct_write)
     }
@@ -61,8 +64,14 @@ impl EmacPad {
     ///
     /// Panics under the same parity conditions as [`Self::derive_read`].
     pub fn derive_write(kt: &Aes128, ct_read: u64, ct_write: u64, write_addr: u64) -> Self {
-        assert!(ct_read % 2 == 0, "read counter ranges over even values");
-        assert!(ct_write % 2 == 1, "write transactions use odd counter values");
+        assert!(
+            ct_read.is_multiple_of(2),
+            "read counter ranges over even values"
+        );
+        assert!(
+            ct_write % 2 == 1,
+            "write transactions use odd counter values"
+        );
         let base = Self::base(kt, ct_read, ct_write);
         // Second PRP invocation binds the address; XORing two AES outputs
         // keeps the pad pseudorandom for any (counters, address) pair.
@@ -71,10 +80,8 @@ impl EmacPad {
         block[8..16].copy_from_slice(&WRITE_TWEAK_MARKER.to_le_bytes());
         let tweak = kt.encrypt_block(&block);
         Self {
-            mac_pad: base.mac_pad
-                ^ u64::from_le_bytes(tweak[0..8].try_into().expect("8 bytes")),
-            crc_pad: base.crc_pad
-                ^ u16::from_le_bytes(tweak[8..10].try_into().expect("2 bytes")),
+            mac_pad: base.mac_pad ^ u64::from_le_bytes(tweak[0..8].try_into().expect("8 bytes")),
+            crc_pad: base.crc_pad ^ u16::from_le_bytes(tweak[8..10].try_into().expect("2 bytes")),
         }
     }
 
@@ -133,7 +140,10 @@ impl TransactionCounter {
     /// writes from the next odd value.
     pub fn new(initial: u64) -> Self {
         let even = initial + (initial % 2);
-        Self { ct_read: even, ct_write: even + 1 }
+        Self {
+            ct_read: even,
+            ct_write: even + 1,
+        }
     }
 
     /// Derives the pad for the next read transaction and advances the read

@@ -84,7 +84,7 @@ impl XtsAes128 {
 
     fn process(&self, unit: u64, data: &mut [u8], encrypt: bool) {
         assert!(
-            !data.is_empty() && data.len() % 16 == 0,
+            !data.is_empty() && data.len().is_multiple_of(16),
             "XTS units must be a positive multiple of 16 bytes"
         );
         let mut tweak = self.initial_tweak(unit);

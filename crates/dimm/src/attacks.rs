@@ -26,7 +26,11 @@ pub struct BusReplay {
 impl BusReplay {
     /// Captures read `capture_on` and replays it on read `replay_on`.
     pub fn new(capture_on: u64, replay_on: u64) -> Self {
-        Self { capture_on, replay_on, ..Self::default() }
+        Self {
+            capture_on,
+            replay_on,
+            ..Self::default()
+        }
     }
 }
 
@@ -63,12 +67,24 @@ pub struct AddressCorruptor {
 impl AddressCorruptor {
     /// Redirects write `target_write` to a different row.
     pub fn redirect_row(target_write: u64, row_xor: u32) -> Self {
-        Self { target_write, row_xor, column_xor: 0, seen: 0, fired: false }
+        Self {
+            target_write,
+            row_xor,
+            column_xor: 0,
+            seen: 0,
+            fired: false,
+        }
     }
 
     /// Redirects write `target_write` to a different column.
     pub fn redirect_column(target_write: u64, column_xor: u16) -> Self {
-        Self { target_write, row_xor: 0, column_xor, seen: 0, fired: false }
+        Self {
+            target_write,
+            row_xor: 0,
+            column_xor,
+            seen: 0,
+            fired: false,
+        }
     }
 }
 
@@ -97,7 +113,11 @@ pub struct WriteDropper {
 impl WriteDropper {
     /// Drops write number `target_write`.
     pub fn new(target_write: u64) -> Self {
-        Self { target_write, seen: 0, fired: false }
+        Self {
+            target_write,
+            seen: 0,
+            fired: false,
+        }
     }
 }
 
@@ -128,7 +148,11 @@ pub struct CommandConverter {
 impl CommandConverter {
     /// Converts write number `target_write` into a read.
     pub fn new(target_write: u64) -> Self {
-        Self { target_write, seen: 0, fired: false }
+        Self {
+            target_write,
+            seen: 0,
+            fired: false,
+        }
     }
 }
 
@@ -205,7 +229,11 @@ impl BitErrorInjector {
     /// Noise source with the given per-transaction corruption probability
     /// (out of 65536) and RNG seed.
     pub fn new(rate_per_64k: u32, seed: u64) -> Self {
-        Self { rate_per_64k, state: seed | 1, injected: 0 }
+        Self {
+            rate_per_64k,
+            state: seed | 1,
+            injected: 0,
+        }
     }
 
     fn next(&mut self) -> u64 {
@@ -229,8 +257,8 @@ impl Interposer for BitErrorInjector {
             let r = self.next();
             match r % 3 {
                 0 => tx.data[(r >> 8) as usize % 64] ^= 1 << ((r >> 16) % 8),
-                1 => tx.emac ^= 1 << (r >> 8) % 64,
-                _ => tx.addr.row ^= 1 << (r >> 8) % 18,
+                1 => tx.emac ^= 1 << ((r >> 8) % 64),
+                _ => tx.addr.row ^= 1 << ((r >> 8) % 18),
             }
             self.injected += 1;
         }
@@ -240,10 +268,10 @@ impl Interposer for BitErrorInjector {
     fn on_read_resp(&mut self, resp: &mut ReadResponse) {
         if self.fires() {
             let r = self.next();
-            if r % 2 == 0 {
+            if r.is_multiple_of(2) {
                 resp.data[(r >> 8) as usize % 64] ^= 1 << ((r >> 16) % 8);
             } else {
-                resp.emac ^= 1 << (r >> 8) % 64;
+                resp.emac ^= 1 << ((r >> 8) % 64);
             }
             self.injected += 1;
         }
@@ -263,8 +291,7 @@ mod tests {
     /// response is detected because the E-MAC pad has advanced.
     #[test]
     fn bus_replay_of_stale_response_is_detected() {
-        let mut ch =
-            SecureChannel::with_interposer(EncryptionMode::Xts, 11, BusReplay::new(0, 1));
+        let mut ch = SecureChannel::with_interposer(EncryptionMode::Xts, 11, BusReplay::new(0, 1));
         ch.write(LINE, &[1; 64]);
         assert!(ch.read(LINE).is_ok(), "capture read passes");
         ch.write(LINE, &[2; 64]);
@@ -277,8 +304,7 @@ mod tests {
     /// fails: temporal uniqueness, not just value binding.
     #[test]
     fn replay_of_identical_data_still_detected() {
-        let mut ch =
-            SecureChannel::with_interposer(EncryptionMode::Xts, 12, BusReplay::new(0, 1));
+        let mut ch = SecureChannel::with_interposer(EncryptionMode::Xts, 12, BusReplay::new(0, 1));
         ch.write(LINE, &[9; 64]);
         assert!(ch.read(LINE).is_ok());
         // No intervening write: the data is unchanged, but the replayed
@@ -353,8 +379,7 @@ mod tests {
     /// following reads fail.
     #[test]
     fn dropped_write_fails_all_following_reads() {
-        let mut ch =
-            SecureChannel::with_interposer(EncryptionMode::Xts, 16, WriteDropper::new(1));
+        let mut ch = SecureChannel::with_interposer(EncryptionMode::Xts, 16, WriteDropper::new(1));
         ch.write(LINE, &[1; 64]);
         assert!(ch.read(LINE).is_ok());
         assert_eq!(ch.write(LINE, &[2; 64]), WriteOutcome::DroppedOnBus);
@@ -372,11 +397,8 @@ mod tests {
     /// diverge permanently.
     #[test]
     fn command_conversion_detected_on_next_read() {
-        let mut ch = SecureChannel::with_interposer(
-            EncryptionMode::Xts,
-            17,
-            CommandConverter::new(1),
-        );
+        let mut ch =
+            SecureChannel::with_interposer(EncryptionMode::Xts, 17, CommandConverter::new(1));
         ch.write(LINE, &[1; 64]);
         assert!(ch.read(LINE).is_ok());
         assert_eq!(ch.write(LINE, &[2; 64]), WriteOutcome::ConvertedToRead);
@@ -392,7 +414,10 @@ mod tests {
         let mut ch = SecureChannel::with_interposer(
             EncryptionMode::Xts,
             18,
-            DataTamperer { byte: 17, mask: 0x20 },
+            DataTamperer {
+                byte: 17,
+                mask: 0x20,
+            },
         );
         ch.write(LINE, &[5; 64]);
         assert!(ch.read(LINE).is_err());
@@ -401,11 +426,8 @@ mod tests {
     /// E-MAC lane corruption: MAC mismatch.
     #[test]
     fn emac_bit_flip_detected() {
-        let mut ch = SecureChannel::with_interposer(
-            EncryptionMode::Xts,
-            19,
-            EmacTamperer { mask: 1 << 63 },
-        );
+        let mut ch =
+            SecureChannel::with_interposer(EncryptionMode::Xts, 19, EmacTamperer { mask: 1 << 63 });
         ch.write(LINE, &[5; 64]);
         assert!(ch.read(LINE).is_err());
     }
@@ -466,21 +488,23 @@ mod tests {
                     channel_poisoned = true;
                 }
             } else {
-                match ch.read(addr) {
-                    Ok(data) => {
-                        if let Some(expected) = model.get(&addr) {
-                            assert_eq!(
-                                &data, expected,
-                                "SILENT CORRUPTION at {addr:#x} after {} injections",
-                                ch.interposer.injected
-                            );
-                        }
+                // A read either verifies (and must match the model) or is
+                // detected as tampered — an acceptable outcome.
+                if let Ok(data) = ch.read(addr) {
+                    if let Some(expected) = model.get(&addr) {
+                        assert_eq!(
+                            &data, expected,
+                            "SILENT CORRUPTION at {addr:#x} after {} injections",
+                            ch.interposer.injected
+                        );
                     }
-                    Err(_) => {} // detection: acceptable outcome
                 }
             }
         }
-        assert!(ch.interposer.injected > 10, "noise source must actually fire");
+        assert!(
+            ch.interposer.injected > 10,
+            "noise source must actually fire"
+        );
     }
 
     /// Replaying captured *write-burst* signals to the chips at rest fails:
@@ -528,7 +552,10 @@ mod tests {
         ch.write(LINE, &[2; 64]);
         // Attacker swaps in the frozen DIMM.
         ch.rank.restore(frozen);
-        assert!(ch.read(LINE).is_err(), "stale counter state must not verify");
+        assert!(
+            ch.read(LINE).is_err(),
+            "stale counter state must not verify"
+        );
     }
 
     /// Non-adversarial replacement (Section III-F): re-attestation with a
@@ -541,12 +568,7 @@ mod tests {
         // Platform-managed replacement.
         let new_kt = secddr_crypto::aes::Aes128::new(&[0x77; 16]);
         ch.rank.reattest(new_kt.clone(), 500);
-        ch.processor = crate::processor::SecDdrProcessor::new(
-            EncryptionMode::Xts,
-            new_kt,
-            500,
-            99,
-        );
+        ch.processor = crate::processor::SecDdrProcessor::new(EncryptionMode::Xts, new_kt, 500, 99);
         // Old data is gone (cleared), new writes work.
         assert!(ch.rank.raw_stored(LINE).is_none());
         ch.write(LINE, &[3; 64]);

@@ -45,7 +45,9 @@ impl CertificateAuthority {
         let mut s = [0u8; 32];
         s[..8].copy_from_slice(&seed.to_le_bytes());
         s[31] = 0xCA;
-        Self { keypair: DhKeyPair::from_seed(&s) }
+        Self {
+            keypair: DhKeyPair::from_seed(&s),
+        }
     }
 
     /// The CA's public key, provisioned into processors.
@@ -75,7 +77,10 @@ impl RankIdentity {
         s[31] = 0xEC;
         let endorsement = DhKeyPair::from_seed(&s);
         let certificate = ca.issue(&endorsement.public);
-        Self { endorsement, certificate }
+        Self {
+            endorsement,
+            certificate,
+        }
     }
 
     /// The endorsement public key `EKp`.
@@ -166,9 +171,11 @@ pub fn host_verify(
         return Err(AttestError::BadSignature);
     }
     let shared = host_ephemeral.shared_secret(&resp.ephemeral_public);
-    let kt_bytes =
-        DhKeyPair::derive_kt(&shared, &host_ephemeral.public, &resp.ephemeral_public);
-    Ok(AttestationOutcome { kt: Aes128::new(&kt_bytes), initial_ct })
+    let kt_bytes = DhKeyPair::derive_kt(&shared, &host_ephemeral.public, &resp.ephemeral_public);
+    Ok(AttestationOutcome {
+        kt: Aes128::new(&kt_bytes),
+        initial_ct,
+    })
 }
 
 /// Convenience: the host's ephemeral keypair for this boot.

@@ -80,7 +80,10 @@ mod tests {
         let orig = tx;
         assert_eq!(p.on_write(&mut tx), WriteAction::Deliver);
         assert_eq!(tx, orig);
-        let mut resp = ReadResponse { data: [4; 64], emac: 5 };
+        let mut resp = ReadResponse {
+            data: [4; 64],
+            emac: 5,
+        };
         let orig_resp = resp;
         p.on_read_resp(&mut resp);
         assert_eq!(resp, orig_resp);

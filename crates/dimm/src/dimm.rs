@@ -107,7 +107,10 @@ impl DimmRank {
         let data = self.data.get(&line).copied().unwrap_or([0u8; 64]);
         let mac = self.macs.get(&line).copied().unwrap_or(0);
         let pad = self.counter.read_pad(&self.kt);
-        ReadResponse { data, emac: pad.apply(mac) }
+        ReadResponse {
+            data,
+            emac: pad.apply(mac),
+        }
     }
 
     /// Raw stored tuple for attacker inspection (the adversary can read
@@ -214,6 +217,9 @@ mod tests {
         };
         assert_eq!(r.accept_write(&tx), WriteOutcome::EwcrcRejected);
         assert_eq!(r.ewcrc_alerts, 1);
-        assert!(r.raw_stored(0x80).is_none(), "rejected write must not commit");
+        assert!(
+            r.raw_stored(0x80).is_none(),
+            "rejected write must not commit"
+        );
     }
 }

@@ -23,7 +23,13 @@ pub fn decode(line_addr: u64) -> WriteAddress {
     let rank = (a & ((1 << RANK_BITS) - 1)) as u8;
     a >>= RANK_BITS;
     let row = (a & 0xFFFF_FFFF) as u32;
-    WriteAddress { rank, bank_group, bank, row, column }
+    WriteAddress {
+        rank,
+        bank_group,
+        bank,
+        row,
+        column,
+    }
 }
 
 /// Re-encodes coordinates to a canonical line address (inverse of
@@ -44,7 +50,14 @@ mod tests {
     #[test]
     fn roundtrip() {
         // Addressable range is 50 bits (32-bit row + 18 low bits).
-        for addr in [0u64, 0x40, 0x1000, 0xDEAD_BE40, 0xFFFF_FFC0, 0x2_1234_5678_9AC0 & !63] {
+        for addr in [
+            0u64,
+            0x40,
+            0x1000,
+            0xDEAD_BE40,
+            0xFFFF_FFC0,
+            0x2_1234_5678_9AC0 & !63,
+        ] {
             assert_eq!(encode(&decode(addr)), addr, "{addr:#x}");
         }
     }

@@ -102,7 +102,10 @@ pub fn attested_pair(seed: u64) -> (InvisiMemProcessor, InvisiMemModule) {
     let mut ks = kt;
     ks[14] = 0x57;
     (
-        InvisiMemProcessor { cmac: Cmac::new(Aes128::new(&kt)), ct: seed },
+        InvisiMemProcessor {
+            cmac: Cmac::new(Aes128::new(&kt)),
+            ct: seed,
+        },
         InvisiMemModule {
             cmac: Cmac::new(Aes128::new(&kt)),
             storage_cmac: Cmac::new(Aes128::new(&ks)),
@@ -118,7 +121,11 @@ impl InvisiMemProcessor {
     pub fn begin_write(&mut self, addr: u64, data: &[u8; 64]) -> WritePacket {
         let ct = self.ct;
         self.ct += 1;
-        WritePacket { addr, data: *data, mac_t: mac_t(&self.cmac, data, addr, ct) }
+        WritePacket {
+            addr,
+            data: *data,
+            mac_t: mac_t(&self.cmac, data, addr, ct),
+        }
     }
 
     /// Issues a read: consumes the counter value the response must be
@@ -185,7 +192,10 @@ impl InvisiMemModule {
         if mac_t(&self.storage_cmac, &data, addr, 0) != mac && self.data.contains_key(&addr) {
             return Err(ChannelError::BadStoredMac);
         }
-        Ok(ReadPacket { data, mac_t: mac_t(&self.cmac, &data, addr, ct) })
+        Ok(ReadPacket {
+            data,
+            mac_t: mac_t(&self.cmac, &data, addr, ct),
+        })
     }
 
     /// Attacker with at-rest access flips bits in the stored data (e.g.
@@ -252,7 +262,10 @@ mod tests {
         let pkt = cpu.begin_write(0x40, &[1; 64]);
         module.accept_write(&pkt).expect("honest");
         module.disturb_stored(0x40, 17, 0x40);
-        assert_eq!(module.serve_read(0x40).unwrap_err(), ChannelError::BadStoredMac);
+        assert_eq!(
+            module.serve_read(0x40).unwrap_err(),
+            ChannelError::BadStoredMac
+        );
     }
 
     #[test]
@@ -272,6 +285,9 @@ mod tests {
         let (mut cpu, mut module) = attested_pair(10);
         let ct = cpu.begin_read();
         let resp = module.serve_read(0x9000).expect("no stored state");
-        assert_eq!(cpu.finish_read(0x9000, ct, &resp).expect("fresh MACt"), [0u8; 64]);
+        assert_eq!(
+            cpu.finish_read(0x9000, ct, &resp).expect("fresh MACt"),
+            [0u8; 64]
+        );
     }
 }

@@ -92,7 +92,11 @@ impl<I: Interposer> SecureChannel<I> {
         let initial_ct = seed.wrapping_mul(2); // even
         let processor = SecDdrProcessor::new(mode, kt.clone(), initial_ct, seed);
         let rank = DimmRank::new(kt, initial_ct);
-        Self { processor, rank, interposer }
+        Self {
+            processor,
+            rank,
+            interposer,
+        }
     }
 
     /// A full secure write: encrypt, MAC, pad, traverse the (possibly

@@ -54,7 +54,10 @@ impl<I: Interposer> ObliviousChannel<I> {
         let mut key = [0u8; 16];
         key[..8].copy_from_slice(&seed.to_le_bytes());
         key[15] = 0x0B;
-        Self { inner, permutation: FeistelPermutation::new(&Aes128::new(&key), LINE_INDEX_BITS) }
+        Self {
+            inner,
+            permutation: FeistelPermutation::new(&Aes128::new(&key), LINE_INDEX_BITS),
+        }
     }
 
     /// The bus-visible (permuted) byte address for a logical line address.
@@ -121,17 +124,17 @@ mod tests {
         let ch = ObliviousChannel::new_attested(EncryptionMode::Xts, 63);
         let mut seen = std::collections::HashSet::new();
         for i in 0..2000u64 {
-            assert!(seen.insert(ch.bus_address_of(i * 64)), "collision at line {i}");
+            assert!(
+                seen.insert(ch.bus_address_of(i * 64)),
+                "collision at line {i}"
+            );
         }
     }
 
     #[test]
     fn replay_protection_is_preserved_under_obliviousness() {
-        let mut ch = ObliviousChannel::with_interposer(
-            EncryptionMode::Xts,
-            64,
-            BusReplay::new(0, 1),
-        );
+        let mut ch =
+            ObliviousChannel::with_interposer(EncryptionMode::Xts, 64, BusReplay::new(0, 1));
         ch.write(0x40, &[1; 64]);
         assert!(ch.read(0x40).is_ok());
         ch.write(0x40, &[2; 64]);
@@ -142,8 +145,9 @@ mod tests {
     fn different_boots_permute_differently() {
         let a = ObliviousChannel::new_attested(EncryptionMode::Xts, 65);
         let b = ObliviousChannel::new_attested(EncryptionMode::Xts, 66);
-        let differing =
-            (0..100u64).filter(|i| a.bus_address_of(i * 64) != b.bus_address_of(i * 64)).count();
+        let differing = (0..100u64)
+            .filter(|i| a.bus_address_of(i * 64) != b.bus_address_of(i * 64))
+            .count();
         assert!(differing > 90);
     }
 }

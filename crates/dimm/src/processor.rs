@@ -116,7 +116,12 @@ impl SecDdrProcessor {
         // eWCRC binds the plaintext MAC (the ECC chip's burst payload) and
         // the full write address; it travels encrypted.
         let ewcrc = pad.apply_crc(Ewcrc::generate(&mac.to_le_bytes(), &addr));
-        WriteTransaction { addr, data: cipher, emac, ewcrc }
+        WriteTransaction {
+            addr,
+            data: cipher,
+            emac,
+            ewcrc,
+        }
     }
 
     /// Verifies and decrypts a read response for `line_addr`. Consumes one
@@ -196,7 +201,10 @@ mod tests {
         // Simulate the honest DIMM round trip but flip an E-MAC bit: the
         // DIMM stores MAC after unpadding; here we mimic a same-counter
         // echo with corruption.
-        let resp = ReadResponse { data: tx.data, emac: tx.emac ^ 1 };
+        let resp = ReadResponse {
+            data: tx.data,
+            emac: tx.emac ^ 1,
+        };
         assert!(p.finish_read(0x40, &resp).is_err());
     }
 }

@@ -77,7 +77,13 @@ impl AddressMapping {
         // XOR swizzle: fold low row bits into the bank/bank-group indices.
         let bank = bank ^ (row & ((1 << self.bank_bits) - 1));
         let bank_group = bank_group ^ ((row >> self.bank_bits) & ((1 << self.bg_bits) - 1));
-        DecodedAddr { rank, bank_group, bank, row, column }
+        DecodedAddr {
+            rank,
+            bank_group,
+            bank,
+            row,
+            column,
+        }
     }
 
     /// Re-encodes coordinates into a canonical byte address (inverse of
@@ -151,7 +157,13 @@ mod tests {
         for rank in 0..cfg.ranks {
             for bg in 0..cfg.bank_groups {
                 for bank in 0..cfg.banks_per_group {
-                    let d = DecodedAddr { rank, bank_group: bg, bank, row: 0, column: 0 };
+                    let d = DecodedAddr {
+                        rank,
+                        bank_group: bg,
+                        bank,
+                        row: 0,
+                        column: 0,
+                    };
                     assert!(seen.insert(d.flat_bank(&cfg)));
                 }
             }
@@ -165,8 +177,9 @@ mod tests {
         // Same column stride across rows should not always hit one bank.
         let row_stride =
             u64::from(cfg.columns * cfg.line_bytes) * u64::from(cfg.total_banks() / cfg.ranks);
-        let banks: std::collections::HashSet<u32> =
-            (0..8u64).map(|i| m.decode(i * row_stride * 2).flat_bank(&cfg)).collect();
+        let banks: std::collections::HashSet<u32> = (0..8u64)
+            .map(|i| m.decode(i * row_stride * 2).flat_bank(&cfg))
+            .collect();
         assert!(banks.len() > 1, "swizzle should spread strided rows");
     }
 }

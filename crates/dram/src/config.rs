@@ -122,7 +122,10 @@ impl DramConfig {
     /// The SecDDR variant: identical organization but BL10 write bursts for
     /// the encrypted eWCRC (Section IV-B item 2 of the paper).
     pub fn ddr4_3200_ewcrc() -> Self {
-        Self { write_burst_cycles: 5, ..Self::ddr4_3200() }
+        Self {
+            write_burst_cycles: 5,
+            ..Self::ddr4_3200()
+        }
     }
 
     /// A DDR5-4800 channel: 2400 MHz clock, BL16 bursts (8 clocks), twice
@@ -160,7 +163,10 @@ impl DramConfig {
 
     /// DDR5 with SecDDR's eWCRC: write burst length 16 → 18 (9 clocks).
     pub fn ddr5_4800_ewcrc() -> Self {
-        Self { write_burst_cycles: 9, ..Self::ddr5_4800() }
+        Self {
+            write_burst_cycles: 9,
+            ..Self::ddr5_4800()
+        }
     }
 
     /// The "realistic InvisiMem" channel: derated to 1200 MHz (2400 MT/s)
@@ -246,7 +252,10 @@ mod tests {
     fn table_i_parameters() {
         let c = DramConfig::ddr4_3200();
         assert_eq!(
-            (c.t_cl, c.t_ccd_s, c.t_ccd_l, c.t_cwl, c.t_wtr_s, c.t_wtr_l, c.t_rp, c.t_rcd, c.t_ras),
+            (
+                c.t_cl, c.t_ccd_s, c.t_ccd_l, c.t_cwl, c.t_wtr_s, c.t_wtr_l, c.t_rp, c.t_rcd,
+                c.t_ras
+            ),
             (22, 4, 10, 16, 4, 12, 22, 22, 56)
         );
         assert_eq!(c.read_queue, 64);
@@ -294,10 +303,8 @@ mod tests {
         let d4e = DramConfig::ddr4_3200_ewcrc();
         let d5 = DramConfig::ddr5_4800();
         let d5e = DramConfig::ddr5_4800_ewcrc();
-        let ddr4_overhead =
-            d4e.write_burst_cycles as f64 / d4.write_burst_cycles as f64 - 1.0;
-        let ddr5_overhead =
-            d5e.write_burst_cycles as f64 / d5.write_burst_cycles as f64 - 1.0;
+        let ddr4_overhead = d4e.write_burst_cycles as f64 / d4.write_burst_cycles as f64 - 1.0;
+        let ddr5_overhead = d5e.write_burst_cycles as f64 / d5.write_burst_cycles as f64 - 1.0;
         assert!((ddr4_overhead - 0.25).abs() < 1e-9);
         assert!((ddr5_overhead - 0.125).abs() < 1e-9);
     }

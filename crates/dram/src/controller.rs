@@ -1,4 +1,21 @@
 //! FR-FCFS memory controller and channel timing engine.
+//!
+//! The controller exposes two advance interfaces over the same state
+//! machine:
+//!
+//! * [`DramSystem::tick`] — the per-cycle reference: advance one memory
+//!   cycle, issue at most one command, harvest due completions.
+//! * the event-driven fast path — when the controller is
+//!   [quiescent](DramSystem::is_quiescent) (the last tick performed no
+//!   action and nothing was enqueued since), every issue condition is a
+//!   monotone `now >= threshold` comparison against static timing
+//!   registers, so [`DramSystem::next_activity_cycle`] can lower-bound
+//!   the next cycle anything could happen and
+//!   [`DramSystem::skip_idle_to`] jumps the clock there in O(banks)
+//!   instead of O(cycles). Skipped cycles are provably no-ops, keeping
+//!   command schedules and statistics bit-identical to the reference.
+
+use sim_kernel::{fold_next_event, Advance, EventQueue, SimClock};
 
 use crate::address::{AddressMapping, DecodedAddr};
 use crate::bank::{Bank, Rank};
@@ -15,7 +32,11 @@ pub struct EnqueueError {
 
 impl core::fmt::Display for EnqueueError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "memory controller queue full (request {})", self.rejected.id)
+        write!(
+            f,
+            "memory controller queue full (request {})",
+            self.rejected.id
+        )
     }
 }
 
@@ -46,7 +67,7 @@ enum BusDir {
 pub struct DramSystem {
     cfg: DramConfig,
     mapping: AddressMapping,
-    cycle: u64,
+    clock: SimClock,
     banks: Vec<Bank>,
     ranks: Vec<Rank>,
     read_q: Vec<QueuedReq>,
@@ -55,10 +76,23 @@ pub struct DramSystem {
     bus_busy_until: u64,
     bus_dir: BusDir,
     bus_rank: u32,
-    pending: Vec<Completion>,
+    pending: EventQueue<Completion>,
     stats: DramStats,
     /// Age (cycles) beyond which the oldest request pre-empts row hits.
     starvation_limit: u64,
+    /// True when the last tick performed no action and nothing was
+    /// enqueued since: every issue condition is then waiting on a static
+    /// timing threshold, so idle cycles may be skipped.
+    quiescent: bool,
+    /// Memoized [`Self::next_activity_cycle`] bound. The threshold set is
+    /// static across a quiescent stretch, so the scan runs once per
+    /// stretch; any enqueue or active tick invalidates it.
+    next_activity_cache: std::cell::Cell<Option<u64>>,
+    /// Memoized [`Self::next_read_issue_cycle`] bound. Timing registers
+    /// only ratchet upward, so a computed bound stays a valid lower bound
+    /// until it expires; only a read enqueue (which can genuinely lower
+    /// the true next issue) invalidates it early.
+    next_read_issue_cache: std::cell::Cell<Option<u64>>,
 }
 
 impl DramSystem {
@@ -71,10 +105,12 @@ impl DramSystem {
         cfg.validate().expect("invalid DRAM configuration");
         let mapping = AddressMapping::new(&cfg);
         let banks = vec![Bank::default(); cfg.total_banks() as usize];
-        let ranks = (0..cfg.ranks).map(|_| Rank::new(cfg.bank_groups, cfg.t_refi)).collect();
+        let ranks = (0..cfg.ranks)
+            .map(|_| Rank::new(cfg.bank_groups, cfg.t_refi))
+            .collect();
         Self {
             mapping,
-            cycle: 0,
+            clock: SimClock::new(),
             banks,
             ranks,
             read_q: Vec::new(),
@@ -83,9 +119,12 @@ impl DramSystem {
             bus_busy_until: 0,
             bus_dir: BusDir::Idle,
             bus_rank: 0,
-            pending: Vec::new(),
+            pending: EventQueue::new(),
             stats: DramStats::default(),
             starvation_limit: 2_000,
+            quiescent: false,
+            next_activity_cache: std::cell::Cell::new(None),
+            next_read_issue_cache: std::cell::Cell::new(None),
             cfg,
         }
     }
@@ -97,7 +136,7 @@ impl DramSystem {
 
     /// Current memory-clock cycle.
     pub fn cycle(&self) -> u64 {
-        self.cycle
+        self.clock.now()
     }
 
     /// Statistics so far.
@@ -120,6 +159,227 @@ impl DramSystem {
         self.read_q.is_empty() && self.write_q.is_empty() && self.pending.is_empty()
     }
 
+    /// True when the last tick performed no action and nothing was
+    /// enqueued since — the precondition for the event-driven skip.
+    pub fn is_quiescent(&self) -> bool {
+        self.quiescent
+    }
+
+    /// Finish cycle of the earliest in-flight (already issued) request,
+    /// if any.
+    pub fn next_pending_completion(&self) -> Option<u64> {
+        self.pending.peek_time()
+    }
+
+    /// Lower bound (strictly after [`Self::cycle`]) on the next cycle at
+    /// which [`Self::tick`] could perform any action, assuming the
+    /// controller [is quiescent](Self::is_quiescent).
+    ///
+    /// Every issue condition in the scheduler is a conjunction of
+    /// `now >= threshold` comparisons against timing registers that only
+    /// change when a command issues. After a no-op tick, each candidate
+    /// action therefore has at least one unsatisfied threshold in the set
+    /// collected here, so nothing can happen before the earliest of them.
+    pub fn next_activity_cycle(&self) -> u64 {
+        let now = self.clock.now();
+        if let Some(cached) = self.next_activity_cache.get() {
+            if cached > now {
+                return cached;
+            }
+        }
+        let bound = self.compute_next_activity(now);
+        self.next_activity_cache.set(Some(bound));
+        bound
+    }
+
+    fn compute_next_activity(&self, now: u64) -> u64 {
+        let mut bound = u64::MAX;
+        // In-flight data beats land at their precomputed finish cycles.
+        if let Some(t) = self.pending.peek_time() {
+            fold_next_event(now, &mut bound, t);
+        }
+        // The scheduler only ever touches the banks and ranks of queued
+        // requests, so with short queues (the common stall case) scanning
+        // per request beats sweeping every bank.
+        let queued = self.read_q.len() + self.write_q.len();
+        if queued <= 12 {
+            for q in [&self.read_q, &self.write_q] {
+                for entry in q {
+                    let bank = &self.banks[entry.flat_bank];
+                    fold_next_event(now, &mut bound, bank.next_act);
+                    fold_next_event(now, &mut bound, bank.next_pre);
+                    fold_next_event(now, &mut bound, bank.next_read);
+                    fold_next_event(now, &mut bound, bank.next_write);
+                    let rank = &self.ranks[entry.decoded.rank as usize];
+                    let bg = entry.decoded.bank_group as usize;
+                    fold_next_event(now, &mut bound, rank.next_act_any);
+                    fold_next_event(now, &mut bound, rank.next_col_any);
+                    fold_next_event(now, &mut bound, rank.next_read_any);
+                    fold_next_event(now, &mut bound, rank.faw_ready(self.cfg.t_faw));
+                    fold_next_event(now, &mut bound, rank.next_act_same_bg[bg]);
+                    fold_next_event(now, &mut bound, rank.next_col_same_bg[bg]);
+                    fold_next_event(now, &mut bound, rank.next_read_same_bg[bg]);
+                }
+            }
+            // Refresh management runs regardless of the queues: the due
+            // time itself, plus — once a refresh is pending — the
+            // precharge/REF readiness of that rank's banks.
+            let bpr = (self.cfg.bank_groups * self.cfg.banks_per_group) as usize;
+            for (r, rank) in self.ranks.iter().enumerate() {
+                fold_next_event(now, &mut bound, rank.refresh_due);
+                if rank.refresh_pending {
+                    for bank in &self.banks[r * bpr..(r + 1) * bpr] {
+                        fold_next_event(now, &mut bound, bank.next_act);
+                        fold_next_event(now, &mut bound, bank.next_pre);
+                    }
+                }
+            }
+        } else {
+            for rank in &self.ranks {
+                fold_next_event(now, &mut bound, rank.refresh_due);
+                fold_next_event(now, &mut bound, rank.next_act_any);
+                fold_next_event(now, &mut bound, rank.next_col_any);
+                fold_next_event(now, &mut bound, rank.next_read_any);
+                fold_next_event(now, &mut bound, rank.faw_ready(self.cfg.t_faw));
+                for bg in 0..rank.next_act_same_bg.len() {
+                    fold_next_event(now, &mut bound, rank.next_act_same_bg[bg]);
+                    fold_next_event(now, &mut bound, rank.next_col_same_bg[bg]);
+                    fold_next_event(now, &mut bound, rank.next_read_same_bg[bg]);
+                }
+            }
+            for bank in &self.banks {
+                fold_next_event(now, &mut bound, bank.next_act);
+                fold_next_event(now, &mut bound, bank.next_pre);
+                fold_next_event(now, &mut bound, bank.next_read);
+                fold_next_event(now, &mut bound, bank.next_write);
+            }
+        }
+        // Data-bus release: a column command needs `now + lat >=
+        // bus_busy_until + bubble`; cover every (latency, bubble) combo.
+        for lat in [self.cfg.t_cl, self.cfg.t_cwl] {
+            for bubble in [0u64, 2] {
+                let t = (self.bus_busy_until + bubble).saturating_sub(lat);
+                fold_next_event(now, &mut bound, t);
+            }
+        }
+        // Anti-starvation kicks in when the oldest request's age crosses
+        // the limit, which changes scheduling even without a new command.
+        for q in [&self.read_q, &self.write_q] {
+            if let Some(oldest) = q.first() {
+                fold_next_event(
+                    now,
+                    &mut bound,
+                    oldest.req.enqueue_cycle + self.starvation_limit,
+                );
+            }
+        }
+        bound.max(now + 1)
+    }
+
+    /// Lower bound on the next cycle a READ column command can issue —
+    /// the moment read-queue capacity frees and the earliest any queued
+    /// read's data can start moving.
+    ///
+    /// Unlike [`Self::next_activity_cycle`] this is valid in any state
+    /// (not just quiescent): every term reads a timing register that only
+    /// ratchets upward as commands issue, so current values lower-bound
+    /// future readiness. Refresh blackouts are ignored (they only push
+    /// the true issue later). Returns `u64::MAX` when no read is queued.
+    pub fn next_read_issue_cycle(&self) -> u64 {
+        if self.read_q.is_empty() {
+            return u64::MAX;
+        }
+        let now = self.clock.now();
+        if let Some(cached) = self.next_read_issue_cache.get() {
+            if cached > now {
+                return cached;
+            }
+        }
+        let bound = self.compute_next_read_issue(now);
+        self.next_read_issue_cache.set(Some(bound));
+        bound
+    }
+
+    fn compute_next_read_issue(&self, now: u64) -> u64 {
+        // While draining, no read issues until the write queue falls to
+        // the low watermark; consecutive write bursts occupy the data bus
+        // at least `write_burst_cycles` apart.
+        let floor = if self.draining_writes {
+            let surplus = self.write_q.len().saturating_sub(self.cfg.write_drain_lo) as u64;
+            now + surplus * self.cfg.write_burst_cycles
+        } else {
+            now
+        };
+        let mut bound = u64::MAX;
+        for entry in &self.read_q {
+            let bank = &self.banks[entry.flat_bank];
+            let rank = &self.ranks[entry.decoded.rank as usize];
+            let bg = entry.decoded.bank_group as usize;
+            let mut t = match bank.open_row {
+                Some(row) if row == entry.decoded.row => bank.next_read,
+                // Conflict: PRE, tRP, ACT, tRCD before the column command.
+                Some(_) => bank.next_pre + self.cfg.t_rp + self.cfg.t_rcd,
+                // Closed: ACT constraints then tRCD.
+                None => {
+                    bank.next_act
+                        .max(rank.next_act_any)
+                        .max(rank.next_act_same_bg[bg])
+                        .max(rank.faw_ready(self.cfg.t_faw))
+                        + self.cfg.t_rcd
+                }
+            };
+            t = t
+                .max(rank.next_read_any)
+                .max(rank.next_read_same_bg[bg])
+                .max(rank.next_col_any)
+                .max(rank.next_col_same_bg[bg])
+                .max(self.bus_busy_until.saturating_sub(self.cfg.t_cl));
+            bound = bound.min(t);
+        }
+        bound.max(floor).max(now + 1)
+    }
+
+    /// Lower bound on the next cycle any queued (not yet issued) READ's
+    /// final data beat can land: issue, CAS latency, then the burst.
+    pub fn next_read_finish_cycle(&self) -> u64 {
+        self.next_read_issue_cycle()
+            .saturating_add(self.cfg.t_cl + self.cfg.read_burst_cycles)
+    }
+
+    /// Fast-forwards the clock over cycles proven idle by
+    /// [`Self::next_activity_cycle`], charging them to the cycle counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the controller is not quiescent or `cycle` is in the
+    /// past.
+    pub fn skip_idle_to(&mut self, cycle: u64) {
+        assert!(
+            self.quiescent,
+            "skip_idle_to requires a quiescent controller"
+        );
+        self.stats.cycles += self.clock.skip_to(cycle);
+    }
+
+    /// Advances to `target`, returning every completion on the way.
+    ///
+    /// With [`Advance::ToNextEvent`] this skips provably idle stretches;
+    /// with [`Advance::PerCycle`] it is exactly `target - cycle()` calls
+    /// to [`Self::tick`]. Both produce identical schedules and stats.
+    pub fn advance_to(&mut self, target: u64, advance: Advance) -> Vec<Completion> {
+        let mut done = Vec::new();
+        while self.clock.now() < target {
+            if advance.is_event_driven() && target > self.clock.now() + 1 && self.quiescent {
+                let next = self.next_activity_cycle().min(target);
+                if next > self.clock.now() + 1 {
+                    self.skip_idle_to(next - 1);
+                }
+            }
+            done.extend(self.tick());
+        }
+        done
+    }
+
     /// Accepts a request into the appropriate queue.
     ///
     /// Reads that hit a queued write to the same line are served by store
@@ -140,12 +400,18 @@ impl DramSystem {
                 {
                     self.stats.forwarded_reads += 1;
                     self.stats.reads += 1;
-                    self.pending.push(Completion {
-                        id: req.id,
-                        kind: ReqKind::Read,
-                        finish_cycle: self.cycle + 1,
-                        enqueue_cycle: req.enqueue_cycle,
-                    });
+                    let finish_cycle = self.clock.now() + 1;
+                    self.pending.push(
+                        finish_cycle,
+                        Completion {
+                            id: req.id,
+                            kind: ReqKind::Read,
+                            finish_cycle,
+                            enqueue_cycle: req.enqueue_cycle,
+                        },
+                    );
+                    self.quiescent = false;
+                    self.next_activity_cache.set(None);
                     return Ok(());
                 }
                 if self.read_q.len() >= self.cfg.read_queue {
@@ -153,7 +419,14 @@ impl DramSystem {
                 }
                 let decoded = self.mapping.decode(req.addr);
                 let flat_bank = decoded.flat_bank(&self.cfg) as usize;
-                self.read_q.push(QueuedReq { req, decoded, flat_bank, touched: false });
+                self.read_q.push(QueuedReq {
+                    req,
+                    decoded,
+                    flat_bank,
+                    touched: false,
+                });
+                // A fresh read can genuinely lower the next-issue bound.
+                self.next_read_issue_cache.set(None);
             }
             ReqKind::Write => {
                 if self.write_q.len() >= self.cfg.write_queue {
@@ -161,35 +434,49 @@ impl DramSystem {
                 }
                 let decoded = self.mapping.decode(req.addr);
                 let flat_bank = decoded.flat_bank(&self.cfg) as usize;
-                self.write_q.push(QueuedReq { req, decoded, flat_bank, touched: false });
+                self.write_q.push(QueuedReq {
+                    req,
+                    decoded,
+                    flat_bank,
+                    touched: false,
+                });
             }
         }
+        self.quiescent = false;
+        self.next_activity_cache.set(None);
         Ok(())
     }
 
     /// Advances one memory-clock cycle, possibly issuing one command, and
     /// returns every completion whose final data beat lands this cycle.
     pub fn tick(&mut self) -> Vec<Completion> {
-        self.cycle += 1;
+        let now = self.clock.tick();
         self.stats.cycles += 1;
-        self.update_drain_mode();
-        if !self.issue_refresh() {
-            self.issue_scheduled();
-        }
-        let now = self.cycle;
+        // A drain-mode flip counts as activity: it changes what the next
+        // tick may issue without any timing threshold crossing, so the
+        // idle-skip must not jump over the cycle after it.
+        let drain_flipped = self.update_drain_mode();
+        let issued = if self.issue_refresh() {
+            true
+        } else {
+            self.issue_scheduled()
+        };
         let mut done = Vec::new();
-        self.pending.retain(|c| {
-            if c.finish_cycle <= now {
-                done.push(*c);
-                false
-            } else {
-                true
-            }
-        });
+        while let Some((_, c)) = self.pending.pop_due(now) {
+            done.push(c);
+        }
+        // A tick that changed nothing leaves every scheduling input
+        // waiting on a static timing threshold.
+        self.quiescent = !drain_flipped && !issued && done.is_empty();
+        if !self.quiescent {
+            self.next_activity_cache.set(None);
+        }
         done
     }
 
-    fn update_drain_mode(&mut self) {
+    /// Updates write-drain hysteresis; returns true when the mode flipped.
+    fn update_drain_mode(&mut self) -> bool {
+        let before = self.draining_writes;
         if self.draining_writes {
             if self.write_q.len() <= self.cfg.write_drain_lo {
                 self.draining_writes = false;
@@ -199,12 +486,13 @@ impl DramSystem {
         {
             self.draining_writes = true;
         }
+        self.draining_writes != before
     }
 
     /// Handles refresh management; returns true if it used this cycle's
     /// command slot.
     fn issue_refresh(&mut self) -> bool {
-        let now = self.cycle;
+        let now = self.clock.now();
         for r in 0..self.ranks.len() {
             if now >= self.ranks[r].refresh_due {
                 self.ranks[r].refresh_pending = true;
@@ -219,8 +507,7 @@ impl DramSystem {
                 if self.banks[b].open_row.is_some() {
                     if now >= self.banks[b].next_pre {
                         self.banks[b].open_row = None;
-                        self.banks[b].next_act =
-                            self.banks[b].next_act.max(now + self.cfg.t_rp);
+                        self.banks[b].next_act = self.banks[b].next_act.max(now + self.cfg.t_rp);
                         self.stats.precharges += 1;
                         return true;
                     }
@@ -245,23 +532,26 @@ impl DramSystem {
         false
     }
 
-    fn issue_scheduled(&mut self) {
+    /// Runs the scheduler; returns true when a command issued.
+    fn issue_scheduled(&mut self) -> bool {
         let serve_writes = self.draining_writes;
         if serve_writes {
-            self.schedule_queue(ReqKind::Write);
+            self.schedule_queue(ReqKind::Write)
         } else if !self.read_q.is_empty() {
-            self.schedule_queue(ReqKind::Read);
+            self.schedule_queue(ReqKind::Read)
+        } else {
+            false
         }
     }
 
-    fn schedule_queue(&mut self, kind: ReqKind) {
-        let now = self.cycle;
+    fn schedule_queue(&mut self, kind: ReqKind) -> bool {
+        let now = self.clock.now();
         let q_len = match kind {
             ReqKind::Read => self.read_q.len(),
             ReqKind::Write => self.write_q.len(),
         };
         if q_len == 0 {
-            return;
+            return false;
         }
 
         // Anti-starvation: if the oldest request has waited too long, only
@@ -283,7 +573,7 @@ impl DramSystem {
                     && self.col_cmd_ready(kind, &decoded, flat_bank)
                 {
                     self.issue_col_cmd(kind, i);
-                    return;
+                    return true;
                 }
             }
         }
@@ -308,7 +598,7 @@ impl DramSystem {
                         && self.col_cmd_ready(kind, &decoded, flat_bank)
                     {
                         self.issue_col_cmd(kind, i);
-                        return;
+                        return true;
                     }
                     continue; // waiting on column timing
                 }
@@ -319,18 +609,19 @@ impl DramSystem {
                             self.banks[flat_bank].next_act.max(now + self.cfg.t_rp);
                         self.stats.precharges += 1;
                         self.queue_mut(kind)[i].touched = true;
-                        return;
+                        return true;
                     }
                 }
                 None => {
                     if self.act_ready(&decoded, flat_bank) {
                         self.issue_act(&decoded, flat_bank);
                         self.queue_mut(kind)[i].touched = true;
-                        return;
+                        return true;
                     }
                 }
             }
         }
+        false
     }
 
     fn queue(&self, kind: ReqKind) -> &Vec<QueuedReq> {
@@ -348,7 +639,7 @@ impl DramSystem {
     }
 
     fn act_ready(&self, d: &DecodedAddr, flat_bank: usize) -> bool {
-        let now = self.cycle;
+        let now = self.clock.now();
         let bank = &self.banks[flat_bank];
         let rank = &self.ranks[d.rank as usize];
         now >= bank.next_act
@@ -358,7 +649,7 @@ impl DramSystem {
     }
 
     fn issue_act(&mut self, d: &DecodedAddr, flat_bank: usize) {
-        let now = self.cycle;
+        let now = self.clock.now();
         let bank = &mut self.banks[flat_bank];
         bank.open_row = Some(d.row);
         bank.next_read = now + self.cfg.t_rcd;
@@ -373,7 +664,7 @@ impl DramSystem {
     }
 
     fn col_cmd_ready(&self, kind: ReqKind, d: &DecodedAddr, flat_bank: usize) -> bool {
-        let now = self.cycle;
+        let now = self.clock.now();
         let bank = &self.banks[flat_bank];
         let rank = &self.ranks[d.rank as usize];
         if rank.refresh_pending {
@@ -398,18 +689,17 @@ impl DramSystem {
             ReqKind::Write => (self.cfg.t_cwl, self.cfg.write_burst_cycles, BusDir::Write),
         };
         let _ = dur;
-        let bubble = if self.bus_dir != BusDir::Idle
-            && (self.bus_dir != dir || self.bus_rank != d.rank)
-        {
-            2
-        } else {
-            0
-        };
+        let bubble =
+            if self.bus_dir != BusDir::Idle && (self.bus_dir != dir || self.bus_rank != d.rank) {
+                2
+            } else {
+                0
+            };
         now + lat >= self.bus_busy_until + bubble
     }
 
     fn issue_col_cmd(&mut self, kind: ReqKind, idx: usize) {
-        let now = self.cycle;
+        let now = self.clock.now();
         let entry = self.queue_mut(kind).remove(idx);
         let d = entry.decoded;
         let bg = d.bank_group as usize;
@@ -432,16 +722,17 @@ impl DramSystem {
                 self.bus_rank = d.rank;
                 self.stats.data_bus_busy_cycles += self.cfg.read_burst_cycles;
                 self.stats.reads += 1;
-                self.stats.read_latency_sum +=
-                    finish.saturating_sub(entry.req.enqueue_cycle);
-                self.stats.read_queue_delay_sum +=
-                    now.saturating_sub(entry.req.enqueue_cycle);
-                self.pending.push(Completion {
-                    id: entry.req.id,
-                    kind,
-                    finish_cycle: finish,
-                    enqueue_cycle: entry.req.enqueue_cycle,
-                });
+                self.stats.read_latency_sum += finish.saturating_sub(entry.req.enqueue_cycle);
+                self.stats.read_queue_delay_sum += now.saturating_sub(entry.req.enqueue_cycle);
+                self.pending.push(
+                    finish,
+                    Completion {
+                        id: entry.req.id,
+                        kind,
+                        finish_cycle: finish,
+                        enqueue_cycle: entry.req.enqueue_cycle,
+                    },
+                );
             }
             ReqKind::Write => {
                 let data_start = now + self.cfg.t_cwl;
@@ -451,8 +742,7 @@ impl DramSystem {
                 let bank = &mut self.banks[entry.flat_bank];
                 bank.next_pre = bank.next_pre.max(internal_end + self.cfg.t_wr);
                 let rank = &mut self.ranks[d.rank as usize];
-                rank.next_read_any =
-                    rank.next_read_any.max(burst_end + self.cfg.t_wtr_s);
+                rank.next_read_any = rank.next_read_any.max(burst_end + self.cfg.t_wtr_s);
                 rank.next_read_same_bg[bg] =
                     rank.next_read_same_bg[bg].max(burst_end + self.cfg.t_wtr_l);
                 self.bus_busy_until = burst_end;
@@ -460,12 +750,15 @@ impl DramSystem {
                 self.bus_rank = d.rank;
                 self.stats.data_bus_busy_cycles += self.cfg.write_burst_cycles;
                 self.stats.writes += 1;
-                self.pending.push(Completion {
-                    id: entry.req.id,
-                    kind,
-                    finish_cycle: burst_end,
-                    enqueue_cycle: entry.req.enqueue_cycle,
-                });
+                self.pending.push(
+                    burst_end,
+                    Completion {
+                        id: entry.req.id,
+                        kind,
+                        finish_cycle: burst_end,
+                        enqueue_cycle: entry.req.enqueue_cycle,
+                    },
+                );
             }
         }
     }
@@ -490,7 +783,8 @@ mod tests {
     fn single_read_latency_is_act_rcd_cl_burst() {
         let cfg = DramConfig::ddr4_3200();
         let mut dram = DramSystem::new(cfg.clone());
-        dram.enqueue(MemRequest::new(1, ReqKind::Read, 0x1000, 0)).unwrap();
+        dram.enqueue(MemRequest::new(1, ReqKind::Read, 0x1000, 0))
+            .unwrap();
         let done = run_until_done(&mut dram, 500);
         assert_eq!(done.len(), 1);
         // ACT at cycle 1, READ at 1+tRCD, data done at +tCL+burst.
@@ -505,12 +799,17 @@ mod tests {
         // interleaving maps adjacent lines to different banks).
         let stride = u64::from(cfg.bank_groups * cfg.banks_per_group * cfg.line_bytes);
         let mut dram = DramSystem::new(cfg);
-        dram.enqueue(MemRequest::new(1, ReqKind::Read, 0x10000, 0)).unwrap();
-        dram.enqueue(MemRequest::new(2, ReqKind::Read, 0x10000 + stride, 0)).unwrap();
+        dram.enqueue(MemRequest::new(1, ReqKind::Read, 0x10000, 0))
+            .unwrap();
+        dram.enqueue(MemRequest::new(2, ReqKind::Read, 0x10000 + stride, 0))
+            .unwrap();
         let done = run_until_done(&mut dram, 500);
         assert_eq!(done.len(), 2);
         let gap = done[1].finish_cycle - done[0].finish_cycle;
-        assert!(gap <= dram.config().t_ccd_l + dram.config().read_burst_cycles, "gap {gap}");
+        assert!(
+            gap <= dram.config().t_ccd_l + dram.config().read_burst_cycles,
+            "gap {gap}"
+        );
         assert!(dram.stats().row_hits >= 1);
         assert_eq!(dram.stats().activates, 1);
     }
@@ -521,11 +820,16 @@ mod tests {
         let mapping = AddressMapping::new(&cfg);
         let d0 = mapping.decode(0x1000);
         // Same bank, different row.
-        let conflict = DecodedAddr { row: d0.row + 8, ..d0 };
+        let conflict = DecodedAddr {
+            row: d0.row + 8,
+            ..d0
+        };
         let addr1 = mapping.encode(&conflict);
         let mut dram = DramSystem::new(cfg);
-        dram.enqueue(MemRequest::new(1, ReqKind::Read, 0x1000, 0)).unwrap();
-        dram.enqueue(MemRequest::new(2, ReqKind::Read, addr1, 0)).unwrap();
+        dram.enqueue(MemRequest::new(1, ReqKind::Read, 0x1000, 0))
+            .unwrap();
+        dram.enqueue(MemRequest::new(2, ReqKind::Read, addr1, 0))
+            .unwrap();
         let done = run_until_done(&mut dram, 1000);
         assert_eq!(done.len(), 2);
         assert_eq!(dram.stats().precharges, 1);
@@ -535,10 +839,15 @@ mod tests {
     #[test]
     fn store_forwarding_serves_read_from_write_queue() {
         let mut dram = DramSystem::new(DramConfig::ddr4_3200());
-        dram.enqueue(MemRequest::new(1, ReqKind::Write, 0x2000, 0)).unwrap();
-        dram.enqueue(MemRequest::new(2, ReqKind::Read, 0x2000, 0)).unwrap();
+        dram.enqueue(MemRequest::new(1, ReqKind::Write, 0x2000, 0))
+            .unwrap();
+        dram.enqueue(MemRequest::new(2, ReqKind::Read, 0x2000, 0))
+            .unwrap();
         let first = dram.tick();
-        assert!(first.iter().any(|c| c.id == 2), "forwarded read completes immediately");
+        assert!(
+            first.iter().any(|c| c.id == 2),
+            "forwarded read completes immediately"
+        );
         assert_eq!(dram.stats().forwarded_reads, 1);
     }
 
@@ -547,8 +856,10 @@ mod tests {
         let mut cfg = DramConfig::ddr4_3200();
         cfg.read_queue = 2;
         let mut dram = DramSystem::new(cfg);
-        dram.enqueue(MemRequest::new(1, ReqKind::Read, 0x0, 0)).unwrap();
-        dram.enqueue(MemRequest::new(2, ReqKind::Read, 0x40000, 0)).unwrap();
+        dram.enqueue(MemRequest::new(1, ReqKind::Read, 0x0, 0))
+            .unwrap();
+        dram.enqueue(MemRequest::new(2, ReqKind::Read, 0x40000, 0))
+            .unwrap();
         let err = dram.enqueue(MemRequest::new(3, ReqKind::Read, 0x80000, 0));
         assert!(err.is_err());
         assert_eq!(err.unwrap_err().rejected.id, 3);
@@ -561,18 +872,25 @@ mod tests {
         cfg.write_drain_lo = 1;
         let mut dram = DramSystem::new(cfg);
         for i in 0..4 {
-            dram.enqueue(MemRequest::new(i, ReqKind::Write, i * 0x40000, 0)).unwrap();
+            dram.enqueue(MemRequest::new(i, ReqKind::Write, i * 0x40000, 0))
+                .unwrap();
         }
         let done = run_until_done(&mut dram, 2000);
-        assert!(done.len() >= 3, "drain mode should service writes, got {}", done.len());
+        assert!(
+            done.len() >= 3,
+            "drain mode should service writes, got {}",
+            done.len()
+        );
         assert!(dram.stats().writes >= 3);
     }
 
     #[test]
     fn reads_have_priority_over_sparse_writes() {
         let mut dram = DramSystem::new(DramConfig::ddr4_3200());
-        dram.enqueue(MemRequest::new(1, ReqKind::Write, 0x2000, 0)).unwrap();
-        dram.enqueue(MemRequest::new(2, ReqKind::Read, 0x100000, 0)).unwrap();
+        dram.enqueue(MemRequest::new(1, ReqKind::Write, 0x2000, 0))
+            .unwrap();
+        dram.enqueue(MemRequest::new(2, ReqKind::Read, 0x100000, 0))
+            .unwrap();
         let mut read_done = None;
         let mut write_done = None;
         for _ in 0..3000 {
@@ -597,7 +915,11 @@ mod tests {
             dram.tick();
         }
         // Two ranks, two tREFI windows each.
-        assert!(dram.stats().refreshes >= 3, "got {}", dram.stats().refreshes);
+        assert!(
+            dram.stats().refreshes >= 3,
+            "got {}",
+            dram.stats().refreshes
+        );
     }
 
     #[test]
@@ -609,12 +931,20 @@ mod tests {
         for t in 0..30_000u64 {
             if t % 50 == 0 {
                 id += 1;
-                let _ = dram.enqueue(MemRequest::new(id, ReqKind::Read, (id * 0x40) % (1 << 30), t));
+                let _ = dram.enqueue(MemRequest::new(
+                    id,
+                    ReqKind::Read,
+                    (id * 0x40) % (1 << 30),
+                    t,
+                ));
             }
             completed += dram.tick().len() as u64;
         }
         assert!(dram.stats().refreshes >= 2);
-        assert!(completed >= id - 2, "requests must survive refreshes: {completed}/{id}");
+        assert!(
+            completed >= id - 2,
+            "requests must survive refreshes: {completed}/{id}"
+        );
     }
 
     #[test]
@@ -622,7 +952,8 @@ mod tests {
         let run = |cfg: DramConfig| -> u64 {
             let mut dram = DramSystem::new(cfg);
             for i in 0..32u64 {
-                dram.enqueue(MemRequest::new(i, ReqKind::Write, i * 64, 0)).unwrap();
+                dram.enqueue(MemRequest::new(i, ReqKind::Write, i * 64, 0))
+                    .unwrap();
             }
             let mut last = 0;
             for _ in 0..20_000 {
@@ -649,7 +980,8 @@ mod tests {
         let n = 8u64;
         for i in 0..n {
             // Stride across bank groups.
-            dram.enqueue(MemRequest::new(i, ReqKind::Read, i * 0x2000, 0)).unwrap();
+            dram.enqueue(MemRequest::new(i, ReqKind::Read, i * 0x2000, 0))
+                .unwrap();
         }
         let done = run_until_done(&mut dram, 5_000);
         assert_eq!(done.len() as u64, n);
@@ -666,10 +998,14 @@ mod tests {
         let cfg = DramConfig::ddr4_3200();
         let mapping = AddressMapping::new(&cfg);
         let d0 = mapping.decode(0);
-        let conflict = DecodedAddr { row: d0.row + 1, ..d0 };
+        let conflict = DecodedAddr {
+            row: d0.row + 1,
+            ..d0
+        };
         let conflict_addr = mapping.encode(&conflict);
         let mut dram = DramSystem::new(cfg);
-        dram.enqueue(MemRequest::new(9999, ReqKind::Read, conflict_addr, 0)).unwrap();
+        dram.enqueue(MemRequest::new(9999, ReqKind::Read, conflict_addr, 0))
+            .unwrap();
         let mut next_id = 0;
         let mut victim_done = false;
         for t in 0..30_000u64 {
@@ -688,7 +1024,10 @@ mod tests {
                 break;
             }
         }
-        assert!(victim_done, "anti-starvation must serve the conflicting request");
+        assert!(
+            victim_done,
+            "anti-starvation must serve the conflicting request"
+        );
     }
 
     #[test]
@@ -701,13 +1040,19 @@ mod tests {
             let stride = u64::from(cfg.bank_groups * cfg.banks_per_group * cfg.line_bytes);
             let mapping = AddressMapping::new(&cfg);
             let d0 = mapping.decode(0);
-            let conflict = DecodedAddr { row: d0.row + 1, ..d0 };
+            let conflict = DecodedAddr {
+                row: d0.row + 1,
+                ..d0
+            };
             let conflict_addr = mapping.encode(&conflict);
             let mut dram = DramSystem::new(cfg);
-            dram.enqueue(MemRequest::new(0, ReqKind::Read, 0, 0)).unwrap();
-            dram.enqueue(MemRequest::new(1, ReqKind::Read, conflict_addr, 0)).unwrap();
+            dram.enqueue(MemRequest::new(0, ReqKind::Read, 0, 0))
+                .unwrap();
+            dram.enqueue(MemRequest::new(1, ReqKind::Read, conflict_addr, 0))
+                .unwrap();
             for i in 2..20u64 {
-                dram.enqueue(MemRequest::new(i, ReqKind::Read, i * stride, 0)).unwrap();
+                dram.enqueue(MemRequest::new(i, ReqKind::Read, i * stride, 0))
+                    .unwrap();
             }
             let mut last = 0;
             for _ in 0..100_000 {
@@ -736,7 +1081,11 @@ mod tests {
         let mut t = 0u64;
         while completed.len() < total as usize && t < 2_000_000 {
             if issued < total && rng.gen_bool(0.3) {
-                let kind = if rng.gen_bool(0.3) { ReqKind::Write } else { ReqKind::Read };
+                let kind = if rng.gen_bool(0.3) {
+                    ReqKind::Write
+                } else {
+                    ReqKind::Read
+                };
                 let addr = rng.gen_range(0..(1u64 << 32)) & !63;
                 if dram.enqueue(MemRequest::new(issued, kind, addr, t)).is_ok() {
                     issued += 1;

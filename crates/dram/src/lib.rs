@@ -39,7 +39,7 @@
 mod address;
 mod bank;
 mod config;
-mod controller;
+pub mod controller;
 mod request;
 mod stats;
 
@@ -47,4 +47,5 @@ pub use address::{AddressMapping, DecodedAddr};
 pub use config::DramConfig;
 pub use controller::{DramSystem, EnqueueError};
 pub use request::{Completion, MemRequest, ReqKind};
+pub use sim_kernel::Advance;
 pub use stats::DramStats;

@@ -25,7 +25,12 @@ pub struct MemRequest {
 impl MemRequest {
     /// Convenience constructor.
     pub fn new(id: u64, kind: ReqKind, addr: u64, enqueue_cycle: u64) -> Self {
-        Self { id, kind, addr, enqueue_cycle }
+        Self {
+            id,
+            kind,
+            addr,
+            enqueue_cycle,
+        }
     }
 }
 
@@ -55,7 +60,12 @@ mod tests {
 
     #[test]
     fn completion_latency() {
-        let c = Completion { id: 1, kind: ReqKind::Read, finish_cycle: 100, enqueue_cycle: 40 };
+        let c = Completion {
+            id: 1,
+            kind: ReqKind::Read,
+            finish_cycle: 100,
+            enqueue_cycle: 40,
+        };
         assert_eq!(c.latency(), 60);
     }
 }

@@ -94,7 +94,10 @@ pub fn trace(
     let mut round = 0u64;
     while !sink.full() && round < 64 {
         let source = rng.gen_range(0..graph.vertices());
-        let mut em = Emitter { sink: &mut sink, layout };
+        let mut em = Emitter {
+            sink: &mut sink,
+            layout,
+        };
         match kernel {
             Kernel::Bfs => bfs(graph, source, &mut em),
             Kernel::Pr => pagerank(graph, &mut em),
@@ -123,7 +126,10 @@ fn bfs(g: &CsrGraph, source: u32, em: &mut Emitter<'_>) {
             fpos += 1;
             em.off(u);
             em.off(u + 1);
-            let (s, e) = (g.offsets[u as usize] as u64, g.offsets[u as usize + 1] as u64);
+            let (s, e) = (
+                g.offsets[u as usize] as u64,
+                g.offsets[u as usize + 1] as u64,
+            );
             for i in s..e {
                 em.nbr(i);
                 let v = g.neighbors[i as usize];
@@ -150,7 +156,10 @@ fn pagerank(g: &CsrGraph, em: &mut Emitter<'_>) {
             }
             em.off(u);
             em.off(u + 1);
-            let (s, e) = (g.offsets[u as usize] as u64, g.offsets[u as usize + 1] as u64);
+            let (s, e) = (
+                g.offsets[u as usize] as u64,
+                g.offsets[u as usize + 1] as u64,
+            );
             for i in s..e {
                 em.nbr(i);
                 let w = g.neighbors[i as usize];
@@ -175,7 +184,10 @@ fn cc(g: &CsrGraph, em: &mut Emitter<'_>) {
             em.off(u);
             em.off(u + 1);
             em.pa_load(u);
-            let (s, e) = (g.offsets[u as usize] as u64, g.offsets[u as usize + 1] as u64);
+            let (s, e) = (
+                g.offsets[u as usize] as u64,
+                g.offsets[u as usize + 1] as u64,
+            );
             for i in s..e {
                 em.nbr(i);
                 let w = g.neighbors[i as usize] as usize;
@@ -211,7 +223,10 @@ fn bc(g: &CsrGraph, source: u32, em: &mut Emitter<'_>) {
             order.push(u);
             em.off(u);
             em.off(u + 1);
-            let (s, e) = (g.offsets[u as usize] as u64, g.offsets[u as usize + 1] as u64);
+            let (s, e) = (
+                g.offsets[u as usize] as u64,
+                g.offsets[u as usize + 1] as u64,
+            );
             for i in s..e {
                 em.nbr(i);
                 let w = g.neighbors[i as usize];
@@ -232,7 +247,10 @@ fn bc(g: &CsrGraph, source: u32, em: &mut Emitter<'_>) {
         }
         em.off(u);
         em.off(u + 1);
-        let (s, e) = (g.offsets[u as usize] as u64, g.offsets[u as usize + 1] as u64);
+        let (s, e) = (
+            g.offsets[u as usize] as u64,
+            g.offsets[u as usize + 1] as u64,
+        );
         for i in s..e {
             em.nbr(i);
             let w = g.neighbors[i as usize];
@@ -261,16 +279,17 @@ fn sssp(g: &CsrGraph, source: u32, em: &mut Emitter<'_>) {
             em.off(u);
             em.off(u + 1);
             em.pa_load(u); // dist[u]
-            let (s, e) = (g.offsets[u as usize] as u64, g.offsets[u as usize + 1] as u64);
+            let (s, e) = (
+                g.offsets[u as usize] as u64,
+                g.offsets[u as usize + 1] as u64,
+            );
             for j in s..e {
                 em.nbr(j);
                 let w = g.neighbors[j as usize];
                 em.pa_load(w); // dist[w]: scattered
                 em.sink.compute(3);
                 let weight = u64::from(w % 16) + 1;
-                if dist[u as usize] != u64::MAX
-                    && dist[u as usize] + weight < dist[w as usize]
-                {
+                if dist[u as usize] != u64::MAX && dist[u as usize] + weight < dist[w as usize] {
                     dist[w as usize] = dist[u as usize] + weight;
                     em.pa_store(w);
                     next.push(w);
@@ -339,14 +358,22 @@ mod tests {
     #[test]
     fn all_kernels_emit_traces() {
         let g = small_graph();
-        for k in [Kernel::Bfs, Kernel::Pr, Kernel::Cc, Kernel::Bc, Kernel::Sssp, Kernel::Tc] {
+        for k in [
+            Kernel::Bfs,
+            Kernel::Pr,
+            Kernel::Cc,
+            Kernel::Bc,
+            Kernel::Sssp,
+            Kernel::Tc,
+        ] {
             let t = trace(k, &g, GraphLayout::default(), 50_000, 1);
             let instrs: u64 = t.iter().map(|o| o.instructions()).sum();
-            assert!(instrs >= 45_000, "{} produced only {instrs} instructions", k.name());
-            let mem_ops = t
-                .iter()
-                .filter(|o| o.address().is_some())
-                .count();
+            assert!(
+                instrs >= 45_000,
+                "{} produced only {instrs} instructions",
+                k.name()
+            );
+            let mem_ops = t.iter().filter(|o| o.address().is_some()).count();
             assert!(mem_ops > 1000, "{} too few memory ops: {mem_ops}", k.name());
         }
     }
@@ -377,8 +404,11 @@ mod tests {
         let g = CsrGraph::synthetic(20_000, 12, 4);
         let uniq_ratio = |k: Kernel| -> f64 {
             let t = trace(k, &g, GraphLayout::default(), 100_000, 2);
-            let mem: Vec<u64> =
-                t.iter().filter_map(|o| o.address()).map(|a| a >> 6).collect();
+            let mem: Vec<u64> = t
+                .iter()
+                .filter_map(|o| o.address())
+                .map(|a| a >> 6)
+                .collect();
             let uniq: std::collections::HashSet<u64> = mem.iter().copied().collect();
             uniq.len() as f64 / mem.len() as f64
         };

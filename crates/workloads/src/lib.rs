@@ -75,10 +75,21 @@ impl Benchmark {
     pub fn all() -> Vec<Benchmark> {
         let mut v: Vec<Benchmark> = spec::spec_profiles()
             .into_iter()
-            .map(|p| Benchmark { kind: Kind::Spec(p) })
+            .map(|p| Benchmark {
+                kind: Kind::Spec(p),
+            })
             .collect();
-        for k in [Kernel::Bfs, Kernel::Pr, Kernel::Tc, Kernel::Cc, Kernel::Bc, Kernel::Sssp] {
-            v.push(Benchmark { kind: Kind::Gapbs(k) });
+        for k in [
+            Kernel::Bfs,
+            Kernel::Pr,
+            Kernel::Tc,
+            Kernel::Cc,
+            Kernel::Bc,
+            Kernel::Sssp,
+        ] {
+            v.push(Benchmark {
+                kind: Kind::Gapbs(k),
+            });
         }
         v
     }

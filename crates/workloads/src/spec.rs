@@ -83,7 +83,8 @@ impl SpecProfile {
                 }
                 continue;
             }
-            let cold_random = |rng: &mut SmallRng| cold_base + (rng.gen_range(0..self.footprint) & !7);
+            let cold_random =
+                |rng: &mut SmallRng| cold_base + (rng.gen_range(0..self.footprint) & !7);
             match self.pattern {
                 Pattern::Stream { .. } => {
                     let c = &mut cursors[which];
@@ -110,7 +111,7 @@ impl SpecProfile {
                     chase_ptr = chase_ptr
                         .wrapping_mul(6364136223846793005)
                         .wrapping_add(1442695040888963407);
-                    let addr = cold_base + (chase_ptr % self.footprint & !7);
+                    let addr = cold_base + ((chase_ptr % self.footprint) & !7);
                     if is_write {
                         sink.store(addr);
                     } else {
@@ -148,29 +149,213 @@ const MB: u64 = 1 << 20;
 /// The 23 SPEC CPU2017 profiles in the order Figure 6 lists them.
 pub fn spec_profiles() -> Vec<SpecProfile> {
     vec![
-        SpecProfile { name: "perlbench", footprint: 64 * MB, hot_bytes: 2 * MB, hot_frac: 0.97, compute_per_mem: 4, write_frac: 0.30, pattern: Pattern::Mixed { stream_frac: 0.5 } },
-        SpecProfile { name: "gcc", footprint: 128 * MB, hot_bytes: 2 * MB, hot_frac: 0.93, compute_per_mem: 4, write_frac: 0.30, pattern: Pattern::Mixed { stream_frac: 0.5 } },
-        SpecProfile { name: "mcf", footprint: 1024 * MB, hot_bytes: MB, hot_frac: 0.35, compute_per_mem: 3, write_frac: 0.15, pattern: Pattern::Chase },
-        SpecProfile { name: "omnetpp", footprint: 512 * MB, hot_bytes: MB, hot_frac: 0.50, compute_per_mem: 3, write_frac: 0.30, pattern: Pattern::Random },
-        SpecProfile { name: "xalancbmk", footprint: 64 * MB, hot_bytes: 2 * MB, hot_frac: 0.95, compute_per_mem: 4, write_frac: 0.20, pattern: Pattern::Random },
-        SpecProfile { name: "x264", footprint: 32 * MB, hot_bytes: 3 * MB, hot_frac: 0.97, compute_per_mem: 6, write_frac: 0.35, pattern: Pattern::Stream { streams: 4 } },
-        SpecProfile { name: "deepsjeng", footprint: 8 * MB, hot_bytes: 3 * MB, hot_frac: 0.97, compute_per_mem: 6, write_frac: 0.25, pattern: Pattern::Random },
-        SpecProfile { name: "leela", footprint: 4 * MB, hot_bytes: 2 * MB, hot_frac: 0.98, compute_per_mem: 8, write_frac: 0.20, pattern: Pattern::Random },
-        SpecProfile { name: "exchange2", footprint: MB, hot_bytes: MB / 2, hot_frac: 0.999, compute_per_mem: 12, write_frac: 0.30, pattern: Pattern::Random },
-        SpecProfile { name: "xz", footprint: 256 * MB, hot_bytes: 2 * MB, hot_frac: 0.65, compute_per_mem: 4, write_frac: 0.30, pattern: Pattern::Random },
-        SpecProfile { name: "bwaves", footprint: 768 * MB, hot_bytes: MB, hot_frac: 0.20, compute_per_mem: 3, write_frac: 0.25, pattern: Pattern::Stream { streams: 16 } },
-        SpecProfile { name: "cactuBSSN", footprint: 256 * MB, hot_bytes: 2 * MB, hot_frac: 0.88, compute_per_mem: 4, write_frac: 0.35, pattern: Pattern::Stream { streams: 12 } },
-        SpecProfile { name: "namd", footprint: 64 * MB, hot_bytes: 3 * MB, hot_frac: 0.96, compute_per_mem: 8, write_frac: 0.20, pattern: Pattern::Stream { streams: 8 } },
-        SpecProfile { name: "parest", footprint: 128 * MB, hot_bytes: 3 * MB, hot_frac: 0.90, compute_per_mem: 5, write_frac: 0.25, pattern: Pattern::Mixed { stream_frac: 0.6 } },
-        SpecProfile { name: "povray", footprint: 2 * MB, hot_bytes: MB, hot_frac: 0.995, compute_per_mem: 10, write_frac: 0.20, pattern: Pattern::Random },
-        SpecProfile { name: "lbm", footprint: 512 * MB, hot_bytes: MB / 2, hot_frac: 0.10, compute_per_mem: 3, write_frac: 0.50, pattern: Pattern::Stream { streams: 8 } },
-        SpecProfile { name: "wrf", footprint: 256 * MB, hot_bytes: 2 * MB, hot_frac: 0.85, compute_per_mem: 4, write_frac: 0.30, pattern: Pattern::Stream { streams: 8 } },
-        SpecProfile { name: "blender", footprint: 64 * MB, hot_bytes: 2 * MB, hot_frac: 0.94, compute_per_mem: 6, write_frac: 0.25, pattern: Pattern::Mixed { stream_frac: 0.5 } },
-        SpecProfile { name: "cam4", footprint: 128 * MB, hot_bytes: 3 * MB, hot_frac: 0.92, compute_per_mem: 5, write_frac: 0.30, pattern: Pattern::Mixed { stream_frac: 0.6 } },
-        SpecProfile { name: "imagick", footprint: 16 * MB, hot_bytes: 2 * MB, hot_frac: 0.985, compute_per_mem: 10, write_frac: 0.30, pattern: Pattern::Stream { streams: 2 } },
-        SpecProfile { name: "nab", footprint: 16 * MB, hot_bytes: 3 * MB, hot_frac: 0.96, compute_per_mem: 8, write_frac: 0.25, pattern: Pattern::Random },
-        SpecProfile { name: "fotonik3d", footprint: 512 * MB, hot_bytes: MB, hot_frac: 0.25, compute_per_mem: 3, write_frac: 0.30, pattern: Pattern::Stream { streams: 12 } },
-        SpecProfile { name: "roms", footprint: 512 * MB, hot_bytes: MB, hot_frac: 0.30, compute_per_mem: 4, write_frac: 0.35, pattern: Pattern::Stream { streams: 12 } },
+        SpecProfile {
+            name: "perlbench",
+            footprint: 64 * MB,
+            hot_bytes: 2 * MB,
+            hot_frac: 0.97,
+            compute_per_mem: 4,
+            write_frac: 0.30,
+            pattern: Pattern::Mixed { stream_frac: 0.5 },
+        },
+        SpecProfile {
+            name: "gcc",
+            footprint: 128 * MB,
+            hot_bytes: 2 * MB,
+            hot_frac: 0.93,
+            compute_per_mem: 4,
+            write_frac: 0.30,
+            pattern: Pattern::Mixed { stream_frac: 0.5 },
+        },
+        SpecProfile {
+            name: "mcf",
+            footprint: 1024 * MB,
+            hot_bytes: MB,
+            hot_frac: 0.35,
+            compute_per_mem: 3,
+            write_frac: 0.15,
+            pattern: Pattern::Chase,
+        },
+        SpecProfile {
+            name: "omnetpp",
+            footprint: 512 * MB,
+            hot_bytes: MB,
+            hot_frac: 0.50,
+            compute_per_mem: 3,
+            write_frac: 0.30,
+            pattern: Pattern::Random,
+        },
+        SpecProfile {
+            name: "xalancbmk",
+            footprint: 64 * MB,
+            hot_bytes: 2 * MB,
+            hot_frac: 0.95,
+            compute_per_mem: 4,
+            write_frac: 0.20,
+            pattern: Pattern::Random,
+        },
+        SpecProfile {
+            name: "x264",
+            footprint: 32 * MB,
+            hot_bytes: 3 * MB,
+            hot_frac: 0.97,
+            compute_per_mem: 6,
+            write_frac: 0.35,
+            pattern: Pattern::Stream { streams: 4 },
+        },
+        SpecProfile {
+            name: "deepsjeng",
+            footprint: 8 * MB,
+            hot_bytes: 3 * MB,
+            hot_frac: 0.97,
+            compute_per_mem: 6,
+            write_frac: 0.25,
+            pattern: Pattern::Random,
+        },
+        SpecProfile {
+            name: "leela",
+            footprint: 4 * MB,
+            hot_bytes: 2 * MB,
+            hot_frac: 0.98,
+            compute_per_mem: 8,
+            write_frac: 0.20,
+            pattern: Pattern::Random,
+        },
+        SpecProfile {
+            name: "exchange2",
+            footprint: MB,
+            hot_bytes: MB / 2,
+            hot_frac: 0.999,
+            compute_per_mem: 12,
+            write_frac: 0.30,
+            pattern: Pattern::Random,
+        },
+        SpecProfile {
+            name: "xz",
+            footprint: 256 * MB,
+            hot_bytes: 2 * MB,
+            hot_frac: 0.65,
+            compute_per_mem: 4,
+            write_frac: 0.30,
+            pattern: Pattern::Random,
+        },
+        SpecProfile {
+            name: "bwaves",
+            footprint: 768 * MB,
+            hot_bytes: MB,
+            hot_frac: 0.20,
+            compute_per_mem: 3,
+            write_frac: 0.25,
+            pattern: Pattern::Stream { streams: 16 },
+        },
+        SpecProfile {
+            name: "cactuBSSN",
+            footprint: 256 * MB,
+            hot_bytes: 2 * MB,
+            hot_frac: 0.88,
+            compute_per_mem: 4,
+            write_frac: 0.35,
+            pattern: Pattern::Stream { streams: 12 },
+        },
+        SpecProfile {
+            name: "namd",
+            footprint: 64 * MB,
+            hot_bytes: 3 * MB,
+            hot_frac: 0.96,
+            compute_per_mem: 8,
+            write_frac: 0.20,
+            pattern: Pattern::Stream { streams: 8 },
+        },
+        SpecProfile {
+            name: "parest",
+            footprint: 128 * MB,
+            hot_bytes: 3 * MB,
+            hot_frac: 0.90,
+            compute_per_mem: 5,
+            write_frac: 0.25,
+            pattern: Pattern::Mixed { stream_frac: 0.6 },
+        },
+        SpecProfile {
+            name: "povray",
+            footprint: 2 * MB,
+            hot_bytes: MB,
+            hot_frac: 0.995,
+            compute_per_mem: 10,
+            write_frac: 0.20,
+            pattern: Pattern::Random,
+        },
+        SpecProfile {
+            name: "lbm",
+            footprint: 512 * MB,
+            hot_bytes: MB / 2,
+            hot_frac: 0.10,
+            compute_per_mem: 3,
+            write_frac: 0.50,
+            pattern: Pattern::Stream { streams: 8 },
+        },
+        SpecProfile {
+            name: "wrf",
+            footprint: 256 * MB,
+            hot_bytes: 2 * MB,
+            hot_frac: 0.85,
+            compute_per_mem: 4,
+            write_frac: 0.30,
+            pattern: Pattern::Stream { streams: 8 },
+        },
+        SpecProfile {
+            name: "blender",
+            footprint: 64 * MB,
+            hot_bytes: 2 * MB,
+            hot_frac: 0.94,
+            compute_per_mem: 6,
+            write_frac: 0.25,
+            pattern: Pattern::Mixed { stream_frac: 0.5 },
+        },
+        SpecProfile {
+            name: "cam4",
+            footprint: 128 * MB,
+            hot_bytes: 3 * MB,
+            hot_frac: 0.92,
+            compute_per_mem: 5,
+            write_frac: 0.30,
+            pattern: Pattern::Mixed { stream_frac: 0.6 },
+        },
+        SpecProfile {
+            name: "imagick",
+            footprint: 16 * MB,
+            hot_bytes: 2 * MB,
+            hot_frac: 0.985,
+            compute_per_mem: 10,
+            write_frac: 0.30,
+            pattern: Pattern::Stream { streams: 2 },
+        },
+        SpecProfile {
+            name: "nab",
+            footprint: 16 * MB,
+            hot_bytes: 3 * MB,
+            hot_frac: 0.96,
+            compute_per_mem: 8,
+            write_frac: 0.25,
+            pattern: Pattern::Random,
+        },
+        SpecProfile {
+            name: "fotonik3d",
+            footprint: 512 * MB,
+            hot_bytes: MB,
+            hot_frac: 0.25,
+            compute_per_mem: 3,
+            write_frac: 0.30,
+            pattern: Pattern::Stream { streams: 12 },
+        },
+        SpecProfile {
+            name: "roms",
+            footprint: 512 * MB,
+            hot_bytes: MB,
+            hot_frac: 0.30,
+            compute_per_mem: 4,
+            write_frac: 0.35,
+            pattern: Pattern::Stream { streams: 12 },
+        },
     ]
 }
 
@@ -184,7 +369,7 @@ mod tests {
             let t = p.generate(20_000, 1);
             let instrs: u64 = t.iter().map(|o| o.instructions()).sum();
             assert!(
-                instrs >= 19_000 && instrs <= 21_000,
+                (19_000..=21_000).contains(&instrs),
                 "{}: {instrs} instructions",
                 p.name
             );
@@ -204,7 +389,10 @@ mod tests {
 
     #[test]
     fn write_fraction_roughly_respected() {
-        let p = spec_profiles().into_iter().find(|p| p.name == "lbm").unwrap();
+        let p = spec_profiles()
+            .into_iter()
+            .find(|p| p.name == "lbm")
+            .unwrap();
         let t = p.generate(100_000, 2);
         let (mut loads, mut stores) = (0u64, 0u64);
         for op in &t {
@@ -227,7 +415,10 @@ mod tests {
 
     #[test]
     fn hot_set_dominates_low_mpki_benchmarks() {
-        let p = spec_profiles().into_iter().find(|p| p.name == "povray").unwrap();
+        let p = spec_profiles()
+            .into_iter()
+            .find(|p| p.name == "povray")
+            .unwrap();
         let t = p.generate(100_000, 4);
         let cold = t
             .iter()

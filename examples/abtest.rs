@@ -1,0 +1,48 @@
+//! Scratch A/B harness (not committed).
+use secddr::core::config::SecurityConfig;
+use secddr::core::system::{run_benchmark_with_advance, RunParams};
+use secddr::dram::Advance;
+use secddr::workloads::Benchmark;
+use std::time::Instant;
+
+fn main() {
+    let params = RunParams {
+        instructions: 40_000,
+        seed: 213,
+    };
+    let _ = Benchmark::by_name("pr").unwrap().generate(1_000, 0);
+    let mut tot_f = 0.0;
+    let mut tot_r = 0.0;
+    println!(
+        "{:<12} {:>9} {:>9} {:>7}",
+        "bench", "fast_ms", "ref_ms", "ratio"
+    );
+    for bench in Benchmark::all() {
+        let mut f_ms = 0.0;
+        let mut r_ms = 0.0;
+        for cfg in [
+            SecurityConfig::tdx_baseline(),
+            SecurityConfig::tree_64ary(),
+            SecurityConfig::secddr_ctr(),
+        ] {
+            let t0 = Instant::now();
+            let fast = run_benchmark_with_advance(&bench, &cfg, &params, Advance::ToNextEvent);
+            f_ms += t0.elapsed().as_secs_f64() * 1e3;
+            let t1 = Instant::now();
+            let refr = run_benchmark_with_advance(&bench, &cfg, &params, Advance::PerCycle);
+            r_ms += t1.elapsed().as_secs_f64() * 1e3;
+            assert_eq!(fast.sim, refr.sim);
+        }
+        tot_f += f_ms;
+        tot_r += r_ms;
+        println!(
+            "{:<12} {f_ms:>9.1} {r_ms:>9.1} {:>7.2}",
+            bench.name(),
+            r_ms / f_ms
+        );
+    }
+    println!(
+        "TOTAL fast {tot_f:.0}ms ref {tot_r:.0}ms ratio {:.2}",
+        tot_r / tot_f
+    );
+}

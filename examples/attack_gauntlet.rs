@@ -29,13 +29,15 @@ fn main() {
 
     // 1. Bus replay of a stale (data, E-MAC) tuple.
     {
-        let mut ch =
-            SecureChannel::with_interposer(EncryptionMode::Xts, 1, BusReplay::new(0, 1));
+        let mut ch = SecureChannel::with_interposer(EncryptionMode::Xts, 1, BusReplay::new(0, 1));
         ch.write(LINE, &[1; 64]);
         let _ = ch.read(LINE);
         ch.write(LINE, &[2; 64]);
         let detected = ch.read(LINE).is_err();
-        println!("1. bus replay of stale (data, MAC):       {}", verdict(detected));
+        println!(
+            "1. bus replay of stale (data, MAC):       {}",
+            verdict(detected)
+        );
     }
 
     // 2. Row-redirected write (Figure 3's stale-data attack).
@@ -47,7 +49,10 @@ fn main() {
         );
         let outcome = ch.write(LINE, &[3; 64]);
         let detected = outcome == WriteOutcome::EwcrcRejected && ch.rank.ewcrc_alerts == 1;
-        println!("2. activate redirected to another row:    {}", verdict(detected));
+        println!(
+            "2. activate redirected to another row:    {}",
+            verdict(detected)
+        );
     }
 
     // 3. Column-redirected write.
@@ -58,18 +63,23 @@ fn main() {
             AddressCorruptor::redirect_column(0, 0x4),
         );
         let detected = ch.write(LINE, &[4; 64]) == WriteOutcome::EwcrcRejected;
-        println!("3. write redirected to another column:    {}", verdict(detected));
+        println!(
+            "3. write redirected to another column:    {}",
+            verdict(detected)
+        );
     }
 
     // 4. Dropped write.
     {
-        let mut ch =
-            SecureChannel::with_interposer(EncryptionMode::Xts, 4, WriteDropper::new(1));
+        let mut ch = SecureChannel::with_interposer(EncryptionMode::Xts, 4, WriteDropper::new(1));
         ch.write(LINE, &[5; 64]);
         let _ = ch.read(LINE);
         ch.write(LINE, &[6; 64]); // dropped
         let detected = ch.read(LINE).is_err() && ch.read(0x40).is_err();
-        println!("4. dropped write (all later reads fail):  {}", verdict(detected));
+        println!(
+            "4. dropped write (all later reads fail):  {}",
+            verdict(detected)
+        );
     }
 
     // 5. Write converted to a read.
@@ -78,7 +88,10 @@ fn main() {
             SecureChannel::with_interposer(EncryptionMode::Xts, 5, CommandConverter::new(0));
         ch.write(LINE, &[7; 64]);
         let detected = ch.read(LINE).is_err();
-        println!("5. write command converted to read:       {}", verdict(detected));
+        println!(
+            "5. write command converted to read:       {}",
+            verdict(detected)
+        );
     }
 
     // 6. Plain data / E-MAC bit flips on the bus.
@@ -86,7 +99,10 @@ fn main() {
         let mut ch = SecureChannel::with_interposer(
             EncryptionMode::Xts,
             6,
-            DataTamperer { byte: 5, mask: 0x80 },
+            DataTamperer {
+                byte: 5,
+                mask: 0x80,
+            },
         );
         ch.write(LINE, &[8; 64]);
         let d1 = ch.read(LINE).is_err();
@@ -94,7 +110,10 @@ fn main() {
             SecureChannel::with_interposer(EncryptionMode::Xts, 7, EmacTamperer { mask: 2 });
         ch2.write(LINE, &[9; 64]);
         let d2 = ch2.read(LINE).is_err();
-        println!("6. data / E-MAC bit flips on the bus:     {}", verdict(d1 && d2));
+        println!(
+            "6. data / E-MAC bit flips on the bus:     {}",
+            verdict(d1 && d2)
+        );
     }
 
     // 7. DIMM substitution (cold-boot replay).
@@ -106,7 +125,10 @@ fn main() {
         ch.write(LINE, &[11; 64]);
         ch.rank.restore(frozen); // attacker swaps in the frozen DIMM
         let detected = ch.read(LINE).is_err();
-        println!("7. DIMM substitution / cold-boot replay:  {}", verdict(detected));
+        println!(
+            "7. DIMM substitution / cold-boot replay:  {}",
+            verdict(detected)
+        );
     }
 
     // 8. Man-in-the-middle on the attestation key exchange.
@@ -117,7 +139,10 @@ fn main() {
         let (mut resp, _) = rank_respond(&identity, &host.public, 4);
         resp.ephemeral_public = host_ephemeral(666).public; // Mallory
         let detected = host_verify(&host, &resp, &ca.public(), 0).is_err();
-        println!("8. MITM on attestation key exchange:      {}", verdict(detected));
+        println!(
+            "8. MITM on attestation key exchange:      {}",
+            verdict(detected)
+        );
     }
 
     // 9. Counterfeit DIMM (endorsement key not certified by the CA).
@@ -128,7 +153,10 @@ fn main() {
         let host = host_ephemeral(3);
         let (resp, _) = rank_respond(&identity, &host.public, 4);
         let detected = host_verify(&host, &resp, &ca.public(), 0).is_err();
-        println!("9. counterfeit DIMM (bad certificate):    {}", verdict(detected));
+        println!(
+            "9. counterfeit DIMM (bad certificate):    {}",
+            verdict(detected)
+        );
     }
 
     println!("\nAll nine attack classes are detected, as the paper claims.");

@@ -11,8 +11,8 @@ use secddr::functional::attest::{
     host_ephemeral, host_verify, rank_respond, CertificateAuthority, RankIdentity,
 };
 use secddr::functional::dimm::DimmRank;
-use secddr::functional::processor::{EncryptionMode, SecDdrProcessor};
 use secddr::functional::geometry;
+use secddr::functional::processor::{EncryptionMode, SecDdrProcessor};
 
 fn main() {
     println!("== SecDDR attestation & boot walkthrough ==\n");
@@ -34,8 +34,7 @@ fn main() {
     println!("[boot] both ends derived Kt; initial counter = 1000 shared in plaintext");
 
     // --- Channel becomes operational -----------------------------------
-    let mut cpu =
-        SecDdrProcessor::new(EncryptionMode::Xts, outcome.kt, outcome.initial_ct, 99);
+    let mut cpu = SecDdrProcessor::new(EncryptionMode::Xts, outcome.kt, outcome.initial_ct, 99);
     let mut rank = DimmRank::new(rank_kt, outcome.initial_ct);
     println!("[boot] processor clears memory (zero writes) — pre-boot state discarded\n");
 
@@ -49,7 +48,11 @@ fn main() {
     let got = cpu.finish_read(0x7000, &resp).expect("verified");
     assert_eq!(got, payload);
     println!("[run] secure write + verified read: OK");
-    println!("[run] counters: cpu {:?} / rank {:?}\n", cpu.counter_state(), rank.counter_state());
+    println!(
+        "[run] counters: cpu {:?} / rank {:?}\n",
+        cpu.counter_state(),
+        rank.counter_state()
+    );
 
     // --- Cold-boot substitution attempt ---------------------------------
     let frozen = rank.snapshot();
@@ -66,11 +69,9 @@ fn main() {
     let ca2_identity = RankIdentity::manufacture(8, &ca);
     let host2 = host_ephemeral(0xB008);
     let (resp2, new_rank_kt) = rank_respond(&ca2_identity, &host2.public, 0xD2);
-    let outcome2 =
-        host_verify(&host2, &resp2, &ca.public(), 50_000).expect("new DIMM attests");
+    let outcome2 = host_verify(&host2, &resp2, &ca.public(), 50_000).expect("new DIMM attests");
     rank.reattest(new_rank_kt, outcome2.initial_ct);
-    let mut cpu2 =
-        SecDdrProcessor::new(EncryptionMode::Xts, outcome2.kt, outcome2.initial_ct, 100);
+    let mut cpu2 = SecDdrProcessor::new(EncryptionMode::Xts, outcome2.kt, outcome2.initial_ct, 100);
     println!("\n[swap] legitimate replacement: re-attested, memory cleared");
     let tx = cpu2.begin_write(0x9000, &[0x11; 64]);
     rank.accept_write(&tx);

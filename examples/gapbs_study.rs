@@ -17,7 +17,10 @@ fn main() {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(200_000);
-    let params = RunParams { instructions, seed: 0xD5 };
+    let params = RunParams {
+        instructions,
+        seed: 0xD5,
+    };
 
     let kernels: Vec<Benchmark> = Benchmark::all()
         .into_iter()

@@ -44,7 +44,10 @@ fn main() {
 
     // --- 3. The headline performance property: no tree walk. -----------
     println!("\nrunning a small performance comparison on omnetpp...");
-    let params = RunParams { instructions: 150_000, seed: 7 };
+    let params = RunParams {
+        instructions: 150_000,
+        seed: 7,
+    };
     let bench = Benchmark::by_name("omnetpp").expect("known benchmark");
     let tdx = run_benchmark(&bench, &SecurityConfig::tdx_baseline(), &params);
     let tree = run_benchmark(&bench, &SecurityConfig::tree_64ary(), &params);

@@ -11,6 +11,9 @@
 //! * [`dram`] — cycle-level DDR4 channel simulator.
 //! * [`cpu`] — trace-driven OOO core + cache hierarchy.
 //! * [`workloads`] — the 29 benchmarks of the paper's evaluation.
+//! * [`kernel`] — the event-driven simulation kernel all timing layers
+//!   ride ([`SimClock`](sim_kernel::SimClock), event queue, and the
+//!   [`Advance`] idle-skip policy with per-cycle-identical results).
 //!
 //! # Example
 //!
@@ -30,7 +33,9 @@ pub use dimm_model as functional;
 pub use dram_sim as dram;
 pub use secddr_core as core;
 pub use secddr_crypto as crypto;
+pub use sim_kernel as kernel;
 pub use workloads;
 
 pub use secddr_core::config::SecurityConfig;
 pub use secddr_core::system::{run_benchmark, RunParams};
+pub use sim_kernel::Advance;

@@ -1,9 +1,7 @@
 //! Cross-crate integration tests: the paper's full attack matrix executed
 //! through the facade crate, under both encryption modes.
 
-use secddr::functional::attacks::{
-    AddressCorruptor, BusReplay, CommandConverter, WriteDropper,
-};
+use secddr::functional::attacks::{AddressCorruptor, BusReplay, CommandConverter, WriteDropper};
 use secddr::functional::dimm::WriteOutcome;
 use secddr::functional::{EncryptionMode, SecureChannel};
 
@@ -24,11 +22,8 @@ fn replay_detected_under_both_encryption_modes() {
 #[test]
 fn address_corruption_detected_under_both_modes() {
     for mode in MODES {
-        let mut ch = SecureChannel::with_interposer(
-            mode,
-            32,
-            AddressCorruptor::redirect_row(0, 0x200),
-        );
+        let mut ch =
+            SecureChannel::with_interposer(mode, 32, AddressCorruptor::redirect_row(0, 0x200));
         assert_eq!(ch.write(LINE, &[1; 64]), WriteOutcome::EwcrcRejected);
     }
 }
@@ -55,8 +50,7 @@ fn command_conversion_detected_under_both_modes() {
 fn attack_then_detection_is_permanent() {
     // After any counter-desynchronizing attack, no later traffic ever
     // verifies again (no resynchronization hole).
-    let mut ch =
-        SecureChannel::with_interposer(EncryptionMode::Xts, 35, CommandConverter::new(0));
+    let mut ch = SecureChannel::with_interposer(EncryptionMode::Xts, 35, CommandConverter::new(0));
     ch.write(LINE, &[1; 64]);
     for i in 0..50u64 {
         if i % 3 == 0 {
@@ -71,7 +65,7 @@ fn honest_traffic_never_false_positives() {
     for mode in MODES {
         let mut ch = SecureChannel::new_attested(mode, 36);
         let mut model = std::collections::HashMap::new();
-        let mut x = 0x1234_5678_9ABC_DEFu64;
+        let mut x = 0x0123_4567_89AB_CDEFu64;
         for i in 0..400u64 {
             x ^= x << 13;
             x ^= x >> 7;
@@ -93,8 +87,7 @@ fn honest_traffic_never_false_positives() {
 fn per_rank_channels_are_independent() {
     // Two ranks, two channels: desynchronizing one must not affect the
     // other (Section III-E: independent ECC chips and counters per rank).
-    let mut rank0 =
-        SecureChannel::with_interposer(EncryptionMode::Xts, 37, WriteDropper::new(0));
+    let mut rank0 = SecureChannel::with_interposer(EncryptionMode::Xts, 37, WriteDropper::new(0));
     let mut rank1 = SecureChannel::new_attested(EncryptionMode::Xts, 38);
     rank0.write(LINE, &[1; 64]); // dropped: rank0 poisoned
     rank1.write(LINE, &[2; 64]);

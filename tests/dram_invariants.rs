@@ -13,7 +13,7 @@ struct GenReq {
 
 fn req_strategy() -> impl Strategy<Value = GenReq> {
     (any::<u64>(), any::<bool>(), any::<u8>()).prop_map(|(addr, is_write, gap)| GenReq {
-        addr: addr % (16 << 30) & !63,
+        addr: (addr % (16 << 30)) & !63,
         is_write,
         gap,
     })
@@ -75,11 +75,9 @@ proptest! {
     #[test]
     fn stats_are_consistent(reqs in proptest::collection::vec(req_strategy(), 1..100)) {
         let mut dram = DramSystem::new(DramConfig::ddr4_3200());
-        let mut id = 0u64;
-        for r in &reqs {
+        for (id, r) in reqs.iter().enumerate() {
             let kind = if r.is_write { ReqKind::Write } else { ReqKind::Read };
-            let _ = dram.enqueue(MemRequest::new(id, kind, r.addr, dram.cycle()));
-            id += 1;
+            let _ = dram.enqueue(MemRequest::new(id as u64, kind, r.addr, dram.cycle()));
             for _ in 0..(r.gap % 8) {
                 dram.tick();
             }

@@ -10,7 +10,10 @@ use secddr::core::system::{run_benchmark, RunParams};
 use secddr::workloads::Benchmark;
 
 fn norm(bench: &str, cfg: SecurityConfig, instructions: u64) -> f64 {
-    let params = RunParams { instructions, seed: 11 };
+    let params = RunParams {
+        instructions,
+        seed: 11,
+    };
     let b = Benchmark::by_name(bench).expect("benchmark exists");
     let tdx = run_benchmark(&b, &SecurityConfig::tdx_baseline(), &params);
     let r = run_benchmark(&b, &cfg, &params);
@@ -27,7 +30,10 @@ fn figure6_ordering_on_random_workload() {
     let secddr_xts = norm("omnetpp", SecurityConfig::secddr_xts(), n);
     let enc_xts = norm("omnetpp", SecurityConfig::encrypt_only_xts(), n);
 
-    assert!(tree < secddr_ctr, "tree {tree} must trail SecDDR+CTR {secddr_ctr}");
+    assert!(
+        tree < secddr_ctr,
+        "tree {tree} must trail SecDDR+CTR {secddr_ctr}"
+    );
     assert!(
         secddr_ctr <= enc_ctr * 1.01,
         "SecDDR+CTR {secddr_ctr} bounded by encrypt-only CTR {enc_ctr}"
@@ -59,7 +65,11 @@ fn figure8_hash_tree_is_worst() {
 fn figure10_invisimem_ordering() {
     let n = 100_000;
     let secddr = norm("mcf", SecurityConfig::secddr_xts(), n);
-    let unreal = norm("mcf", SecurityConfig::invisimem_unrealistic(EncMode::Xts), n);
+    let unreal = norm(
+        "mcf",
+        SecurityConfig::invisimem_unrealistic(EncMode::Xts),
+        n,
+    );
     let real = norm("mcf", SecurityConfig::invisimem_realistic(EncMode::Xts), n);
     assert!(secddr > unreal, "SecDDR {secddr} vs unrealistic {unreal}");
     assert!(unreal > real, "unrealistic {unreal} vs realistic {real}");
@@ -82,13 +92,20 @@ fn ewcrc_write_burst_penalty_on_lbm() {
 /// Memory-intensity classification matches the paper's set on clear cases.
 #[test]
 fn memory_intensity_classification() {
-    let params = RunParams { instructions: 150_000, seed: 11 };
+    let params = RunParams {
+        instructions: 150_000,
+        seed: 11,
+    };
     let mcf = run_benchmark(
         &Benchmark::by_name("mcf").expect("exists"),
         &SecurityConfig::tdx_baseline(),
         &params,
     );
-    assert!(mcf.llc_mpki() > 10.0, "mcf is memory intensive: {}", mcf.llc_mpki());
+    assert!(
+        mcf.llc_mpki() > 10.0,
+        "mcf is memory intensive: {}",
+        mcf.llc_mpki()
+    );
     let exchange2 = run_benchmark(
         &Benchmark::by_name("exchange2").expect("exists"),
         &SecurityConfig::tdx_baseline(),
@@ -107,7 +124,10 @@ fn memory_intensity_classification() {
 /// none.
 #[test]
 fn metadata_traffic_ordering() {
-    let params = RunParams { instructions: 100_000, seed: 11 };
+    let params = RunParams {
+        instructions: 100_000,
+        seed: 11,
+    };
     let b = Benchmark::by_name("omnetpp").expect("exists");
     let tree = run_benchmark(&b, &SecurityConfig::tree_64ary(), &params);
     let secddr_ctr = run_benchmark(&b, &SecurityConfig::secddr_ctr(), &params);

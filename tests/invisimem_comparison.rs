@@ -56,7 +56,10 @@ fn write_tamper_detection_points_differ() {
         WriteOutcome::Committed,
         "SecDDR: the chip does not check data MACs..."
     );
-    assert!(ch.read(0x40).is_err(), "...detection lands at the next read");
+    assert!(
+        ch.read(0x40).is_err(),
+        "...detection lands at the next read"
+    );
 }
 
 /// Replay resistance is equivalent: both channels reject stale packets.
@@ -71,7 +74,10 @@ fn both_reject_replays() {
     assert!(cpu.finish_read(0x40, ct, &resp).is_ok());
     let ct2 = cpu.begin_read();
     let _ = module.serve_read(0x40).expect("ok");
-    assert!(cpu.finish_read(0x40, ct2, &resp).is_err(), "InvisiMem replay");
+    assert!(
+        cpu.finish_read(0x40, ct2, &resp).is_err(),
+        "InvisiMem replay"
+    );
 
     // SecDDR.
     use secddr::functional::attacks::BusReplay;

@@ -70,12 +70,12 @@ fn gapbs_kernels_have_distinct_traces() {
         .into_iter()
         .filter(|b| b.suite() == Suite::Gapbs)
         .collect();
-    let traces: Vec<Vec<TraceOp>> =
-        kernels.iter().map(|k| k.generate(10_000, 3)).collect();
+    let traces: Vec<Vec<TraceOp>> = kernels.iter().map(|k| k.generate(10_000, 3)).collect();
     for i in 0..traces.len() {
         for j in i + 1..traces.len() {
             assert_ne!(
-                traces[i], traces[j],
+                traces[i],
+                traces[j],
                 "{} and {} produced identical traces",
                 kernels[i].name(),
                 kernels[j].name()
