@@ -11,6 +11,7 @@
 //! dirtiness to parent tree nodes.
 
 use std::collections::VecDeque;
+use std::rc::Rc;
 
 use cpu_model::cache::{Cache, CacheConfig, CacheStats};
 use cpu_model::system::{AccessKind, Busy, MemoryBackend};
@@ -69,6 +70,11 @@ pub struct EngineOptions {
     /// Clock advance policy for the engine's DRAM channel: event-driven
     /// idle-skip (default) or the per-cycle reference semantics.
     pub advance: Advance,
+    /// Route the CPU system's multi-access events through
+    /// [`cpu_model::system::MemoryBackend::submit_batch`] (default) or
+    /// one `submit` call per access. Observationally identical; pinned by
+    /// the batch-equivalence tests.
+    pub batched_ingestion: bool,
 }
 
 impl Default for EngineOptions {
@@ -79,6 +85,7 @@ impl Default for EngineOptions {
             force_bl8: false,
             fcfs: false,
             advance: Advance::ToNextEvent,
+            batched_ingestion: true,
         }
     }
 }
@@ -89,7 +96,9 @@ impl Default for EngineOptions {
 pub struct SecurityEngine {
     cfg: SecurityConfig,
     dram: DramSystem,
-    layout: Option<MetadataLayout>,
+    /// Shared so the hot paths can detach a handle from `&mut self`
+    /// without cloning the level table.
+    layout: Option<Rc<MetadataLayout>>,
     md_cache: Cache,
     cpu_mhz: u64,
     mem_mhz: u64,
@@ -164,7 +173,8 @@ impl SecurityEngine {
                 Some(MetadataLayout::counter_tree(u64::from(cfg.ctr_packing), 0))
             }
             _ => None,
-        };
+        }
+        .map(Rc::new);
         Self {
             cfg,
             dram: DramSystem::new(dram_cfg),
@@ -200,7 +210,7 @@ impl SecurityEngine {
     }
 
     /// The underlying DRAM channel statistics.
-    pub fn dram_stats(&self) -> &dram_sim::DramStats {
+    pub fn dram_stats(&self) -> dram_sim::DramStats {
         self.dram.stats()
     }
 
@@ -291,8 +301,8 @@ impl SecurityEngine {
     fn queue_md_writeback(&mut self, victim: u64, now_mem: u64) {
         self.stats.metadata_writebacks += 1;
         // Propagate dirtiness to the parent tree node (lazy tree update).
-        if let Some(layout) = self.layout.clone() {
-            if let Some(parent) = layout.parent_of(victim) {
+        if let Some(parent) = self.layout.as_deref().and_then(|l| l.parent_of(victim)) {
+            {
                 if !self.md_cache.access(parent, true) {
                     // Parent not cached: fetch it (untracked) and install
                     // dirty, spilling recursively via this same hook.
@@ -365,16 +375,27 @@ impl SecurityEngine {
     /// queue space only frees when a command issues — an activity the
     /// skip never jumps over.
     fn advance(&mut self, mem_due: u64) {
+        // Window below which computing a fresh activity bound costs more
+        // than ticking the quiescent cycles through: a full bound fold is
+        // roughly tens of no-op ticks' worth of work. A still-valid memoized
+        // bound is consulted for free at any window size.
+        const ACTIVITY_COMPUTE_WINDOW: u64 = 32;
         while self.dram.cycle() < mem_due {
-            // Only consult the (amortized but nonzero cost) activity bound
-            // when the remaining window could actually be skipped.
             if self.options.advance.is_event_driven()
                 && mem_due > self.dram.cycle() + 1
                 && self.dram.is_quiescent()
             {
-                let next = self.dram.next_activity_cycle().min(mem_due);
-                if next > self.dram.cycle() + 1 {
-                    self.dram.skip_idle_to(next - 1);
+                let bound = match self.dram.cached_next_activity() {
+                    Some(cached) => Some(cached),
+                    None if mem_due - self.dram.cycle() > ACTIVITY_COMPUTE_WINDOW => {
+                        Some(self.dram.next_activity_cycle())
+                    }
+                    None => None,
+                };
+                if let Some(next) = bound.map(|b| b.min(mem_due)) {
+                    if next > self.dram.cycle() + 1 {
+                        self.dram.skip_idle_to(next - 1);
+                    }
                 }
             }
             for completion in self.dram.tick() {
@@ -414,19 +435,14 @@ impl SecurityEngine {
     }
 }
 
-impl MemoryBackend for SecurityEngine {
-    fn submit(
-        &mut self,
-        kind: AccessKind,
-        addr: u64,
-        now: u64,
-        _is_prefetch: bool,
-    ) -> Result<u64, Busy> {
+impl SecurityEngine {
+    /// The post-advance body of [`MemoryBackend::submit`]: translation,
+    /// backpressure check, and metadata/crypto accounting, with the
+    /// channel clock already at `now_mem`. Shared by the per-call and
+    /// batched ingestion paths (which differ only in how often they pay
+    /// [`Self::advance`]).
+    fn submit_at(&mut self, kind: AccessKind, addr: u64, now_mem: u64) -> Result<u64, Busy> {
         let addr = translate(addr % DATA_SPAN);
-        // Bring the channel clock up to CPU time before stamping, so
-        // enqueue timestamps are never ahead of the controller's clock.
-        let now_mem = self.mem_cycle_for(now);
-        self.advance(now_mem);
         match kind {
             AccessKind::Read => {
                 if self.dram.read_queue_len() + self.max_read_parts()
@@ -456,7 +472,7 @@ impl MemoryBackend for SecurityEngine {
                     leaf_missed =
                         self.metadata_access(leaf, false, Some(token), now_mem, &mut parts, false);
                     // Tree walk: climb until a cached (trusted) ancestor.
-                    for node in layout.tree_path_of(leaf) {
+                    for node in layout.tree_path_iter(leaf) {
                         let missed = self.metadata_access(
                             node,
                             false,
@@ -508,8 +524,7 @@ impl MemoryBackend for SecurityEngine {
                 // counter — the counter line must be present and becomes
                 // dirty. (Tree paths are updated lazily on eviction.)
                 if self.cfg.uses_counters() {
-                    if let Some(layout) = self.layout.clone() {
-                        let leaf = layout.leaf_line_of(addr);
+                    if let Some(leaf) = self.layout.as_deref().map(|l| l.leaf_line_of(addr)) {
                         let mut parts = 0u32;
                         let _ = self.metadata_access(leaf, true, None, now_mem, &mut parts, false);
                     }
@@ -519,6 +534,40 @@ impl MemoryBackend for SecurityEngine {
                 self.next_token += 1;
                 Ok(token)
             }
+        }
+    }
+}
+
+impl MemoryBackend for SecurityEngine {
+    fn submit(
+        &mut self,
+        kind: AccessKind,
+        addr: u64,
+        now: u64,
+        _is_prefetch: bool,
+    ) -> Result<u64, Busy> {
+        // Bring the channel clock up to CPU time before stamping, so
+        // enqueue timestamps are never ahead of the controller's clock.
+        let now_mem = self.mem_cycle_for(now);
+        self.advance(now_mem);
+        self.submit_at(kind, addr, now_mem)
+    }
+
+    fn submit_batch(
+        &mut self,
+        batch: &[cpu_model::system::BatchAccess],
+        now: u64,
+        results: &mut Vec<Result<u64, Busy>>,
+    ) {
+        // One clock catch-up for the whole batch: after the first advance
+        // the per-call path's repeated advances are no-ops at the same
+        // `now`, so sharing it is observationally identical to N submits
+        // while the translation and backpressure paths run back-to-back
+        // on a hot controller.
+        let now_mem = self.mem_cycle_for(now);
+        self.advance(now_mem);
+        for access in batch {
+            results.push(self.submit_at(access.kind, access.addr, now_mem));
         }
     }
 

@@ -100,21 +100,26 @@ impl MetadataLayout {
     /// The tree-node addresses guarding the given leaf line, bottom-up
     /// (empty for tree-less layouts).
     pub fn tree_path_of(&self, leaf_line_addr: u64) -> Vec<u64> {
+        self.tree_path_iter(leaf_line_addr).collect()
+    }
+
+    /// As [`Self::tree_path_of`] without allocating — the per-access hot
+    /// path of the engine walks this lazily and stops at the first cached
+    /// ancestor.
+    pub fn tree_path_iter(&self, leaf_line_addr: u64) -> impl Iterator<Item = u64> + '_ {
         let mut index = (leaf_line_addr - self.leaf_base) / LINE;
-        let mut path = Vec::with_capacity(self.levels.len());
-        for (offset, count) in &self.levels {
+        self.levels.iter().map(move |(offset, count)| {
             index /= self.arity;
             debug_assert!(index < *count);
-            path.push(TREE_BASE + (offset + index) * LINE);
-        }
-        path
+            TREE_BASE + (offset + index) * LINE
+        })
     }
 
     /// The parent node of a metadata line (leaf or interior), if any is
     /// stored off-chip. Used to propagate dirtiness on evictions.
     pub fn parent_of(&self, line_addr: u64) -> Option<u64> {
         if line_addr >= self.leaf_base && line_addr < self.leaf_base + self.leaves * LINE {
-            return self.tree_path_of(line_addr).first().copied();
+            return self.tree_path_iter(line_addr).next();
         }
         if line_addr >= TREE_BASE {
             let flat = (line_addr - TREE_BASE) / LINE;

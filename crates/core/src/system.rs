@@ -117,6 +117,7 @@ pub fn run_trace_with_options(
 ) -> RunResult {
     let cpu_cfg = CpuConfig {
         advance: options.advance,
+        batch_submit: options.batched_ingestion,
         ..CpuConfig::default()
     };
     let engine = SecurityEngine::with_options(*config, cpu_cfg.clock_mhz, options);

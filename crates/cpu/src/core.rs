@@ -27,6 +27,11 @@ pub struct CpuConfig {
     /// Clock advance policy: event-driven idle-skip (default) or the
     /// per-cycle reference semantics.
     pub advance: Advance,
+    /// Issue multi-access events (prefetch volleys, writeback retries)
+    /// through [`crate::system::MemoryBackend::submit_batch`] instead of
+    /// one call per access. Observationally identical either way; the
+    /// batch amortizes the backend's per-call bookkeeping.
+    pub batch_submit: bool,
 }
 
 impl Default for CpuConfig {
@@ -41,6 +46,7 @@ impl Default for CpuConfig {
             line_bytes: 64,
             clock_mhz: 3200,
             advance: Advance::ToNextEvent,
+            batch_submit: true,
         }
     }
 }

@@ -32,6 +32,17 @@ pub enum AccessKind {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Busy;
 
+/// One access of a [`MemoryBackend::submit_batch`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchAccess {
+    /// Read (line fill) or write (writeback).
+    pub kind: AccessKind,
+    /// Line-granularity address.
+    pub addr: u64,
+    /// Best-effort prefetch (backends may deprioritize or drop).
+    pub is_prefetch: bool,
+}
+
 impl core::fmt::Display for Busy {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         write!(f, "memory backend busy")
@@ -60,6 +71,25 @@ pub trait MemoryBackend {
         now: u64,
         is_prefetch: bool,
     ) -> Result<u64, Busy>;
+
+    /// Submits a batch of same-cycle accesses, appending one result per
+    /// access (in order) to `results`.
+    ///
+    /// Observationally identical to calling [`Self::submit`] once per
+    /// access at the same `now` — implementations may only amortize
+    /// shared per-call work (advancing internal clocks, translation
+    /// setup, backpressure rechecks), never reorder or coalesce. A
+    /// rejected access must leave backend state unchanged.
+    fn submit_batch(
+        &mut self,
+        batch: &[BatchAccess],
+        now: u64,
+        results: &mut Vec<Result<u64, Busy>>,
+    ) {
+        for b in batch {
+            results.push(self.submit(b.kind, b.addr, now, b.is_prefetch));
+        }
+    }
 
     /// Advances to CPU cycle `now`; returns completed read tokens.
     fn tick(&mut self, now: u64) -> Vec<u64>;
@@ -218,11 +248,15 @@ pub struct CpuSystem<B> {
     skip_backoff: u32,
     /// Remaining idle cycles to run per-cycle before probing again.
     skip_cooldown: u32,
+    /// Scratch buffers for [`MemoryBackend::submit_batch`] calls (reused
+    /// to keep the batched paths allocation-free).
+    batch_buf: Vec<BatchAccess>,
+    batch_results: Vec<Result<u64, Busy>>,
 }
 
 /// A computed wake-up must skip at least this many cycles to count as
 /// paying for its own bound computation (drives the backoff heuristic).
-const MIN_SKIP_YIELD: u64 = 8;
+const MIN_SKIP_YIELD: u64 = 16;
 
 /// Number of consecutive idle cycles before the run loop starts probing
 /// skip bounds: short bubbles are cheaper to simulate than to analyze.
@@ -246,6 +280,8 @@ impl<B: MemoryBackend> CpuSystem<B> {
             chase_outstanding: None,
             skip_backoff: 0,
             skip_cooldown: 0,
+            batch_buf: Vec::new(),
+            batch_results: Vec::new(),
             cfg,
         }
     }
@@ -283,10 +319,12 @@ impl<B: MemoryBackend> CpuSystem<B> {
                     let skip_yield = wake.saturating_sub(self.clock.now() + 1);
                     if skip_yield >= MIN_SKIP_YIELD {
                         self.skip_backoff = 0;
-                    } else if skip_yield <= 1 {
-                        // A probe that bought nothing: the phase is
-                        // event-dense, so probe exponentially less often.
-                        self.skip_backoff = (self.skip_backoff * 2 + 1).min(32);
+                    } else {
+                        // A probe that did not pay for itself — whether it
+                        // bought nothing or only a handful of cycles, the
+                        // phase is event-dense, so probe exponentially less
+                        // often (small skips are still taken below).
+                        self.skip_backoff = (self.skip_backoff * 2 + 1).min(256);
                         self.skip_cooldown = self.skip_backoff;
                     }
                     if wake > self.clock.now() + 1 {
@@ -303,17 +341,46 @@ impl<B: MemoryBackend> CpuSystem<B> {
                 progressed = true;
             }
 
-            // 2. Retry refused writebacks.
-            while let Some(&wb) = self.pending_writebacks.front() {
-                if self
-                    .backend
-                    .submit(AccessKind::Write, wb, now, false)
-                    .is_ok()
-                {
-                    self.pending_writebacks.pop_front();
-                    progressed = true;
+            // 2. Retry refused writebacks — as one batch (the backend's
+            // per-call backpressure bookkeeping amortizes, and a rejected
+            // write leaves backend state unchanged, so attempting the
+            // whole set is identical to stopping at the first Busy).
+            if !self.pending_writebacks.is_empty() {
+                if self.cfg.batch_submit {
+                    self.batch_buf.clear();
+                    self.batch_buf
+                        .extend(self.pending_writebacks.iter().map(|&addr| BatchAccess {
+                            kind: AccessKind::Write,
+                            addr,
+                            is_prefetch: false,
+                        }));
+                    self.batch_results.clear();
+                    self.backend
+                        .submit_batch(&self.batch_buf, now, &mut self.batch_results);
+                    let mut kept = 0;
+                    for (i, result) in self.batch_results.iter().enumerate() {
+                        if result.is_ok() {
+                            progressed = true;
+                        } else {
+                            let addr = self.pending_writebacks[i];
+                            self.pending_writebacks[kept] = addr;
+                            kept += 1;
+                        }
+                    }
+                    self.pending_writebacks.truncate(kept);
                 } else {
-                    break;
+                    while let Some(&wb) = self.pending_writebacks.front() {
+                        if self
+                            .backend
+                            .submit(AccessKind::Write, wb, now, false)
+                            .is_ok()
+                        {
+                            self.pending_writebacks.pop_front();
+                            progressed = true;
+                        } else {
+                            break;
+                        }
+                    }
                 }
             }
 
@@ -564,25 +631,73 @@ impl<B: MemoryBackend> CpuSystem<B> {
     }
 
     fn train_prefetcher(&mut self, line: u64) {
-        for pf_addr in self.prefetcher.on_demand_miss(line) {
-            let pf_line = pf_addr & !(self.cfg.line_bytes - 1);
-            if self.llc.probe(pf_line) || self.outstanding.contains_key(&pf_line) {
-                continue;
+        let candidates = self.prefetcher.on_demand_miss(line);
+        if candidates.is_empty() {
+            return;
+        }
+        if self.cfg.batch_submit {
+            // Batched miss-issue: filter first, then hand the backend one
+            // batch. Volley targets are usually distinct lines, but a
+            // descending stream clamped at address zero can repeat one —
+            // the per-call path filters the repeat against `outstanding`
+            // (updated by the first submit), so the batch filter must
+            // dedupe within the volley to stay observationally identical.
+            self.batch_buf.clear();
+            for pf_addr in candidates {
+                let pf_line = pf_addr & !(self.cfg.line_bytes - 1);
+                if self.llc.probe(pf_line)
+                    || self.outstanding.contains_key(&pf_line)
+                    || self.batch_buf.iter().any(|b| b.addr == pf_line)
+                {
+                    continue;
+                }
+                self.batch_buf.push(BatchAccess {
+                    kind: AccessKind::Read,
+                    addr: pf_line,
+                    is_prefetch: true,
+                });
             }
-            // Prefetches are best-effort; drop when the backend is busy.
-            if let Ok(token) =
-                self.backend
-                    .submit(AccessKind::Read, pf_line, self.clock.now(), true)
-            {
-                self.outstanding.insert(
-                    pf_line,
-                    Outstanding {
-                        waiters: Vec::new(),
-                        fill_write: false,
-                        prefetch: true,
-                    },
-                );
-                self.token_line.insert(token, pf_line);
+            if self.batch_buf.is_empty() {
+                return;
+            }
+            self.batch_results.clear();
+            self.backend
+                .submit_batch(&self.batch_buf, self.clock.now(), &mut self.batch_results);
+            // Prefetches are best-effort; rejected ones are dropped.
+            for (access, result) in self.batch_buf.iter().zip(&self.batch_results) {
+                if let Ok(token) = result {
+                    self.outstanding.insert(
+                        access.addr,
+                        Outstanding {
+                            waiters: Vec::new(),
+                            fill_write: false,
+                            prefetch: true,
+                        },
+                    );
+                    self.token_line.insert(*token, access.addr);
+                }
+            }
+        } else {
+            for pf_addr in candidates {
+                let pf_line = pf_addr & !(self.cfg.line_bytes - 1);
+                if self.llc.probe(pf_line) || self.outstanding.contains_key(&pf_line) {
+                    continue;
+                }
+                // Prefetches are best-effort; drop when the backend is busy.
+                if let Ok(token) =
+                    self.backend
+                        .submit(AccessKind::Read, pf_line, self.clock.now(), true)
+                {
+                    self.outstanding.insert(
+                        pf_line,
+                        Outstanding {
+                            waiters: Vec::new(),
+                            fill_write: false,
+                            prefetch: true,
+                        },
+                    );
+                    self.token_line.insert(token, pf_line);
+                }
             }
         }
     }

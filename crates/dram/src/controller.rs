@@ -14,8 +14,40 @@
 //!   [`DramSystem::skip_idle_to`] jumps the clock there in O(banks)
 //!   instead of O(cycles). Skipped cycles are provably no-ops, keeping
 //!   command schedules and statistics bit-identical to the reference.
+//!
+//! # Incremental scheduling state
+//!
+//! Queued requests live in a dense arrival-ordered vector (so position
+//! *is* FR-FCFS age), indexed by *per-bank eligibility FIFOs*: a row-hit
+//! FIFO (requests targeting the bank's open row) and a row-miss FIFO
+//! (requests needing a PRE and/or ACT first), maintained on enqueue,
+//! column issue, precharge, and activate. Within one bank, command
+//! readiness is uniform across an eligibility class, so each bank
+//! contributes at most one candidate per scheduling pass (the front of
+//! the relevant FIFO) and the FR-FCFS decision reduces to
+//! "earliest-arrived ready candidate across banks" — O(banks) per tick
+//! instead of O(queue length) rescans. Short queues (where touching
+//! every bank would cost more than touching every request) are walked
+//! directly; both paths are decision-identical.
+//!
+//! The original full-rescan scheduler is retained as
+//! [`SchedulerMode::NaiveRescan`]; the differential tests drive both
+//! implementations over the same traffic and require bit-identical
+//! schedules.
+//!
+//! The same per-bank state feeds the event bounds: each bank caches a
+//! lower bound on its earliest possible READ column command. Timing
+//! registers only ratchet upward as commands issue, so a cached bound
+//! stays valid until it expires; only a read enqueue to that specific
+//! bank (which can genuinely lower the bank's true bound) invalidates it
+//! early. [`DramSystem::next_read_issue_cycle`] folds the per-bank
+//! bounds into a controller-level minimum, so invalidation is narrowed
+//! to the banks actually touched.
 
-use sim_kernel::{fold_next_event, Advance, EventQueue, SimClock};
+use std::cell::Cell;
+use std::collections::VecDeque;
+
+use sim_kernel::{fold_next_event, Advance, EventQueue, FxHashMap, SimClock};
 
 use crate::address::{AddressMapping, DecodedAddr};
 use crate::bank::{Bank, Rank};
@@ -42,6 +74,11 @@ impl core::fmt::Display for EnqueueError {
 
 impl std::error::Error for EnqueueError {}
 
+/// Queues at or below this length are scheduled by walking the requests
+/// directly instead of the per-bank candidate scan: with so few requests,
+/// touching every bank costs more than touching every request.
+const SMALL_QUEUE_RESCAN: usize = 12;
+
 #[derive(Debug, Clone)]
 struct QueuedReq {
     req: MemRequest,
@@ -58,6 +95,166 @@ enum BusDir {
     Write,
 }
 
+/// Which scheduler implementation [`DramSystem::tick`] runs.
+///
+/// Both produce bit-identical command schedules; the rescan variant is
+/// the retained per-tick O(queue) reference the differential tests pin
+/// the incremental implementation against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerMode {
+    /// Per-bank eligibility FIFOs, O(banks) per tick (the default).
+    #[default]
+    Incremental,
+    /// Full queue rescan per tick (the original implementation).
+    NaiveRescan,
+}
+
+/// One scheduler decision: the command [`DramSystem::tick`] would issue
+/// this cycle and the queued request it acts for.
+///
+/// Exposed (together with [`DramSystem::next_sched_action`] and
+/// [`DramSystem::next_sched_action_rescan`]) as the validation seam for
+/// the differential tests; `idx` is the request's arrival position in
+/// its queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedAction {
+    /// Issue the request's column command (READ/WRITE), completing it.
+    Column {
+        /// Queue the request came from.
+        kind: ReqKind,
+        /// Arrival position of the request.
+        idx: usize,
+    },
+    /// Precharge the request's bank (row conflict).
+    Precharge {
+        /// Arrival position of the request.
+        idx: usize,
+    },
+    /// Activate the request's row (bank closed).
+    Activate {
+        /// Arrival position of the request.
+        idx: usize,
+    },
+}
+
+/// Per-queue incremental scheduler state: the dense arrival-ordered
+/// request vector plus per-bank eligibility FIFOs of indices into it.
+#[derive(Debug)]
+struct SchedQueue {
+    /// Queued requests in arrival order (position = FR-FCFS age).
+    q: Vec<QueuedReq>,
+    /// Per-flat-bank FIFO (arrival order) of indices of requests
+    /// targeting the bank's open row.
+    hits: Vec<VecDeque<u32>>,
+    /// Per-flat-bank FIFO (arrival order) of indices of requests needing
+    /// PRE/ACT first.
+    misses: Vec<VecDeque<u32>>,
+    /// Queued requests per bank (hits + misses).
+    bank_count: Vec<u32>,
+}
+
+impl SchedQueue {
+    fn new(total_banks: usize) -> Self {
+        Self {
+            q: Vec::new(),
+            hits: vec![VecDeque::new(); total_banks],
+            misses: vec![VecDeque::new(); total_banks],
+            bank_count: vec![0; total_banks],
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.q.len()
+    }
+
+    /// Accepts a newly enqueued entry (its index is the current tail, so
+    /// push_back keeps every FIFO in arrival order).
+    fn push(&mut self, entry: QueuedReq, is_hit: bool) {
+        let idx = self.q.len() as u32;
+        let fb = entry.flat_bank;
+        if is_hit {
+            self.hits[fb].push_back(idx);
+        } else {
+            self.misses[fb].push_back(idx);
+        }
+        self.bank_count[fb] += 1;
+        self.q.push(entry);
+    }
+
+    /// Removes an issued entry. Column commands only ever issue for the
+    /// oldest row hit of a bank, so the index is the front of that
+    /// bank's hit FIFO; every index above it shifts down by one.
+    fn remove_issued_hit(&mut self, idx: usize) -> QueuedReq {
+        let entry = self.q.remove(idx);
+        let fb = entry.flat_bank;
+        debug_assert_eq!(self.hits[fb].front(), Some(&(idx as u32)));
+        self.hits[fb].pop_front();
+        self.bank_count[fb] -= 1;
+        let idx = idx as u32;
+        // Every index above the removed position shifts down by one; the
+        // occupancy counters keep this from touching empty banks' FIFOs.
+        for fb in 0..self.bank_count.len() {
+            if self.bank_count[fb] == 0 {
+                continue;
+            }
+            for v in self.hits[fb].iter_mut() {
+                if *v > idx {
+                    *v -= 1;
+                }
+            }
+            for v in self.misses[fb].iter_mut() {
+                if *v > idx {
+                    *v -= 1;
+                }
+            }
+        }
+        entry
+    }
+
+    /// Reclassifies a bank's entries after an ACT opened `row`: misses
+    /// targeting the new row become hits (the hit FIFO is empty — the
+    /// bank was closed).
+    fn on_activate(&mut self, flat_bank: usize, row: u32) {
+        debug_assert!(self.hits[flat_bank].is_empty());
+        let old = std::mem::take(&mut self.misses[flat_bank]);
+        for idx in old {
+            if self.q[idx as usize].decoded.row == row {
+                self.hits[flat_bank].push_back(idx);
+            } else {
+                self.misses[flat_bank].push_back(idx);
+            }
+        }
+    }
+
+    /// Reclassifies a bank's entries after a PRE closed the row: former
+    /// hits merge back into the miss FIFO in arrival order.
+    fn on_precharge(&mut self, flat_bank: usize) {
+        if self.hits[flat_bank].is_empty() {
+            return;
+        }
+        let hits = std::mem::take(&mut self.hits[flat_bank]);
+        let misses = std::mem::take(&mut self.misses[flat_bank]);
+        let mut merged = VecDeque::with_capacity(hits.len() + misses.len());
+        let mut hi = hits.into_iter().peekable();
+        let mut mi = misses.into_iter().peekable();
+        loop {
+            match (hi.peek(), mi.peek()) {
+                (Some(&h), Some(&m)) => {
+                    if h < m {
+                        merged.push_back(hi.next().expect("peeked"));
+                    } else {
+                        merged.push_back(mi.next().expect("peeked"));
+                    }
+                }
+                (Some(_), None) => merged.push_back(hi.next().expect("peeked")),
+                (None, Some(_)) => merged.push_back(mi.next().expect("peeked")),
+                (None, None) => break,
+            }
+        }
+        self.misses[flat_bank] = merged;
+    }
+}
+
 /// One DDR4 channel: banks, ranks, queues, scheduler, and data bus.
 ///
 /// Drive it with [`DramSystem::enqueue`] and advance time one memory-clock
@@ -70,8 +267,11 @@ pub struct DramSystem {
     clock: SimClock,
     banks: Vec<Bank>,
     ranks: Vec<Rank>,
-    read_q: Vec<QueuedReq>,
-    write_q: Vec<QueuedReq>,
+    read_sched: SchedQueue,
+    write_sched: SchedQueue,
+    /// Line address -> queued write count (O(1) store-forward probe).
+    write_lines: FxHashMap<u64, u32>,
+    scheduler_mode: SchedulerMode,
     draining_writes: bool,
     bus_busy_until: u64,
     bus_dir: BusDir,
@@ -87,12 +287,32 @@ pub struct DramSystem {
     /// Memoized [`Self::next_activity_cycle`] bound. The threshold set is
     /// static across a quiescent stretch, so the scan runs once per
     /// stretch; any enqueue or active tick invalidates it.
-    next_activity_cache: std::cell::Cell<Option<u64>>,
-    /// Memoized [`Self::next_read_issue_cycle`] bound. Timing registers
-    /// only ratchet upward, so a computed bound stays a valid lower bound
-    /// until it expires; only a read enqueue (which can genuinely lower
-    /// the true next issue) invalidates it early.
-    next_read_issue_cache: std::cell::Cell<Option<u64>>,
+    next_activity_cache: Cell<Option<u64>>,
+    /// Memoized controller-level [`Self::next_read_issue_cycle`] bound
+    /// (raw, unclamped). Timing registers only ratchet upward, so a
+    /// computed bound stays a valid lower bound until it expires; only a
+    /// read enqueue (which can genuinely lower the true next issue)
+    /// invalidates it early.
+    next_read_issue_cache: Cell<Option<u64>>,
+    /// Per-bank raw lower bound on the bank's earliest READ column issue.
+    /// Same ratchet argument per bank: invalidated only by a read enqueue
+    /// to that bank, re-derived lazily on expiry.
+    read_bank_bound: Vec<Cell<Option<u64>>>,
+    /// Earliest `refresh_due` across ranks (fast no-refresh-work exit).
+    refresh_due_min: u64,
+    /// True while any rank has a refresh pending.
+    refresh_pending_any: bool,
+    /// Cycle up to which the occupancy histograms have been credited.
+    /// Queue lengths only change on enqueue and column issue, so spans of
+    /// constant occupancy are recorded at those events (and folded in on
+    /// [`Self::stats`]) instead of touching the histograms every tick.
+    occupancy_credited_to: u64,
+    /// log2(banks per rank) — flat-bank → rank without a division.
+    rank_shift: u32,
+    /// log2(banks per group) — flat-bank → bank-group without a division.
+    bg_shift: u32,
+    /// Mask selecting the within-rank part of a flat bank id.
+    bank_in_rank_mask: usize,
 }
 
 impl DramSystem {
@@ -104,17 +324,29 @@ impl DramSystem {
     pub fn new(cfg: DramConfig) -> Self {
         cfg.validate().expect("invalid DRAM configuration");
         let mapping = AddressMapping::new(&cfg);
-        let banks = vec![Bank::default(); cfg.total_banks() as usize];
-        let ranks = (0..cfg.ranks)
+        let total_banks = cfg.total_banks() as usize;
+        let banks = vec![Bank::default(); total_banks];
+        let ranks: Vec<Rank> = (0..cfg.ranks)
             .map(|_| Rank::new(cfg.bank_groups, cfg.t_refi))
             .collect();
+        let refresh_due_min = ranks
+            .iter()
+            .map(|r| r.refresh_due)
+            .min()
+            .unwrap_or(u64::MAX);
+        let banks_per_rank = cfg.bank_groups * cfg.banks_per_group;
         Self {
+            rank_shift: banks_per_rank.trailing_zeros(),
+            bg_shift: cfg.banks_per_group.trailing_zeros(),
+            bank_in_rank_mask: banks_per_rank as usize - 1,
             mapping,
             clock: SimClock::new(),
             banks,
             ranks,
-            read_q: Vec::new(),
-            write_q: Vec::new(),
+            read_sched: SchedQueue::new(total_banks),
+            write_sched: SchedQueue::new(total_banks),
+            write_lines: FxHashMap::default(),
+            scheduler_mode: SchedulerMode::Incremental,
             draining_writes: false,
             bus_busy_until: 0,
             bus_dir: BusDir::Idle,
@@ -123,8 +355,12 @@ impl DramSystem {
             stats: DramStats::default(),
             starvation_limit: 2_000,
             quiescent: false,
-            next_activity_cache: std::cell::Cell::new(None),
-            next_read_issue_cache: std::cell::Cell::new(None),
+            next_activity_cache: Cell::new(None),
+            next_read_issue_cache: Cell::new(None),
+            read_bank_bound: vec![Cell::new(None); total_banks],
+            refresh_due_min,
+            refresh_pending_any: false,
+            occupancy_credited_to: 0,
             cfg,
         }
     }
@@ -140,23 +376,46 @@ impl DramSystem {
     }
 
     /// Statistics so far.
-    pub fn stats(&self) -> &DramStats {
-        &self.stats
+    ///
+    /// The queue-occupancy histograms are maintained from the scheduler's
+    /// incremental length counters — spans of constant occupancy are
+    /// credited when a length changes, never by walking the queues — so
+    /// this folds the still-open span in before returning.
+    pub fn stats(&self) -> DramStats {
+        let mut s = self.stats.clone();
+        s.record_occupancy(
+            self.read_sched.len(),
+            self.write_sched.len(),
+            self.clock.now() - self.occupancy_credited_to,
+        );
+        s
+    }
+
+    /// Credits the span of cycles since the last occupancy change at the
+    /// current queue lengths. Must run before any length change.
+    fn credit_occupancy(&mut self) {
+        let now = self.clock.now();
+        let span = now - self.occupancy_credited_to;
+        if span > 0 {
+            self.stats
+                .record_occupancy(self.read_sched.len(), self.write_sched.len(), span);
+            self.occupancy_credited_to = now;
+        }
     }
 
     /// Number of queued reads.
     pub fn read_queue_len(&self) -> usize {
-        self.read_q.len()
+        self.read_sched.len()
     }
 
     /// Number of queued writes.
     pub fn write_queue_len(&self) -> usize {
-        self.write_q.len()
+        self.write_sched.len()
     }
 
     /// True when no request is queued or in flight.
     pub fn is_idle(&self) -> bool {
-        self.read_q.is_empty() && self.write_q.is_empty() && self.pending.is_empty()
+        self.read_sched.q.is_empty() && self.write_sched.q.is_empty() && self.pending.is_empty()
     }
 
     /// True when the last tick performed no action and nothing was
@@ -165,10 +424,32 @@ impl DramSystem {
         self.quiescent
     }
 
+    /// Selects which scheduler implementation [`Self::tick`] runs
+    /// (validation seam — both modes are bit-identical by construction
+    /// and by the differential tests).
+    pub fn set_scheduler_mode(&mut self, mode: SchedulerMode) {
+        self.scheduler_mode = mode;
+    }
+
     /// Finish cycle of the earliest in-flight (already issued) request,
     /// if any.
     pub fn next_pending_completion(&self) -> Option<u64> {
         self.pending.peek_time()
+    }
+
+    fn sched(&self, kind: ReqKind) -> &SchedQueue {
+        match kind {
+            ReqKind::Read => &self.read_sched,
+            ReqKind::Write => &self.write_sched,
+        }
+    }
+
+    #[inline]
+    fn rank_and_bg_of(&self, flat_bank: usize) -> (usize, usize) {
+        (
+            flat_bank >> self.rank_shift,
+            (flat_bank & self.bank_in_rank_mask) >> self.bg_shift,
+        )
     }
 
     /// Lower bound (strictly after [`Self::cycle`]) on the next cycle at
@@ -182,14 +463,41 @@ impl DramSystem {
     /// collected here, so nothing can happen before the earliest of them.
     pub fn next_activity_cycle(&self) -> u64 {
         let now = self.clock.now();
-        if let Some(cached) = self.next_activity_cache.get() {
-            if cached > now {
-                return cached;
-            }
+        if let Some(cached) = self.cached_next_activity() {
+            return cached;
         }
         let bound = self.compute_next_activity(now);
         self.next_activity_cache.set(Some(bound));
         bound
+    }
+
+    /// The memoized [`Self::next_activity_cycle`] bound if one is still
+    /// valid, without computing anything — callers advancing in small
+    /// windows use this to skip for free and only pay for a fresh bound
+    /// when the window is wide enough to amortize it.
+    pub fn cached_next_activity(&self) -> Option<u64> {
+        self.next_activity_cache
+            .get()
+            .filter(|&c| c > self.clock.now())
+    }
+
+    /// Folds every timing threshold a request queued at `flat_bank` can
+    /// be waiting on (bank registers plus its rank/bank-group registers).
+    fn fold_bank_thresholds(&self, now: u64, bound: &mut u64, flat_bank: usize) {
+        let bank = &self.banks[flat_bank];
+        fold_next_event(now, bound, bank.next_act);
+        fold_next_event(now, bound, bank.next_pre);
+        fold_next_event(now, bound, bank.next_read);
+        fold_next_event(now, bound, bank.next_write);
+        let (r, bg) = self.rank_and_bg_of(flat_bank);
+        let rank = &self.ranks[r];
+        fold_next_event(now, bound, rank.next_act_any);
+        fold_next_event(now, bound, rank.next_col_any);
+        fold_next_event(now, bound, rank.next_read_any);
+        fold_next_event(now, bound, rank.faw_ready(self.cfg.t_faw));
+        fold_next_event(now, bound, rank.next_act_same_bg[bg]);
+        fold_next_event(now, bound, rank.next_col_same_bg[bg]);
+        fold_next_event(now, bound, rank.next_read_same_bg[bg]);
     }
 
     fn compute_next_activity(&self, now: u64) -> u64 {
@@ -198,60 +506,36 @@ impl DramSystem {
         if let Some(t) = self.pending.peek_time() {
             fold_next_event(now, &mut bound, t);
         }
-        // The scheduler only ever touches the banks and ranks of queued
-        // requests, so with short queues (the common stall case) scanning
-        // per request beats sweeping every bank.
-        let queued = self.read_q.len() + self.write_q.len();
-        if queued <= 12 {
-            for q in [&self.read_q, &self.write_q] {
-                for entry in q {
-                    let bank = &self.banks[entry.flat_bank];
-                    fold_next_event(now, &mut bound, bank.next_act);
-                    fold_next_event(now, &mut bound, bank.next_pre);
-                    fold_next_event(now, &mut bound, bank.next_read);
-                    fold_next_event(now, &mut bound, bank.next_write);
-                    let rank = &self.ranks[entry.decoded.rank as usize];
-                    let bg = entry.decoded.bank_group as usize;
-                    fold_next_event(now, &mut bound, rank.next_act_any);
-                    fold_next_event(now, &mut bound, rank.next_col_any);
-                    fold_next_event(now, &mut bound, rank.next_read_any);
-                    fold_next_event(now, &mut bound, rank.faw_ready(self.cfg.t_faw));
-                    fold_next_event(now, &mut bound, rank.next_act_same_bg[bg]);
-                    fold_next_event(now, &mut bound, rank.next_col_same_bg[bg]);
-                    fold_next_event(now, &mut bound, rank.next_read_same_bg[bg]);
-                }
-            }
-            // Refresh management runs regardless of the queues: the due
-            // time itself, plus — once a refresh is pending — the
-            // precharge/REF readiness of that rank's banks.
-            let bpr = (self.cfg.bank_groups * self.cfg.banks_per_group) as usize;
-            for (r, rank) in self.ranks.iter().enumerate() {
-                fold_next_event(now, &mut bound, rank.refresh_due);
-                if rank.refresh_pending {
-                    for bank in &self.banks[r * bpr..(r + 1) * bpr] {
-                        fold_next_event(now, &mut bound, bank.next_act);
-                        fold_next_event(now, &mut bound, bank.next_pre);
-                    }
+        // The scheduler only ever touches banks with queued requests. For
+        // short queues (the common stall case) walking the requests beats
+        // sweeping the bank array; otherwise scan the per-bank occupancy
+        // counters.
+        let queued = self.read_sched.len() + self.write_sched.len();
+        if queued <= SMALL_QUEUE_RESCAN {
+            for q in [&self.read_sched, &self.write_sched] {
+                for entry in &q.q {
+                    self.fold_bank_thresholds(now, &mut bound, entry.flat_bank);
                 }
             }
         } else {
-            for rank in &self.ranks {
-                fold_next_event(now, &mut bound, rank.refresh_due);
-                fold_next_event(now, &mut bound, rank.next_act_any);
-                fold_next_event(now, &mut bound, rank.next_col_any);
-                fold_next_event(now, &mut bound, rank.next_read_any);
-                fold_next_event(now, &mut bound, rank.faw_ready(self.cfg.t_faw));
-                for bg in 0..rank.next_act_same_bg.len() {
-                    fold_next_event(now, &mut bound, rank.next_act_same_bg[bg]);
-                    fold_next_event(now, &mut bound, rank.next_col_same_bg[bg]);
-                    fold_next_event(now, &mut bound, rank.next_read_same_bg[bg]);
+            for fb in 0..self.banks.len() {
+                if self.read_sched.bank_count[fb] == 0 && self.write_sched.bank_count[fb] == 0 {
+                    continue;
                 }
+                self.fold_bank_thresholds(now, &mut bound, fb);
             }
-            for bank in &self.banks {
-                fold_next_event(now, &mut bound, bank.next_act);
-                fold_next_event(now, &mut bound, bank.next_pre);
-                fold_next_event(now, &mut bound, bank.next_read);
-                fold_next_event(now, &mut bound, bank.next_write);
+        }
+        // Refresh management runs regardless of the queues: the due
+        // time itself, plus — once a refresh is pending — the
+        // precharge/REF readiness of that rank's banks.
+        let bpr = (self.cfg.bank_groups * self.cfg.banks_per_group) as usize;
+        for (r, rank) in self.ranks.iter().enumerate() {
+            fold_next_event(now, &mut bound, rank.refresh_due);
+            if rank.refresh_pending {
+                for bank in &self.banks[r * bpr..(r + 1) * bpr] {
+                    fold_next_event(now, &mut bound, bank.next_act);
+                    fold_next_event(now, &mut bound, bank.next_pre);
+                }
             }
         }
         // Data-bus release: a column command needs `now + lat >=
@@ -264,8 +548,8 @@ impl DramSystem {
         }
         // Anti-starvation kicks in when the oldest request's age crosses
         // the limit, which changes scheduling even without a new command.
-        for q in [&self.read_q, &self.write_q] {
-            if let Some(oldest) = q.first() {
+        for q in [&self.read_sched, &self.write_sched] {
+            if let Some(oldest) = q.q.first() {
                 fold_next_event(
                     now,
                     &mut bound,
@@ -286,10 +570,17 @@ impl DramSystem {
     /// future readiness. Refresh blackouts are ignored (they only push
     /// the true issue later). Returns `u64::MAX` when no read is queued.
     pub fn next_read_issue_cycle(&self) -> u64 {
-        if self.read_q.is_empty() {
+        if self.read_sched.q.is_empty() {
             return u64::MAX;
         }
         let now = self.clock.now();
+        self.next_read_issue_raw(now).max(now + 1)
+    }
+
+    /// The unclamped bound behind [`Self::next_read_issue_cycle`]: may be
+    /// at or before `now`, in which case a READ column command could be
+    /// ready this very cycle.
+    fn next_read_issue_raw(&self, now: u64) -> u64 {
         if let Some(cached) = self.next_read_issue_cache.get() {
             if cached > now {
                 return cached;
@@ -305,18 +596,47 @@ impl DramSystem {
         // the low watermark; consecutive write bursts occupy the data bus
         // at least `write_burst_cycles` apart.
         let floor = if self.draining_writes {
-            let surplus = self.write_q.len().saturating_sub(self.cfg.write_drain_lo) as u64;
+            let surplus = self
+                .write_sched
+                .len()
+                .saturating_sub(self.cfg.write_drain_lo) as u64;
             now + surplus * self.cfg.write_burst_cycles
         } else {
             now
         };
         let mut bound = u64::MAX;
-        for entry in &self.read_q {
-            let bank = &self.banks[entry.flat_bank];
-            let rank = &self.ranks[entry.decoded.rank as usize];
-            let bg = entry.decoded.bank_group as usize;
-            let mut t = match bank.open_row {
-                Some(row) if row == entry.decoded.row => bank.next_read,
+        for fb in 0..self.banks.len() {
+            if self.read_sched.bank_count[fb] == 0 {
+                continue;
+            }
+            let per_bank = match self.read_bank_bound[fb].get() {
+                Some(b) if b > now => b,
+                _ => {
+                    let b = self.compute_bank_read_issue(fb);
+                    self.read_bank_bound[fb].set(Some(b));
+                    b
+                }
+            };
+            bound = bound.min(per_bank);
+        }
+        bound.max(floor)
+    }
+
+    /// Earliest cycle any of `flat_bank`'s queued reads could issue its
+    /// column command. Within a bank, readiness is uniform across an
+    /// eligibility class, so this inspects the class fronts rather than
+    /// every request.
+    fn compute_bank_read_issue(&self, flat_bank: usize) -> u64 {
+        let q = &self.read_sched;
+        let bank = &self.banks[flat_bank];
+        let (r, bg) = self.rank_and_bg_of(flat_bank);
+        let rank = &self.ranks[r];
+        let mut t = u64::MAX;
+        if !q.hits[flat_bank].is_empty() {
+            t = t.min(bank.next_read);
+        }
+        if !q.misses[flat_bank].is_empty() {
+            let m = match bank.open_row {
                 // Conflict: PRE, tRP, ACT, tRCD before the column command.
                 Some(_) => bank.next_pre + self.cfg.t_rp + self.cfg.t_rcd,
                 // Closed: ACT constraints then tRCD.
@@ -328,15 +648,13 @@ impl DramSystem {
                         + self.cfg.t_rcd
                 }
             };
-            t = t
-                .max(rank.next_read_any)
-                .max(rank.next_read_same_bg[bg])
-                .max(rank.next_col_any)
-                .max(rank.next_col_same_bg[bg])
-                .max(self.bus_busy_until.saturating_sub(self.cfg.t_cl));
-            bound = bound.min(t);
+            t = t.min(m);
         }
-        bound.max(floor).max(now + 1)
+        t.max(rank.next_read_any)
+            .max(rank.next_read_same_bg[bg])
+            .max(rank.next_col_any)
+            .max(rank.next_col_same_bg[bg])
+            .max(self.bus_busy_until.saturating_sub(self.cfg.t_cl))
     }
 
     /// Lower bound on the next cycle any queued (not yet issued) READ's
@@ -347,7 +665,9 @@ impl DramSystem {
     }
 
     /// Fast-forwards the clock over cycles proven idle by
-    /// [`Self::next_activity_cycle`], charging them to the cycle counter.
+    /// [`Self::next_activity_cycle`], charging them to the cycle counter
+    /// (and to the occupancy histograms — queue lengths are constant
+    /// across a quiescent stretch).
     ///
     /// # Panics
     ///
@@ -358,7 +678,8 @@ impl DramSystem {
             self.quiescent,
             "skip_idle_to requires a quiescent controller"
         );
-        self.stats.cycles += self.clock.skip_to(cycle);
+        let skipped = self.clock.skip_to(cycle);
+        self.stats.cycles += skipped;
     }
 
     /// Advances to `target`, returning every completion on the way.
@@ -393,11 +714,7 @@ impl DramSystem {
         let line_mask = !u64::from(self.cfg.line_bytes - 1);
         match req.kind {
             ReqKind::Read => {
-                if self
-                    .write_q
-                    .iter()
-                    .any(|w| w.req.addr & line_mask == req.addr & line_mask)
-                {
+                if self.write_lines.contains_key(&(req.addr & line_mask)) {
                     self.stats.forwarded_reads += 1;
                     self.stats.reads += 1;
                     let finish_cycle = self.clock.now() + 1;
@@ -414,32 +731,45 @@ impl DramSystem {
                     self.next_activity_cache.set(None);
                     return Ok(());
                 }
-                if self.read_q.len() >= self.cfg.read_queue {
+                if self.read_sched.len() >= self.cfg.read_queue {
                     return Err(EnqueueError { rejected: req });
                 }
                 let decoded = self.mapping.decode(req.addr);
                 let flat_bank = decoded.flat_bank(&self.cfg) as usize;
-                self.read_q.push(QueuedReq {
-                    req,
-                    decoded,
-                    flat_bank,
-                    touched: false,
-                });
-                // A fresh read can genuinely lower the next-issue bound.
+                let is_hit = self.banks[flat_bank].open_row == Some(decoded.row);
+                self.credit_occupancy();
+                self.read_sched.push(
+                    QueuedReq {
+                        req,
+                        decoded,
+                        flat_bank,
+                        touched: false,
+                    },
+                    is_hit,
+                );
+                // A fresh read can genuinely lower the next-issue bound —
+                // but only for its own bank.
+                self.read_bank_bound[flat_bank].set(None);
                 self.next_read_issue_cache.set(None);
             }
             ReqKind::Write => {
-                if self.write_q.len() >= self.cfg.write_queue {
+                if self.write_sched.len() >= self.cfg.write_queue {
                     return Err(EnqueueError { rejected: req });
                 }
                 let decoded = self.mapping.decode(req.addr);
                 let flat_bank = decoded.flat_bank(&self.cfg) as usize;
-                self.write_q.push(QueuedReq {
-                    req,
-                    decoded,
-                    flat_bank,
-                    touched: false,
-                });
+                let is_hit = self.banks[flat_bank].open_row == Some(decoded.row);
+                self.credit_occupancy();
+                *self.write_lines.entry(req.addr & line_mask).or_insert(0) += 1;
+                self.write_sched.push(
+                    QueuedReq {
+                        req,
+                        decoded,
+                        flat_bank,
+                        touched: false,
+                    },
+                    is_hit,
+                );
             }
         }
         self.quiescent = false;
@@ -478,11 +808,11 @@ impl DramSystem {
     fn update_drain_mode(&mut self) -> bool {
         let before = self.draining_writes;
         if self.draining_writes {
-            if self.write_q.len() <= self.cfg.write_drain_lo {
+            if self.write_sched.len() <= self.cfg.write_drain_lo {
                 self.draining_writes = false;
             }
-        } else if self.write_q.len() >= self.cfg.write_drain_hi
-            || (self.read_q.is_empty() && !self.write_q.is_empty())
+        } else if self.write_sched.len() >= self.cfg.write_drain_hi
+            || (self.read_sched.q.is_empty() && !self.write_sched.q.is_empty())
         {
             self.draining_writes = true;
         }
@@ -493,9 +823,15 @@ impl DramSystem {
     /// command slot.
     fn issue_refresh(&mut self) -> bool {
         let now = self.clock.now();
+        // Fast exit: nothing pending and nothing newly due — the scan
+        // below would be a no-op.
+        if !self.refresh_pending_any && now < self.refresh_due_min {
+            return false;
+        }
         for r in 0..self.ranks.len() {
             if now >= self.ranks[r].refresh_due {
                 self.ranks[r].refresh_pending = true;
+                self.refresh_pending_any = true;
             }
             if !self.ranks[r].refresh_pending {
                 continue;
@@ -509,6 +845,7 @@ impl DramSystem {
                         self.banks[b].open_row = None;
                         self.banks[b].next_act = self.banks[b].next_act.max(now + self.cfg.t_rp);
                         self.stats.precharges += 1;
+                        self.on_bank_precharged(b);
                         return true;
                     }
                     // An open bank not yet prechargeable: wait, but do not
@@ -524,6 +861,13 @@ impl DramSystem {
                 }
                 self.ranks[r].refresh_due += self.cfg.t_refi;
                 self.ranks[r].refresh_pending = false;
+                self.refresh_due_min = self
+                    .ranks
+                    .iter()
+                    .map(|rk| rk.refresh_due)
+                    .min()
+                    .unwrap_or(u64::MAX);
+                self.refresh_pending_any = self.ranks.iter().any(|rk| rk.refresh_pending);
                 self.stats.refreshes += 1;
                 return true;
             }
@@ -534,108 +878,264 @@ impl DramSystem {
 
     /// Runs the scheduler; returns true when a command issued.
     fn issue_scheduled(&mut self) -> bool {
-        let serve_writes = self.draining_writes;
-        if serve_writes {
-            self.schedule_queue(ReqKind::Write)
-        } else if !self.read_q.is_empty() {
-            self.schedule_queue(ReqKind::Read)
+        let kind = if self.draining_writes {
+            ReqKind::Write
+        } else if !self.read_sched.q.is_empty() {
+            ReqKind::Read
         } else {
-            false
+            return false;
+        };
+        // Hybrid dispatch: the per-bank scan wins once the queue is
+        // longer than the bank array; for short queues (the latency-bound
+        // common case) walking the few requests directly is cheaper.
+        // Both implementations are decision-identical (pinned by the
+        // differential tests), so this is purely a cost choice.
+        let q_len = self.sched(kind).len();
+        let action = match self.scheduler_mode {
+            SchedulerMode::Incremental if q_len > SMALL_QUEUE_RESCAN => {
+                self.pick_action_incremental(kind)
+            }
+            _ => self.pick_action_rescan(kind),
+        };
+        match action {
+            Some(a) => {
+                self.apply_action(a);
+                true
+            }
+            None => false,
         }
     }
 
-    fn schedule_queue(&mut self, kind: ReqKind) -> bool {
+    /// The command the scheduler would issue this cycle (incremental
+    /// implementation), accounting for write-drain queue selection.
+    /// Validation seam for the differential tests.
+    pub fn next_sched_action(&self) -> Option<SchedAction> {
+        self.sched_kind()
+            .and_then(|kind| self.pick_action_incremental(kind))
+    }
+
+    /// As [`Self::next_sched_action`] via the retained naive full-rescan
+    /// reference scheduler. Must always agree with the incremental one.
+    pub fn next_sched_action_rescan(&self) -> Option<SchedAction> {
+        self.sched_kind()
+            .and_then(|kind| self.pick_action_rescan(kind))
+    }
+
+    fn sched_kind(&self) -> Option<ReqKind> {
+        if self.draining_writes {
+            Some(ReqKind::Write)
+        } else if !self.read_sched.q.is_empty() {
+            Some(ReqKind::Read)
+        } else {
+            None
+        }
+    }
+
+    /// O(banks) scheduling decision from the per-bank eligibility FIFOs.
+    ///
+    /// Within one bank, column/ACT/PRE readiness is identical for every
+    /// request of the same eligibility class, so only the front of each
+    /// class can be the first-in-arrival-order ready request — the
+    /// quantity both FR-FCFS passes select.
+    fn pick_action_incremental(&self, kind: ReqKind) -> Option<SchedAction> {
+        let q = self.sched(kind);
+        let oldest = q.q.first()?;
         let now = self.clock.now();
-        let q_len = match kind {
-            ReqKind::Read => self.read_q.len(),
-            ReqKind::Write => self.write_q.len(),
+        let starving = now.saturating_sub(oldest.req.enqueue_cycle) > self.starvation_limit;
+        // Column-issue pre-filter (reads only): a still-valid cached
+        // next-read-issue bound in the future proves no READ column
+        // command can be ready this cycle, so every hit scan below can be
+        // skipped wholesale. Purely opportunistic — the cache is consulted
+        // but never computed here (a saturated phase enqueues most ticks,
+        // so forced recomputation would cost more than the scan); the
+        // event-driven callers populate it as a side effect of their bound
+        // queries.
+        let col_possible = match kind {
+            ReqKind::Read => self.next_read_issue_cache.get().is_none_or(|c| c <= now),
+            ReqKind::Write => true,
         };
-        if q_len == 0 {
-            return false;
+
+        // Pass 1 (FR-FCFS only): first-ready row hit in arrival order —
+        // the earliest-arrived ready hit-FIFO front across banks.
+        if !starving && !self.cfg.fcfs && col_possible {
+            let mut best: Option<u32> = None;
+            for (fb, fifo) in q.hits.iter().enumerate() {
+                let Some(&idx) = fifo.front() else { continue };
+                if best.is_some_and(|b| b < idx) {
+                    continue;
+                }
+                let e = &q.q[idx as usize];
+                if self.col_cmd_ready(kind, &e.decoded, fb) {
+                    best = Some(idx);
+                }
+            }
+            if let Some(idx) = best {
+                return Some(SchedAction::Column {
+                    kind,
+                    idx: idx as usize,
+                });
+            }
         }
 
-        // Anti-starvation: if the oldest request has waited too long, only
-        // consider it.
-        let oldest_age = {
-            let q = self.queue(kind);
-            now.saturating_sub(q[0].req.enqueue_cycle)
-        };
-        let starving = oldest_age > self.starvation_limit;
+        // Pass 2: prepare the oldest serviceable request (PRE or ACT), or
+        // issue its column command if it is a starving / FCFS-head row
+        // hit.
+        if starving {
+            // Only the globally oldest request may act.
+            let e = oldest;
+            let fb = e.flat_bank;
+            if self.ranks[e.decoded.rank as usize].refresh_pending {
+                return None;
+            }
+            return match self.banks[fb].open_row {
+                Some(row) if row == e.decoded.row => (col_possible
+                    && self.col_cmd_ready(kind, &e.decoded, fb))
+                .then_some(SchedAction::Column { kind, idx: 0 }),
+                Some(_) => {
+                    (now >= self.banks[fb].next_pre).then_some(SchedAction::Precharge { idx: 0 })
+                }
+                None => self
+                    .act_ready(&e.decoded, fb)
+                    .then_some(SchedAction::Activate { idx: 0 }),
+            };
+        }
+
+        // FCFS: only the globally oldest request may issue its column
+        // command; being globally oldest, it beats every other candidate.
+        if self.cfg.fcfs && col_possible {
+            let e = oldest;
+            let fb = e.flat_bank;
+            if !self.ranks[e.decoded.rank as usize].refresh_pending
+                && self.banks[fb].open_row == Some(e.decoded.row)
+                && self.col_cmd_ready(kind, &e.decoded, fb)
+            {
+                return Some(SchedAction::Column { kind, idx: 0 });
+            }
+        }
+
+        // PRE/ACT preparation: earliest-arrived ready miss-FIFO front.
+        let mut best: Option<(u32, SchedAction)> = None;
+        for (fb, fifo) in q.misses.iter().enumerate() {
+            let Some(&idx) = fifo.front() else { continue };
+            if best.as_ref().is_some_and(|&(b, _)| b < idx) {
+                continue;
+            }
+            let e = &q.q[idx as usize];
+            if self.ranks[e.decoded.rank as usize].refresh_pending {
+                continue;
+            }
+            match self.banks[fb].open_row {
+                Some(_) => {
+                    if now >= self.banks[fb].next_pre {
+                        best = Some((idx, SchedAction::Precharge { idx: idx as usize }));
+                    }
+                }
+                None => {
+                    if self.act_ready(&e.decoded, fb) {
+                        best = Some((idx, SchedAction::Activate { idx: idx as usize }));
+                    }
+                }
+            }
+        }
+        best.map(|(_, a)| a)
+    }
+
+    /// The retained naive reference scheduler: a full rescan of the queue
+    /// in arrival order, exactly the pre-incremental implementation.
+    fn pick_action_rescan(&self, kind: ReqKind) -> Option<SchedAction> {
+        let q = &self.sched(kind).q;
+        let oldest = q.first()?;
+        let now = self.clock.now();
+        let starving = now.saturating_sub(oldest.req.enqueue_cycle) > self.starvation_limit;
 
         // Pass 1 (FR-FCFS only): first-ready row hit in arrival order.
         if !starving && !self.cfg.fcfs {
-            for i in 0..q_len {
-                let (decoded, flat_bank) = {
-                    let e = &self.queue(kind)[i];
-                    (e.decoded, e.flat_bank)
-                };
-                if self.banks[flat_bank].open_row == Some(decoded.row)
-                    && self.col_cmd_ready(kind, &decoded, flat_bank)
+            for (idx, e) in q.iter().enumerate() {
+                if self.banks[e.flat_bank].open_row == Some(e.decoded.row)
+                    && self.col_cmd_ready(kind, &e.decoded, e.flat_bank)
                 {
-                    self.issue_col_cmd(kind, i);
-                    return true;
+                    return Some(SchedAction::Column { kind, idx });
                 }
             }
         }
 
         // Pass 2: prepare the oldest serviceable request (PRE or ACT), or
         // issue its column command if it is a starving row hit.
-        let limit = if starving { 1 } else { q_len };
-        for i in 0..limit {
-            let (decoded, flat_bank) = {
-                let e = &self.queue(kind)[i];
-                (e.decoded, e.flat_bank)
-            };
-            let rank = &self.ranks[decoded.rank as usize];
-            if rank.refresh_pending {
+        let limit = if starving { 1 } else { q.len() };
+        for (idx, e) in q.iter().take(limit).enumerate() {
+            if self.ranks[e.decoded.rank as usize].refresh_pending {
                 continue;
             }
-            match self.banks[flat_bank].open_row {
-                Some(row) if row == decoded.row => {
+            match self.banks[e.flat_bank].open_row {
+                Some(row) if row == e.decoded.row => {
                     // FCFS: only the oldest request may issue its column
                     // command (younger ones may still prepare their banks).
-                    if (starving || (self.cfg.fcfs && i == 0))
-                        && self.col_cmd_ready(kind, &decoded, flat_bank)
+                    if (starving || (self.cfg.fcfs && idx == 0))
+                        && self.col_cmd_ready(kind, &e.decoded, e.flat_bank)
                     {
-                        self.issue_col_cmd(kind, i);
-                        return true;
+                        return Some(SchedAction::Column { kind, idx });
                     }
                     continue; // waiting on column timing
                 }
                 Some(_) => {
-                    if now >= self.banks[flat_bank].next_pre {
-                        self.banks[flat_bank].open_row = None;
-                        self.banks[flat_bank].next_act =
-                            self.banks[flat_bank].next_act.max(now + self.cfg.t_rp);
-                        self.stats.precharges += 1;
-                        self.queue_mut(kind)[i].touched = true;
-                        return true;
+                    if now >= self.banks[e.flat_bank].next_pre {
+                        return Some(SchedAction::Precharge { idx });
                     }
                 }
                 None => {
-                    if self.act_ready(&decoded, flat_bank) {
-                        self.issue_act(&decoded, flat_bank);
-                        self.queue_mut(kind)[i].touched = true;
-                        return true;
+                    if self.act_ready(&e.decoded, e.flat_bank) {
+                        return Some(SchedAction::Activate { idx });
                     }
                 }
             }
         }
-        false
+        None
     }
 
-    fn queue(&self, kind: ReqKind) -> &Vec<QueuedReq> {
-        match kind {
-            ReqKind::Read => &self.read_q,
-            ReqKind::Write => &self.write_q,
+    fn apply_action(&mut self, action: SchedAction) {
+        let now = self.clock.now();
+        match action {
+            SchedAction::Column { kind, idx } => self.issue_col_cmd(kind, idx),
+            SchedAction::Precharge { idx } => {
+                let q = match self.draining_writes {
+                    true => &mut self.write_sched,
+                    false => &mut self.read_sched,
+                };
+                let fb = q.q[idx].flat_bank;
+                q.q[idx].touched = true;
+                self.banks[fb].open_row = None;
+                self.banks[fb].next_act = self.banks[fb].next_act.max(now + self.cfg.t_rp);
+                self.stats.precharges += 1;
+                self.on_bank_precharged(fb);
+            }
+            SchedAction::Activate { idx } => {
+                let q = match self.draining_writes {
+                    true => &mut self.write_sched,
+                    false => &mut self.read_sched,
+                };
+                q.q[idx].touched = true;
+                let (decoded, fb) = {
+                    let e = &q.q[idx];
+                    (e.decoded, e.flat_bank)
+                };
+                self.issue_act(&decoded, fb);
+                self.on_bank_activated(fb, decoded.row);
+            }
         }
     }
 
-    fn queue_mut(&mut self, kind: ReqKind) -> &mut Vec<QueuedReq> {
-        match kind {
-            ReqKind::Read => &mut self.read_q,
-            ReqKind::Write => &mut self.write_q,
-        }
+    /// Reclassifies both queues' eligibility FIFOs after `flat_bank`
+    /// opened `row`.
+    fn on_bank_activated(&mut self, flat_bank: usize, row: u32) {
+        self.read_sched.on_activate(flat_bank, row);
+        self.write_sched.on_activate(flat_bank, row);
+    }
+
+    /// Reclassifies both queues' eligibility FIFOs after `flat_bank`
+    /// closed its row (scheduler PRE or refresh-path PRE).
+    fn on_bank_precharged(&mut self, flat_bank: usize) {
+        self.read_sched.on_precharge(flat_bank);
+        self.write_sched.on_precharge(flat_bank);
     }
 
     fn act_ready(&self, d: &DecodedAddr, flat_bank: usize) -> bool {
@@ -700,7 +1200,23 @@ impl DramSystem {
 
     fn issue_col_cmd(&mut self, kind: ReqKind, idx: usize) {
         let now = self.clock.now();
-        let entry = self.queue_mut(kind).remove(idx);
+        self.credit_occupancy();
+        let entry = match kind {
+            ReqKind::Read => self.read_sched.remove_issued_hit(idx),
+            ReqKind::Write => self.write_sched.remove_issued_hit(idx),
+        };
+        if kind == ReqKind::Write {
+            let line_mask = !u64::from(self.cfg.line_bytes - 1);
+            let line = entry.req.addr & line_mask;
+            let n = self
+                .write_lines
+                .get_mut(&line)
+                .expect("queued write is indexed");
+            *n -= 1;
+            if *n == 0 {
+                self.write_lines.remove(&line);
+            }
+        }
         let d = entry.decoded;
         let bg = d.bank_group as usize;
         if !entry.touched {
@@ -762,8 +1278,75 @@ impl DramSystem {
             }
         }
     }
-}
 
+    /// Rebuilds the per-bank eligibility state from scratch and compares
+    /// it with the incrementally maintained one (validation seam for the
+    /// property tests).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency found.
+    pub fn validate_incremental_state(&self) -> Result<(), String> {
+        for (label, kind) in [("read", ReqKind::Read), ("write", ReqKind::Write)] {
+            let q = self.sched(kind);
+            let banks = self.banks.len();
+            let mut exp_hits: Vec<Vec<u32>> = vec![Vec::new(); banks];
+            let mut exp_misses: Vec<Vec<u32>> = vec![Vec::new(); banks];
+            for (idx, e) in q.q.iter().enumerate() {
+                if self.banks[e.flat_bank].open_row == Some(e.decoded.row) {
+                    exp_hits[e.flat_bank].push(idx as u32);
+                } else {
+                    exp_misses[e.flat_bank].push(idx as u32);
+                }
+            }
+            for fb in 0..banks {
+                let got_hits: Vec<u32> = q.hits[fb].iter().copied().collect();
+                let got_misses: Vec<u32> = q.misses[fb].iter().copied().collect();
+                if got_hits != exp_hits[fb] {
+                    return Err(format!(
+                        "{label}: bank {fb} hit FIFO {got_hits:?} != rescan {:?}",
+                        exp_hits[fb]
+                    ));
+                }
+                if got_misses != exp_misses[fb] {
+                    return Err(format!(
+                        "{label}: bank {fb} miss FIFO {got_misses:?} != rescan {:?}",
+                        exp_misses[fb]
+                    ));
+                }
+                let count = (exp_hits[fb].len() + exp_misses[fb].len()) as u32;
+                if q.bank_count[fb] != count {
+                    return Err(format!(
+                        "{label}: bank {fb} count {} != {count}",
+                        q.bank_count[fb]
+                    ));
+                }
+                // Cached per-bank read-issue bounds must stay lower bounds
+                // of a fresh computation (the ratchet invariant).
+                if kind == ReqKind::Read && count > 0 {
+                    if let Some(cached) = self.read_bank_bound[fb].get() {
+                        let fresh = self.compute_bank_read_issue(fb);
+                        if cached > fresh {
+                            return Err(format!(
+                                "bank {fb} cached read bound {cached} above fresh {fresh}"
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        // Store-forward index matches the queued writes.
+        let line_mask = !u64::from(self.cfg.line_bytes - 1);
+        let mut exp_lines: FxHashMap<u64, u32> = FxHashMap::default();
+        for e in &self.write_sched.q {
+            *exp_lines.entry(e.req.addr & line_mask).or_insert(0) += 1;
+        }
+        if exp_lines != self.write_lines {
+            return Err("store-forward line index diverged".into());
+        }
+        Ok(())
+    }
+}
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1097,5 +1680,87 @@ mod tests {
             t += 1;
         }
         assert_eq!(completed.len() as u64, total);
+    }
+
+    #[test]
+    fn rescan_mode_matches_incremental_schedule() {
+        use rand::{Rng, SeedableRng};
+        for fcfs in [false, true] {
+            let run = |mode: SchedulerMode| {
+                let mut cfg = DramConfig::ddr4_3200();
+                cfg.fcfs = fcfs;
+                let mut dram = DramSystem::new(cfg);
+                dram.set_scheduler_mode(mode);
+                let mut rng = rand::rngs::SmallRng::seed_from_u64(99);
+                let mut completions = Vec::new();
+                let mut id = 0u64;
+                for t in 0..40_000u64 {
+                    if rng.gen_bool(0.25) {
+                        let kind = if rng.gen_bool(0.35) {
+                            ReqKind::Write
+                        } else {
+                            ReqKind::Read
+                        };
+                        let addr = rng.gen_range(0..(1u64 << 28)) & !63;
+                        if dram.enqueue(MemRequest::new(id, kind, addr, t)).is_ok() {
+                            id += 1;
+                        }
+                    }
+                    completions.extend(dram.tick());
+                }
+                (completions, dram.stats().clone())
+            };
+            let (inc_c, inc_s) = run(SchedulerMode::Incremental);
+            let (ref_c, ref_s) = run(SchedulerMode::NaiveRescan);
+            assert_eq!(inc_c, ref_c, "completion schedule diverged (fcfs={fcfs})");
+            assert_eq!(inc_s, ref_s, "stats diverged (fcfs={fcfs})");
+        }
+    }
+
+    #[test]
+    fn decisions_and_state_agree_under_random_traffic() {
+        use rand::{Rng, SeedableRng};
+        let mut dram = DramSystem::new(DramConfig::ddr4_3200());
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(5);
+        let mut id = 0u64;
+        for t in 0..25_000u64 {
+            if rng.gen_bool(0.3) {
+                let kind = if rng.gen_bool(0.3) {
+                    ReqKind::Write
+                } else {
+                    ReqKind::Read
+                };
+                let addr = rng.gen_range(0..(1u64 << 26)) & !63;
+                if dram.enqueue(MemRequest::new(id, kind, addr, t)).is_ok() {
+                    id += 1;
+                }
+            }
+            assert_eq!(
+                dram.next_sched_action(),
+                dram.next_sched_action_rescan(),
+                "decision diverged at cycle {t}"
+            );
+            dram.tick();
+            if t % 500 == 0 {
+                dram.validate_incremental_state().expect("state consistent");
+            }
+        }
+    }
+
+    #[test]
+    fn occupancy_histogram_covers_every_cycle() {
+        let mut dram = DramSystem::new(DramConfig::ddr4_3200());
+        for i in 0..6u64 {
+            dram.enqueue(MemRequest::new(i, ReqKind::Read, i * 0x2000, 0))
+                .unwrap();
+        }
+        let _ = dram.advance_to(5_000, Advance::ToNextEvent);
+        let s = dram.stats();
+        let read_samples: u64 = s.read_q_occupancy.iter().sum();
+        let write_samples: u64 = s.write_q_occupancy.iter().sum();
+        assert_eq!(read_samples, s.cycles, "one read sample per cycle");
+        assert_eq!(write_samples, s.cycles, "one write sample per cycle");
+        assert!(s.mean_read_q_occupancy() > 0.0);
+        assert_eq!(s.write_q_occupancy[0], s.cycles, "no writes queued");
     }
 }

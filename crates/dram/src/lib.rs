@@ -45,7 +45,7 @@ mod stats;
 
 pub use address::{AddressMapping, DecodedAddr};
 pub use config::DramConfig;
-pub use controller::{DramSystem, EnqueueError};
+pub use controller::{DramSystem, EnqueueError, SchedAction, SchedulerMode};
 pub use request::{Completion, MemRequest, ReqKind};
 pub use sim_kernel::Advance;
-pub use stats::DramStats;
+pub use stats::{DramStats, OCCUPANCY_BUCKETS};

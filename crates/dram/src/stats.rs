@@ -1,7 +1,12 @@
 //! Controller statistics.
 
+/// Number of queue-occupancy histogram buckets: lengths `0..=63` get their
+/// own bucket and the last bucket collects everything at or beyond 64 (the
+/// default queue capacity).
+pub const OCCUPANCY_BUCKETS: usize = 65;
+
 /// Aggregate statistics for one simulated channel.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DramStats {
     /// Reads completed.
     pub reads: u64,
@@ -25,6 +30,34 @@ pub struct DramStats {
     pub read_latency_sum: u64,
     /// Sum of read queueing delays (enqueue to first command).
     pub read_queue_delay_sum: u64,
+    /// Cycles spent at each read-queue occupancy (`[len]`, clamped into
+    /// the last bucket). Fed from the controller's incrementally
+    /// maintained length counters — never by re-walking the queues — and
+    /// credited for skipped cycles too, so both advance policies produce
+    /// identical histograms.
+    pub read_q_occupancy: [u64; OCCUPANCY_BUCKETS],
+    /// Cycles spent at each write-queue occupancy (same convention).
+    pub write_q_occupancy: [u64; OCCUPANCY_BUCKETS],
+}
+
+impl Default for DramStats {
+    fn default() -> Self {
+        Self {
+            reads: 0,
+            writes: 0,
+            forwarded_reads: 0,
+            row_hits: 0,
+            activates: 0,
+            precharges: 0,
+            refreshes: 0,
+            data_bus_busy_cycles: 0,
+            cycles: 0,
+            read_latency_sum: 0,
+            read_queue_delay_sum: 0,
+            read_q_occupancy: [0; OCCUPANCY_BUCKETS],
+            write_q_occupancy: [0; OCCUPANCY_BUCKETS],
+        }
+    }
 }
 
 impl DramStats {
@@ -55,6 +88,32 @@ impl DramStats {
             self.data_bus_busy_cycles as f64 / self.cycles as f64
         }
     }
+
+    /// Credits `cycles` cycles of residence at the given queue lengths.
+    pub fn record_occupancy(&mut self, read_len: usize, write_len: usize, cycles: u64) {
+        self.read_q_occupancy[read_len.min(OCCUPANCY_BUCKETS - 1)] += cycles;
+        self.write_q_occupancy[write_len.min(OCCUPANCY_BUCKETS - 1)] += cycles;
+    }
+
+    /// Mean read-queue occupancy over all simulated cycles (occupancies at
+    /// or beyond the last bucket count at the bucket's floor).
+    pub fn mean_read_q_occupancy(&self) -> f64 {
+        Self::mean_occupancy(&self.read_q_occupancy)
+    }
+
+    /// Mean write-queue occupancy over all simulated cycles.
+    pub fn mean_write_q_occupancy(&self) -> f64 {
+        Self::mean_occupancy(&self.write_q_occupancy)
+    }
+
+    fn mean_occupancy(hist: &[u64; OCCUPANCY_BUCKETS]) -> f64 {
+        let samples: u64 = hist.iter().sum();
+        if samples == 0 {
+            return 0.0;
+        }
+        let weighted: u64 = hist.iter().enumerate().map(|(len, n)| len as u64 * n).sum();
+        weighted as f64 / samples as f64
+    }
 }
 
 #[cfg(test)]
@@ -67,6 +126,7 @@ mod tests {
         assert_eq!(s.avg_read_latency(), 0.0);
         assert_eq!(s.row_hit_rate(), 0.0);
         assert_eq!(s.bus_utilization(), 0.0);
+        assert_eq!(s.mean_read_q_occupancy(), 0.0);
     }
 
     #[test]
@@ -83,5 +143,20 @@ mod tests {
         assert_eq!(s.avg_read_latency(), 50.0);
         assert_eq!(s.row_hit_rate(), 0.5);
         assert_eq!(s.bus_utilization(), 0.25);
+    }
+
+    #[test]
+    fn occupancy_histogram_accumulates_and_clamps() {
+        let mut s = DramStats::default();
+        s.record_occupancy(0, 2, 10);
+        s.record_occupancy(3, 2, 5);
+        s.record_occupancy(1_000, 0, 1);
+        assert_eq!(s.read_q_occupancy[0], 10);
+        assert_eq!(s.read_q_occupancy[3], 5);
+        assert_eq!(s.read_q_occupancy[OCCUPANCY_BUCKETS - 1], 1);
+        assert_eq!(s.write_q_occupancy[2], 15);
+        let mean = s.mean_read_q_occupancy();
+        let expected = (3.0 * 5.0 + 64.0) / 16.0;
+        assert!((mean - expected).abs() < 1e-12, "{mean}");
     }
 }

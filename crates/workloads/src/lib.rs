@@ -35,7 +35,6 @@ pub use sink::TraceSink;
 pub use spec::{Pattern, SpecProfile};
 
 use cpu_model::TraceOp;
-use std::sync::OnceLock;
 
 /// Which suite a benchmark belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -65,9 +64,13 @@ pub struct Benchmark {
 const GRAPH_VERTICES: u32 = 1 << 21;
 const GRAPH_DEGREE: u32 = 8;
 
-fn shared_graph() -> &'static CsrGraph {
-    static GRAPH: OnceLock<CsrGraph> = OnceLock::new();
-    GRAPH.get_or_init(|| CsrGraph::synthetic(GRAPH_VERTICES, GRAPH_DEGREE, 0xBEEF))
+/// Seed of the shared GAPBS input graph.
+const GRAPH_SEED: u64 = 0xBEEF;
+
+fn shared_graph() -> std::sync::Arc<CsrGraph> {
+    // Memoized per (vertices, degree, seed) in `graph`: sweeps that fan
+    // out across benchmarks and configurations reuse one generation.
+    CsrGraph::shared(GRAPH_VERTICES, GRAPH_DEGREE, GRAPH_SEED)
 }
 
 impl Benchmark {
@@ -124,7 +127,7 @@ impl Benchmark {
             Kind::Spec(p) => p.generate(instruction_budget, seed),
             Kind::Gapbs(k) => gapbs::trace(
                 *k,
-                shared_graph(),
+                &shared_graph(),
                 GraphLayout::default(),
                 instruction_budget,
                 seed,
