@@ -1764,3 +1764,42 @@ mod tests {
         assert_eq!(s.write_q_occupancy[0], s.cycles, "no writes queued");
     }
 }
+
+#[cfg(test)]
+mod review_repro {
+    use super::*;
+    use crate::config::DramConfig;
+    use crate::request::{MemRequest, ReqKind};
+
+    #[test]
+    fn gate_with_populated_cache_matches_rescan() {
+        use rand::{Rng, SeedableRng};
+        let mut dram = DramSystem::new(DramConfig::ddr4_3200());
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+        let mut id = 0u64;
+        for t in 0..60_000u64 {
+            // bursty writes to force drain mode, steady reads
+            let w_burst = (t / 400) % 2 == 0;
+            if rng.gen_bool(0.5) {
+                let kind = if w_burst && rng.gen_bool(0.7) {
+                    ReqKind::Write
+                } else {
+                    ReqKind::Read
+                };
+                let addr = rng.gen_range(0..(1u64 << 28)) & !63;
+                if dram.enqueue(MemRequest::new(id, kind, addr, t)).is_ok() {
+                    id += 1;
+                }
+            }
+            // populate the read-issue cache the way event-driven callers do
+            let _ = dram.next_read_issue_cycle();
+            assert_eq!(
+                dram.next_sched_action(),
+                dram.next_sched_action_rescan(),
+                "decision diverged at cycle {t} (draining={})",
+                dram.write_queue_len()
+            );
+            dram.tick();
+        }
+    }
+}
