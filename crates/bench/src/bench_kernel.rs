@@ -16,6 +16,13 @@
 //! * **batched_ingestion** — `MemoryBackend::submit_batch` against one
 //!   `submit` call per access on the bare engine, with identical
 //!   statistics asserted before timing is reported.
+//! * **shard_scaling_nN** (N = 1, 2, 4, 8) — the pointer-chase workload
+//!   through `CpuSystem` over a `ShardedEngine` with N interleaved
+//!   channels, per-cycle vs event-driven. Per-shard traffic thins as N
+//!   grows, so per-shard idle windows *widen* and the event-driven
+//!   speedup must not shrink under sharding. The N=1 sharded run is
+//!   asserted bit-identical to the bare unsharded engine (reported as
+//!   `sharded_n1_matches_unsharded`, gated in CI).
 //!
 //! Every record also carries `*_vs_pr1` ratios against the wall-clock
 //! the PR 1 kernel recorded in its own `BENCH_kernel.json` (same
@@ -30,11 +37,13 @@
 
 use std::time::Instant;
 
-use cpu_model::system::{AccessKind, BatchAccess, MemoryBackend};
-use dram_sim::{DramConfig, DramSystem, MemRequest, ReqKind};
+use cpu_model::system::{AccessKind, BatchAccess, MemoryBackend, SimResult};
+use cpu_model::{CpuConfig, CpuSystem, TraceOp};
+use dram_sim::{DramConfig, DramStats, DramSystem, MemRequest, ReqKind};
+use secddr_channels::{Interleave, ShardedEngine};
 use secddr_core::config::SecurityConfig;
-use secddr_core::engine::{EngineOptions, SecurityEngine};
-use secddr_core::system::RunParams;
+use secddr_core::engine::{EngineOptions, EngineStats, SecurityEngine};
+use secddr_core::system::{run_trace_with_options, RunParams};
 use sim_kernel::Advance;
 
 use crate::runner::{sweep_with_options, Sweep};
@@ -169,6 +178,96 @@ fn ingestion_run(batched: bool) -> (f64, secddr_core::engine::EngineStats) {
     )
 }
 
+/// One `CpuSystem`-over-`ShardedEngine` run: simulated results (for the
+/// identity asserts) and the wall-clock seconds of the run itself.
+fn sharded_run(
+    trace: &[TraceOp],
+    shards: usize,
+    advance: Advance,
+) -> ((SimResult, EngineStats, DramStats), f64) {
+    let options = EngineOptions {
+        advance,
+        ..EngineOptions::default()
+    };
+    let cpu_cfg = CpuConfig {
+        advance,
+        batch_submit: options.batched_ingestion,
+        ..CpuConfig::default()
+    };
+    let start = Instant::now();
+    let engine = ShardedEngine::with_options(
+        SecurityConfig::secddr_ctr(),
+        cpu_cfg.clock_mhz,
+        Interleave::xor(shards),
+        options,
+    );
+    let mut sys = CpuSystem::new(cpu_cfg, engine);
+    let sim = sys.run(trace.iter().copied());
+    let secs = start.elapsed().as_secs_f64();
+    (
+        (
+            sim,
+            sys.backend_mut().stats(),
+            sys.backend_mut().dram_stats(),
+        ),
+        secs,
+    )
+}
+
+/// Shard-scaling records (N = 1, 2, 4, 8) on the pointer-chase workload,
+/// ABBA-ordered per N. Returns the records and asserts along the way
+/// that each N's event-driven run matches its per-cycle reference and
+/// that the N=1 sharded run is bit-identical to the bare engine.
+fn shard_scaling_records(params: RunParams) -> Vec<Record> {
+    let bench = workloads::Benchmark::by_name("mcf").expect("mcf exists");
+    let trace = bench.generate(params.instructions, params.seed);
+
+    // Unsharded baseline for the N=1 identity gate (event-driven, the
+    // same options sharded_run uses).
+    let bare = run_trace_with_options(
+        &bench,
+        &trace,
+        &SecurityConfig::secddr_ctr(),
+        EngineOptions::default(),
+    );
+
+    let mut records = Vec::new();
+    for (n, name) in [
+        (1usize, "shard_scaling_n1"),
+        (2, "shard_scaling_n2"),
+        (4, "shard_scaling_n4"),
+        (8, "shard_scaling_n8"),
+    ] {
+        let (ref_res, ref_a) = sharded_run(&trace, n, Advance::PerCycle);
+        let (fast_res, fast_a) = sharded_run(&trace, n, Advance::ToNextEvent);
+        let (_, fast_b) = sharded_run(&trace, n, Advance::ToNextEvent);
+        let (_, ref_b) = sharded_run(&trace, n, Advance::PerCycle);
+        assert_eq!(
+            fast_res, ref_res,
+            "N={n}: event-driven sharded run diverged from per-cycle"
+        );
+        if n == 1 {
+            assert_eq!(fast_res.0, bare.sim, "sharded N=1 SimResult != unsharded");
+            assert_eq!(
+                fast_res.1, bare.engine,
+                "sharded N=1 EngineStats != unsharded"
+            );
+            assert_eq!(fast_res.2, bare.dram, "sharded N=1 DramStats != unsharded");
+        }
+        records.push(Record {
+            name,
+            detail: format!(
+                "mcf x secddr_ctr through CpuSystem over ShardedEngine \
+                 (xor interleave, {n} channel{})",
+                if n == 1 { "" } else { "s" }
+            ),
+            ref_secs: ref_a.min(ref_b),
+            fast_secs: fast_a.min(fast_b),
+        });
+    }
+    records
+}
+
 struct Record {
     name: &'static str,
     detail: String,
@@ -268,7 +367,7 @@ pub fn report(instructions: u64, seed: u64) -> String {
     let (per_call_b, _) = ingestion_run(false);
     let (batch_secs, per_call_secs) = (batch_a.min(batch_b), per_call_a.min(per_call_b));
 
-    let records = [
+    let mut records = vec![
         Record {
             name: "fig6_smoke_sweep",
             detail: format!(
@@ -301,6 +400,10 @@ pub fn report(instructions: u64, seed: u64) -> String {
         },
     ];
 
+    // Shard-scaling sweep: asserts per-policy identity at every N and
+    // the N=1 ≡ unsharded gate before any timing is recorded.
+    records.extend(shard_scaling_records(params));
+
     let threads = std::thread::available_parallelism()
         .map_or(1, |n| n.get())
         .min(16);
@@ -314,6 +417,7 @@ pub fn report(instructions: u64, seed: u64) -> String {
            \"seed\": {seed},\n  \
            \"host_threads\": {threads},\n  \
            \"results_identical\": true,\n  \
+           \"sharded_n1_matches_unsharded\": true,\n  \
            \"records\": [\n{}\n  ]\n}}\n",
         body.join(",\n"),
     )

@@ -1,0 +1,184 @@
+//! Line-granularity address interleaving across channel shards.
+//!
+//! An [`Interleave`] maps every physical line address to exactly one
+//! `(shard, local address)` pair and back. Both policies are bijections,
+//! so each shard sees a *dense* local line space (consecutive local lines
+//! are every-Nth physical lines) and no two physical lines alias to the
+//! same slot of the same shard — the property the bijectivity proptests
+//! pin for every shard count in `1..=8`.
+
+/// Cache-line size the interleave operates at, in bytes. Matches the
+/// line size everywhere else in the stack (`CpuConfig::line_bytes`,
+/// the metadata layout's 64-byte lines).
+pub const LINE_BYTES: u64 = 64;
+
+const LINE_SHIFT: u32 = LINE_BYTES.trailing_zeros();
+
+/// Which hash spreads lines over shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InterleavePolicy {
+    /// `shard = line mod N`, `local line = line / N`. Works for any
+    /// shard count; adjacent lines round-robin over the shards.
+    Modulo,
+    /// `shard = (line ^ (line >> log2 N)) & (N - 1)`,
+    /// `local line = line >> log2 N`. Requires a power-of-two shard
+    /// count; the XOR fold breaks the pathological case where a strided
+    /// stream with stride `k·N` camps on one shard.
+    Xor,
+}
+
+/// A round-trippable line→(shard, local) mapping for `N` channel shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interleave {
+    policy: InterleavePolicy,
+    shards: u64,
+    /// `log2(shards)` (only used by [`InterleavePolicy::Xor`]).
+    shift: u32,
+}
+
+impl Interleave {
+    /// Modulo interleaving over `shards` channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards` is zero.
+    #[must_use]
+    pub fn modulo(shards: usize) -> Self {
+        assert!(shards >= 1, "at least one shard is required");
+        Self {
+            policy: InterleavePolicy::Modulo,
+            shards: shards as u64,
+            shift: 0,
+        }
+    }
+
+    /// XOR-folded interleaving over `shards` channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards` is zero or not a power of two.
+    #[must_use]
+    pub fn xor(shards: usize) -> Self {
+        assert!(
+            shards >= 1 && shards.is_power_of_two(),
+            "xor interleaving needs a power-of-two shard count, got {shards}"
+        );
+        Self {
+            policy: InterleavePolicy::Xor,
+            shards: shards as u64,
+            shift: (shards as u64).trailing_zeros(),
+        }
+    }
+
+    /// The hash policy.
+    #[must_use]
+    pub fn policy(&self) -> InterleavePolicy {
+        self.policy
+    }
+
+    /// Number of shards the address space is interleaved over.
+    #[must_use]
+    #[allow(clippy::cast_possible_truncation)]
+    pub fn shard_count(&self) -> usize {
+        self.shards as usize
+    }
+
+    /// The shard serving physical address `addr`.
+    #[must_use]
+    pub fn shard_of(&self, addr: u64) -> usize {
+        self.to_local(addr).0
+    }
+
+    /// Splits a physical address into `(shard, dense local address)`.
+    /// The byte offset within the line is preserved.
+    #[must_use]
+    #[allow(clippy::cast_possible_truncation)]
+    pub fn to_local(&self, addr: u64) -> (usize, u64) {
+        let line = addr >> LINE_SHIFT;
+        let off = addr & (LINE_BYTES - 1);
+        let (shard, local_line) = match self.policy {
+            InterleavePolicy::Modulo => (line % self.shards, line / self.shards),
+            InterleavePolicy::Xor => {
+                let mask = self.shards - 1;
+                let high = line >> self.shift;
+                ((line ^ high) & mask, high)
+            }
+        };
+        (shard as usize, (local_line << LINE_SHIFT) | off)
+    }
+
+    /// Reassembles the physical address of `(shard, local)` — the inverse
+    /// of [`Self::to_local`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shard` is out of range. Local addresses must come
+    /// from [`Self::to_local`] (in debug builds, reconstructing a line
+    /// beyond the physical address space overflows and panics).
+    #[must_use]
+    pub fn to_physical(&self, shard: usize, local: u64) -> u64 {
+        assert!((shard as u64) < self.shards, "shard {shard} out of range");
+        let local_line = local >> LINE_SHIFT;
+        let off = local & (LINE_BYTES - 1);
+        let line = match self.policy {
+            InterleavePolicy::Modulo => local_line * self.shards + shard as u64,
+            InterleavePolicy::Xor => {
+                let mask = self.shards - 1;
+                let low = (shard as u64 ^ local_line) & mask;
+                (local_line << self.shift) | low
+            }
+        };
+        (line << LINE_SHIFT) | off
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_shard_is_identity() {
+        for il in [Interleave::modulo(1), Interleave::xor(1)] {
+            for addr in [0u64, 63, 64, 0x1234_5678, u64::from(u32::MAX)] {
+                assert_eq!(il.to_local(addr), (0, addr), "{il:?}");
+                assert_eq!(il.to_physical(0, addr), addr, "{il:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn modulo_round_robins_adjacent_lines() {
+        let il = Interleave::modulo(3);
+        assert_eq!(il.shard_of(0), 0);
+        assert_eq!(il.shard_of(64), 1);
+        assert_eq!(il.shard_of(128), 2);
+        assert_eq!(il.shard_of(192), 0);
+        // Dense local space: lines 0 and 192 are local lines 0 and 1.
+        assert_eq!(il.to_local(192), (0, 64));
+    }
+
+    #[test]
+    fn xor_preserves_offsets_and_round_trips() {
+        let il = Interleave::xor(4);
+        for line in 0u64..1024 {
+            for off in [0u64, 17, 63] {
+                let addr = (line << 6) | off;
+                let (s, local) = il.to_local(addr);
+                assert_eq!(local & 63, off);
+                assert_eq!(il.to_physical(s, local), addr);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn xor_rejects_non_power_of_two() {
+        let _ = Interleave::xor(6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn modulo_rejects_zero_shards() {
+        let _ = Interleave::modulo(0);
+    }
+}

@@ -43,6 +43,27 @@ impl EngineStats {
     pub fn metadata_misses(&self) -> u64 {
         self.metadata_cache.misses
     }
+
+    /// Accumulates `other` into `self` — every traffic counter and the
+    /// metadata-cache statistics sum, so per-shard engine statistics
+    /// aggregate into one view of a multi-channel backend.
+    pub fn merge(&mut self, other: &Self) {
+        // Exhaustive destructuring: a new field must pick a merge rule.
+        let Self {
+            data_reads,
+            data_writes,
+            leaf_fetches,
+            tree_fetches,
+            metadata_writebacks,
+            metadata_cache,
+        } = other;
+        self.data_reads += data_reads;
+        self.data_writes += data_writes;
+        self.leaf_fetches += leaf_fetches;
+        self.tree_fetches += tree_fetches;
+        self.metadata_writebacks += metadata_writebacks;
+        self.metadata_cache.merge(metadata_cache);
+    }
 }
 
 #[derive(Debug)]
@@ -212,6 +233,20 @@ impl SecurityEngine {
     /// The underlying DRAM channel statistics.
     pub fn dram_stats(&self) -> dram_sim::DramStats {
         self.dram.stats()
+    }
+
+    /// Advances the engine's channel to CPU cycle `now` without
+    /// harvesting completed tokens — they stay scheduled in the ready
+    /// queue for the next [`MemoryBackend::tick`].
+    ///
+    /// A multi-channel front-end that skipped this engine's ticks while
+    /// its [`MemoryBackend::next_event`] bound was in the future (so the
+    /// skipped ticks were provably observation-free) uses this to catch
+    /// a lagging shard up before reading its statistics; the deferred
+    /// catch-up is cycle-identical to having ticked every step.
+    pub fn sync_to(&mut self, now: u64) {
+        let mem_due = self.mem_cycle_for(now);
+        self.advance(mem_due);
     }
 
     #[inline]
@@ -612,9 +647,10 @@ impl MemoryBackend for SecurityEngine {
         }
     }
 
-    fn next_read_capacity_event(&self, now: u64) -> Option<u64> {
+    fn next_read_capacity_event(&self, now: u64, _addr: u64) -> Option<u64> {
         // Read-queue capacity frees exactly when a READ column command
         // issues; completions stay observable through the same bound.
+        // A single channel serves every address, so `_addr` is unused.
         let mut bound = self.completion_bound();
         if self.dram.read_queue_len() > 0 {
             bound = bound.min(self.cpu_cycle_for(self.dram.next_read_issue_cycle()));

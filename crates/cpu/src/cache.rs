@@ -68,6 +68,20 @@ impl CacheStats {
             self.misses as f64 / total as f64
         }
     }
+
+    /// Accumulates `other` into `self` (all counters sum), so per-shard
+    /// or per-core cache statistics aggregate into one view.
+    pub fn merge(&mut self, other: &Self) {
+        // Exhaustive destructuring: a new field must pick a merge rule.
+        let Self {
+            hits,
+            misses,
+            writebacks,
+        } = other;
+        self.hits += hits;
+        self.misses += misses;
+        self.writebacks += writebacks;
+    }
 }
 
 #[derive(Debug, Clone, Copy)]

@@ -119,12 +119,17 @@ pub trait MemoryBackend {
     }
 
     /// Lower bound on the next CPU cycle at which either a read could
-    /// complete or read-queue capacity could free up.
+    /// complete or read-queue capacity for a retry of the access at
+    /// `addr` could free up.
     ///
     /// Used when a load is stalled on [`Busy`]: read capacity frees when
     /// a read leaves the backend's queues, which can be bounded far more
-    /// loosely than "any observable change". Defaults to `next_event`.
-    fn next_read_capacity_event(&self, now: u64) -> Option<u64> {
+    /// loosely than "any observable change". Multi-channel backends use
+    /// `addr` (the stalled access's line address) to bound the wait by
+    /// the *owning* shard's queue instead of the earliest capacity event
+    /// of any shard. Defaults to `next_event`.
+    fn next_read_capacity_event(&self, now: u64, addr: u64) -> Option<u64> {
+        let _ = addr;
         self.next_event(now)
     }
 }
@@ -494,8 +499,9 @@ impl<B: MemoryBackend> CpuSystem<B> {
         {
             // Write-queue capacity must be watched at full granularity.
             self.backend.next_event(now)
-        } else if busy_stalled.is_some() {
-            self.backend.next_read_capacity_event(now)
+        } else if let Some(TraceOp::Load(addr) | TraceOp::DependentLoad(addr)) = busy_stalled {
+            let line = addr & !(self.cfg.line_bytes - 1);
+            self.backend.next_read_capacity_event(now, line)
         } else {
             self.backend.next_completion_event(now)
         };

@@ -89,6 +89,50 @@ impl DramStats {
         }
     }
 
+    /// Accumulates `other` into `self`: every counter, latency sum, and
+    /// occupancy-histogram bucket sums, so per-channel statistics from a
+    /// sharded memory subsystem aggregate into one view. The rate
+    /// helpers on a merged value are aggregates over all channels (e.g.
+    /// [`Self::bus_utilization`] becomes the mean utilization weighted
+    /// by each channel's simulated cycles).
+    pub fn merge(&mut self, other: &Self) {
+        // Exhaustive destructuring (no `..`): adding a field to
+        // `DramStats` without deciding how it merges is a compile error,
+        // not a silently-dropped aggregate.
+        let Self {
+            reads,
+            writes,
+            forwarded_reads,
+            row_hits,
+            activates,
+            precharges,
+            refreshes,
+            data_bus_busy_cycles,
+            cycles,
+            read_latency_sum,
+            read_queue_delay_sum,
+            read_q_occupancy,
+            write_q_occupancy,
+        } = other;
+        self.reads += reads;
+        self.writes += writes;
+        self.forwarded_reads += forwarded_reads;
+        self.row_hits += row_hits;
+        self.activates += activates;
+        self.precharges += precharges;
+        self.refreshes += refreshes;
+        self.data_bus_busy_cycles += data_bus_busy_cycles;
+        self.cycles += cycles;
+        self.read_latency_sum += read_latency_sum;
+        self.read_queue_delay_sum += read_queue_delay_sum;
+        for (a, b) in self.read_q_occupancy.iter_mut().zip(read_q_occupancy) {
+            *a += b;
+        }
+        for (a, b) in self.write_q_occupancy.iter_mut().zip(write_q_occupancy) {
+            *a += b;
+        }
+    }
+
     /// Credits `cycles` cycles of residence at the given queue lengths.
     pub fn record_occupancy(&mut self, read_len: usize, write_len: usize, cycles: u64) {
         self.read_q_occupancy[read_len.min(OCCUPANCY_BUCKETS - 1)] += cycles;
@@ -143,6 +187,42 @@ mod tests {
         assert_eq!(s.avg_read_latency(), 50.0);
         assert_eq!(s.row_hit_rate(), 0.5);
         assert_eq!(s.bus_utilization(), 0.25);
+    }
+
+    #[test]
+    fn merge_sums_counters_and_histograms() {
+        let mut a = DramStats {
+            reads: 4,
+            writes: 2,
+            row_hits: 3,
+            cycles: 100,
+            read_latency_sum: 200,
+            ..Default::default()
+        };
+        a.record_occupancy(1, 2, 10);
+        let mut b = DramStats {
+            reads: 6,
+            writes: 1,
+            refreshes: 5,
+            cycles: 50,
+            read_latency_sum: 100,
+            ..Default::default()
+        };
+        b.record_occupancy(1, 3, 7);
+        b.record_occupancy(64, 0, 2);
+        a.merge(&b);
+        assert_eq!(a.reads, 10);
+        assert_eq!(a.writes, 3);
+        assert_eq!(a.row_hits, 3);
+        assert_eq!(a.refreshes, 5);
+        assert_eq!(a.cycles, 150);
+        assert_eq!(a.read_latency_sum, 300);
+        assert_eq!(a.read_q_occupancy[1], 17);
+        assert_eq!(a.read_q_occupancy[OCCUPANCY_BUCKETS - 1], 2);
+        assert_eq!(a.write_q_occupancy[2], 10);
+        assert_eq!(a.write_q_occupancy[3], 7);
+        // Weighted aggregate: (200 + 100) / (4 + 6).
+        assert!((a.avg_read_latency() - 30.0).abs() < 1e-12);
     }
 
     #[test]

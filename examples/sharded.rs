@@ -1,0 +1,91 @@
+//! Sharded multi-channel memory in a few lines: the same CPU front-end,
+//! N interleaved SecDDR channels below it.
+//!
+//! Runs one memory-intensive benchmark through `CpuSystem` over a bare
+//! `SecurityEngine`, then over `ShardedEngine` at N = 1 (asserted
+//! bit-identical to the bare engine), 2, 4, and 8 channels, and prints
+//! how the per-shard load balances and what sharding buys in simulated
+//! IPC. Per-shard channel statistics are aggregated with
+//! `ChannelStats::merge` — no ad-hoc summing.
+//!
+//! Run with: `cargo run --release --example sharded`
+//! (`SECDDR_INSTRS` overrides the instruction budget.)
+
+use secddr::channels::{Interleave, ShardedEngine};
+use secddr::core::config::SecurityConfig;
+use secddr::core::engine::SecurityEngine;
+use secddr::cpu::{CpuConfig, CpuSystem};
+use secddr::ChannelStats;
+use workloads::Benchmark;
+
+fn main() {
+    let instructions = std::env::var("SECDDR_INSTRS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(60_000);
+    let bench = Benchmark::by_name("omnetpp").expect("known benchmark");
+    let trace: Vec<_> = bench.generate(instructions, 0xD5);
+    let cfg = SecurityConfig::secddr_ctr();
+    let cpu_cfg = CpuConfig::default();
+
+    println!("== sharded multi-channel memory ==\n");
+    println!(
+        "workload: {} ({} instructions), config: {}\n",
+        bench.name(),
+        instructions,
+        cfg.label()
+    );
+
+    // Baseline: the bare single-channel engine.
+    let mut bare = CpuSystem::new(cpu_cfg, SecurityEngine::new(cfg, cpu_cfg.clock_mhz));
+    let bare_sim = bare.run(trace.iter().copied());
+    let bare_stats = bare.backend().stats();
+    let bare_dram = bare.backend().dram_stats();
+    println!(
+        "bare engine        ipc {:.3}  dram reads {:>6}  avg read latency {:>6.1} mem cycles",
+        bare_sim.ipc(),
+        bare_dram.reads,
+        bare_dram.avg_read_latency()
+    );
+
+    for n in [1usize, 2, 4, 8] {
+        let engine = ShardedEngine::new(cfg, cpu_cfg.clock_mhz, Interleave::xor(n));
+        let mut sys = CpuSystem::new(cpu_cfg, engine);
+        let sim = sys.run(trace.iter().copied());
+
+        // Aggregate per-channel statistics with merge() — the per-shard
+        // histograms and counters sum into one multi-channel view.
+        let mut merged = ChannelStats::default();
+        sys.backend_mut().sync();
+        for s in 0..n {
+            merged.merge(&sys.backend().shard(s).dram_stats());
+        }
+        let per_shard: Vec<u64> = (0..n)
+            .map(|s| sys.backend().shard(s).dram_stats().reads)
+            .collect();
+
+        println!(
+            "{n} channel{}         ipc {:.3}  dram reads {:>6}  avg read latency {:>6.1} mem cycles  per-shard reads {per_shard:?}",
+            if n == 1 { " " } else { "s" },
+            sim.ipc(),
+            merged.reads,
+            merged.avg_read_latency(),
+        );
+
+        if n == 1 {
+            // One shard is the bare engine, observationally: same core
+            // behaviour, same engine traffic, same channel schedule.
+            assert_eq!(sim, bare_sim, "N=1 SimResult must match the bare engine");
+            assert_eq!(sys.backend_mut().stats(), bare_stats);
+            assert_eq!(sys.backend_mut().dram_stats(), bare_dram);
+            println!("                   (asserted bit-identical to the bare engine)");
+        }
+    }
+
+    println!(
+        "\nEach shard is a full SecurityEngine + DDR4 channel; the XOR line\n\
+         interleave splits the physical line space densely across them, and\n\
+         the top-level advance steps only the shards whose next-event bound\n\
+         is due — idle channels cost nothing."
+    );
+}

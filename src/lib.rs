@@ -10,6 +10,8 @@
 //! * [`crypto`] — AES-128/CTR/XTS, CMAC, SHA-256, CRC-16, DH, power model.
 //! * [`dram`] — cycle-level DDR4 channel simulator.
 //! * [`cpu`] — trace-driven OOO core + cache hierarchy.
+//! * [`channels`] — sharded multi-channel memory subsystem: N
+//!   interleaved SecDDR channels behind one `MemoryBackend`.
 //! * [`workloads`] — the 29 benchmarks of the paper's evaluation.
 //! * [`kernel`] — the event-driven simulation kernel all timing layers
 //!   ride ([`SimClock`](sim_kernel::SimClock), event queue, and the
@@ -31,11 +33,13 @@
 pub use cpu_model as cpu;
 pub use dimm_model as functional;
 pub use dram_sim as dram;
+pub use secddr_channels as channels;
 pub use secddr_core as core;
 pub use secddr_crypto as crypto;
 pub use sim_kernel as kernel;
 pub use workloads;
 
+pub use secddr_channels::{ChannelStats, Interleave, ShardedEngine};
 pub use secddr_core::config::SecurityConfig;
 pub use secddr_core::system::{run_benchmark, RunParams};
 pub use sim_kernel::Advance;

@@ -1,0 +1,84 @@
+//! Property tests for the channel-interleave bijection: every physical
+//! line maps to exactly one `(shard, local line)`, round-trips exactly,
+//! and no two physical lines alias to the same slot of the same shard —
+//! for every shard count in `1..=8` (modulo) and every power of two in
+//! that range (xor).
+
+use proptest::prelude::*;
+use secddr::channels::{Interleave, LINE_BYTES};
+
+/// Physical addresses are constrained below 2^56 so reconstructing a
+/// line from `(shard, local)` cannot overflow for any shard count <= 8.
+const ADDR_SPAN: u64 = 1 << 56;
+
+fn interleaves_for(n: usize) -> Vec<Interleave> {
+    let mut out = vec![Interleave::modulo(n)];
+    if n.is_power_of_two() {
+        out.push(Interleave::xor(n));
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Forward round trip: `to_physical(to_local(a)) == a`, the shard
+    /// index is in range, and the intra-line offset is preserved. With
+    /// `to_local` total, this makes the map injective — two physical
+    /// lines can never alias to the same (shard, local line).
+    #[test]
+    fn physical_round_trips_through_local(
+        addr in 0u64..ADDR_SPAN,
+        n in 1usize..=8,
+    ) {
+        for il in interleaves_for(n) {
+            let (shard, local) = il.to_local(addr);
+            prop_assert!(shard < n, "{il:?}: shard {shard} out of range");
+            prop_assert_eq!(local & (LINE_BYTES - 1), addr & (LINE_BYTES - 1));
+            prop_assert_eq!(il.to_physical(shard, local), addr, "{:?}", il);
+            prop_assert_eq!(il.shard_of(addr), shard);
+        }
+    }
+
+    /// Reverse round trip: every `(shard, local line)` slot is the image
+    /// of exactly the physical line `to_physical` reconstructs. Together
+    /// with the forward direction this pins a bijection onto a dense
+    /// per-shard local space.
+    #[test]
+    fn local_round_trips_through_physical(
+        local in 0u64..(ADDR_SPAN / 8),
+        shard in 0usize..8,
+        n in 1usize..=8,
+    ) {
+        let shard = shard % n;
+        for il in interleaves_for(n) {
+            let addr = il.to_physical(shard, local);
+            prop_assert_eq!(il.to_local(addr), (shard, local), "{:?}", il);
+        }
+    }
+
+    /// Dense local spaces partition the physical lines: over an aligned
+    /// window of `k * n` consecutive lines, every shard serves exactly
+    /// `k` lines and their local lines are distinct.
+    #[test]
+    fn consecutive_lines_spread_evenly(
+        base_block in 0u64..(ADDR_SPAN >> 10),
+        k in 1u64..16,
+        n in 1usize..=8,
+    ) {
+        for il in interleaves_for(n) {
+            let base_line = base_block * n as u64;
+            let mut per_shard: Vec<Vec<u64>> = vec![Vec::new(); n];
+            for i in 0..k * n as u64 {
+                let (s, local) = il.to_local((base_line + i) * LINE_BYTES);
+                per_shard[s].push(local);
+            }
+            for (s, locals) in per_shard.iter_mut().enumerate() {
+                prop_assert_eq!(locals.len() as u64, k, "{:?} shard {}", il, s);
+                locals.sort_unstable();
+                locals.dedup();
+                prop_assert_eq!(locals.len() as u64, k, "{:?}: aliasing in shard {}", il, s);
+            }
+        }
+    }
+}
