@@ -23,6 +23,14 @@
 //!   speedup must not shrink under sharding. The N=1 sharded run is
 //!   asserted bit-identical to the bare unsharded engine (reported as
 //!   `sharded_n1_matches_unsharded`, gated in CI).
+//! * **multicore_rate_nN** (N = 1, 2, 4) — the pointer-chase workload in
+//!   rate mode: N cores sharing the LLC and a 4-channel `ShardedEngine`
+//!   through `MultiCoreSystem`, per-cycle (every core steps every cycle)
+//!   vs the event-driven core scheduler. Each N's event-driven run is
+//!   asserted bit-identical to its per-cycle reference, and the
+//!   single-core `MultiCoreSystem` is asserted bit-identical to the bare
+//!   `CpuSystem` over the same backend and trace (reported as
+//!   `multicore_n1_matches_single`, gated in CI).
 //!
 //! Every record also carries `*_vs_pr1` ratios against the wall-clock
 //! the PR 1 kernel recorded in its own `BENCH_kernel.json` (same
@@ -35,6 +43,7 @@
 //! before any timing is reported, so each speedup is for bit-identical
 //! simulation output.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use cpu_model::system::{AccessKind, BatchAccess, MemoryBackend, SimResult};
@@ -43,7 +52,9 @@ use dram_sim::{DramConfig, DramStats, DramSystem, MemRequest, ReqKind};
 use secddr_channels::{Interleave, ShardedEngine};
 use secddr_core::config::SecurityConfig;
 use secddr_core::engine::{EngineOptions, EngineStats, SecurityEngine};
+use secddr_core::metadata::DATA_SPAN;
 use secddr_core::system::{run_trace_with_options, RunParams};
+use secddr_multicore::{CoreTrace, MultiCoreResult, MultiCoreSystem};
 use sim_kernel::Advance;
 
 use crate::runner::{sweep_with_options, Sweep};
@@ -268,6 +279,125 @@ fn shard_scaling_records(params: RunParams) -> Vec<Record> {
     records
 }
 
+/// The shared-backend shard count every multicore record runs over.
+const MULTICORE_CHANNELS: usize = 4;
+
+/// One rate-mode run: N cores over one shared 4-channel `ShardedEngine`,
+/// returning the simulated observables (for the identity asserts) and
+/// the wall-clock seconds of the run itself.
+fn multicore_run(
+    trace: &Arc<Vec<TraceOp>>,
+    cores: usize,
+    advance: Advance,
+) -> ((MultiCoreResult, EngineStats, DramStats), f64) {
+    let options = EngineOptions {
+        advance,
+        ..EngineOptions::default()
+    };
+    let cpu_cfg = CpuConfig {
+        advance,
+        batch_submit: options.batched_ingestion,
+        ..CpuConfig::default()
+    };
+    let start = Instant::now();
+    let engine = ShardedEngine::with_options(
+        SecurityConfig::secddr_ctr(),
+        cpu_cfg.clock_mhz,
+        Interleave::xor(MULTICORE_CHANNELS),
+        options,
+    );
+    let mut sys = MultiCoreSystem::new(cores, cpu_cfg, engine);
+    let result = sys.run(CoreTrace::rate(trace, DATA_SPAN, cores));
+    let secs = start.elapsed().as_secs_f64();
+    (
+        (
+            result,
+            sys.backend_mut().stats(),
+            sys.backend_mut().dram_stats(),
+        ),
+        secs,
+    )
+}
+
+/// Multi-core rate-mode records (N = 1, 2, 4 cores over a shared
+/// 4-channel `ShardedEngine`), ABBA-ordered per N. Asserts along the way
+/// that each N's event-driven core scheduler matches its per-cycle
+/// reference and that the single-core `MultiCoreSystem` is bit-identical
+/// to the bare `CpuSystem` over the same backend and trace stream.
+fn multicore_records(params: RunParams) -> Vec<Record> {
+    let bench = workloads::Benchmark::by_name("mcf").expect("mcf exists");
+    // Shared (memoized) rate-mode trace: every core of every N iterates
+    // this one allocation.
+    let trace = bench.generate_shared(params.instructions, params.seed);
+
+    // Single-core baseline for the N=1 identity gate: the monolithic
+    // CpuSystem over an identically built backend, fed the same
+    // window-mapped trace stream (event-driven, the default options).
+    let single = {
+        let options = EngineOptions::default();
+        let cpu_cfg = CpuConfig {
+            batch_submit: options.batched_ingestion,
+            ..CpuConfig::default()
+        };
+        let engine = ShardedEngine::with_options(
+            SecurityConfig::secddr_ctr(),
+            cpu_cfg.clock_mhz,
+            Interleave::xor(MULTICORE_CHANNELS),
+            options,
+        );
+        let mut sys = CpuSystem::new(cpu_cfg, engine);
+        let mut streams = CoreTrace::rate(&trace, DATA_SPAN, 1);
+        let sim = sys.run(streams.remove(0));
+        (
+            sim,
+            sys.backend_mut().stats(),
+            sys.backend_mut().dram_stats(),
+        )
+    };
+
+    let mut records = Vec::new();
+    for (n, name) in [
+        (1usize, "multicore_rate_n1"),
+        (2, "multicore_rate_n2"),
+        (4, "multicore_rate_n4"),
+    ] {
+        let (ref_res, ref_a) = multicore_run(&trace, n, Advance::PerCycle);
+        let (fast_res, fast_a) = multicore_run(&trace, n, Advance::ToNextEvent);
+        let (_, fast_b) = multicore_run(&trace, n, Advance::ToNextEvent);
+        let (_, ref_b) = multicore_run(&trace, n, Advance::PerCycle);
+        assert_eq!(
+            fast_res, ref_res,
+            "N={n}: event-driven multicore run diverged from per-cycle"
+        );
+        if n == 1 {
+            assert_eq!(
+                fast_res.0.per_core[0], single.0,
+                "multicore N=1 SimResult != bare CpuSystem"
+            );
+            assert_eq!(
+                fast_res.1, single.1,
+                "multicore N=1 EngineStats != bare CpuSystem"
+            );
+            assert_eq!(
+                fast_res.2, single.2,
+                "multicore N=1 DramStats != bare CpuSystem"
+            );
+        }
+        records.push(Record {
+            name,
+            detail: format!(
+                "mcf rate mode x secddr_ctr: {n} core{} over MultiCoreSystem \
+                 sharing a 4-channel ShardedEngine (aggregate ipc {:.3})",
+                if n == 1 { "" } else { "s" },
+                fast_res.0.aggregate_ipc(),
+            ),
+            ref_secs: ref_a.min(ref_b),
+            fast_secs: fast_a.min(fast_b),
+        });
+    }
+    records
+}
+
 struct Record {
     name: &'static str,
     detail: String,
@@ -404,6 +534,10 @@ pub fn report(instructions: u64, seed: u64) -> String {
     // the N=1 ≡ unsharded gate before any timing is recorded.
     records.extend(shard_scaling_records(params));
 
+    // Multi-core rate-mode sweep: asserts per-policy identity at every
+    // core count and the N=1 ≡ single-core gate before any timing.
+    records.extend(multicore_records(params));
+
     let threads = std::thread::available_parallelism()
         .map_or(1, |n| n.get())
         .min(16);
@@ -418,6 +552,7 @@ pub fn report(instructions: u64, seed: u64) -> String {
            \"host_threads\": {threads},\n  \
            \"results_identical\": true,\n  \
            \"sharded_n1_matches_unsharded\": true,\n  \
+           \"multicore_n1_matches_single\": true,\n  \
            \"records\": [\n{}\n  ]\n}}\n",
         body.join(",\n"),
     )

@@ -37,12 +37,14 @@
 
 pub mod cache;
 pub mod core;
+pub mod exec;
 pub mod prefetcher;
 pub mod system;
 pub mod trace;
 
 pub use crate::core::CpuConfig;
 pub use cache::{Cache, CacheConfig, CacheStats};
+pub use exec::{CoreEngine, StepOutcome};
 pub use prefetcher::StreamPrefetcher;
 pub use sim_kernel::Advance;
 pub use system::{AccessKind, CpuSystem, FixedLatencyBackend, MemoryBackend, SimResult};

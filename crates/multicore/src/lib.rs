@@ -1,0 +1,52 @@
+//! Multi-core front-end: N OOO cores sharing the LLC and memory engine
+//! behind one next-event scheduler.
+//!
+//! The paper evaluates SecDDR in 4-core rate mode; this crate is that
+//! front-end. It composes the per-core state machine extracted from the
+//! single-core system ([`cpu_model::exec::CoreEngine`]) with one shared
+//! LLC and one shared [`cpu_model::MemoryBackend`]:
+//!
+//! * [`MultiCoreSystem`] — N cores interleaved by next-event time: a
+//!   min-heap over each sleeping core's memoized wake-up bound steps
+//!   only due cores, and jumps the global clock when every core is
+//!   asleep — the shard scheduler of `secddr-channels`, one layer up.
+//!   Results are bit-identical to per-cycle lock-step, and
+//!   `MultiCoreSystem` with one core is observationally identical to the
+//!   bare `CpuSystem` (pinned by `tests/multicore_differential.rs`).
+//! * [`CoreTrace`] / [`AddressSpace`] — rate-mode trace sharing: N cores
+//!   iterate one reference-counted trace, each relocated into its own
+//!   window of the backend's data span so copies cannot alias in the
+//!   shared LLC or the engine metadata.
+//! * [`MultiCoreResult`] — per-core [`cpu_model::SimResult`]s plus the
+//!   merged aggregate and the rate-mode metrics (aggregate IPC, weighted
+//!   speedup).
+//!
+//! Cores × channels compose through the one backend seam:
+//! `MultiCoreSystem<ShardedEngine>` works unchanged.
+//!
+//! # Example
+//!
+//! ```
+//! use cpu_model::{CpuConfig, FixedLatencyBackend, TraceOp};
+//! use secddr_multicore::{CoreTrace, MultiCoreSystem};
+//! use std::sync::Arc;
+//!
+//! let trace = Arc::new(vec![
+//!     TraceOp::Compute(12),
+//!     TraceOp::Load(0x1000),
+//!     TraceOp::Store(0x2000),
+//! ]);
+//! let mut sys = MultiCoreSystem::new(4, CpuConfig::default(), FixedLatencyBackend::new(200));
+//! let result = sys.run(CoreTrace::rate(&trace, 1 << 32, 4));
+//! assert_eq!(result.merged().instructions, 4 * 14);
+//! assert!(result.aggregate_ipc() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod system;
+mod trace;
+
+pub use system::{MultiCoreResult, MultiCoreSystem};
+pub use trace::{AddressSpace, CoreTrace};

@@ -1,0 +1,573 @@
+//! N OOO cores sharing one LLC and one memory backend behind a
+//! next-event scheduler.
+//!
+//! [`MultiCoreSystem`] owns N [`CoreEngine`]s (each a private ROB, L1D
+//! and stream prefetcher — the machinery extracted from `CpuSystem`),
+//! one shared LLC, and one [`MemoryBackend`]. The backend is ticked once
+//! per simulated cycle and its completed read tokens are routed to their
+//! owning cores, so the backend is oblivious to the core count — exactly
+//! the seam `ShardedEngine` already presents to a single core, which is
+//! what makes cores × channels compose (`MultiCoreSystem<ShardedEngine>`
+//! works unchanged).
+//!
+//! # Scheduling
+//!
+//! The top-level advance mirrors the sharded backend's shard scheduler
+//! one layer up. Under [`sim_kernel::Advance::ToNextEvent`], a core whose
+//! step made no progress computes its memoized wake-up bound (the same
+//! bound the single-core run loop skips on) and goes to sleep; sleeping
+//! cores are registered in a [`sim_kernel::EventQueue`] min-heap with
+//! lazy staleness filtering, and only *due* cores step. When every
+//! unfinished core is asleep the global clock jumps to the earliest
+//! registered wake-up, so whole-system idle windows cost one heap peek.
+//!
+//! Bounds are computed against the shared backend, and another core's
+//! *accepted submission* can invalidate them (it can advance write-drain
+//! state or consume queue capacity in ways the sleeping core's bound did
+//! not see). After any cycle in which some core submitted, the scheduler
+//! therefore re-derives every sleeping core's bound against the mutated
+//! backend, keeping the earlier of the two (a spuriously early wake-up
+//! merely re-probes; a late one could miss an event). During all-asleep
+//! windows nothing submits, so the registered bounds stay valid and the
+//! global jump is sound — results are bit-identical to
+//! [`sim_kernel::Advance::PerCycle`], where every core steps every cycle.
+
+use cpu_model::exec::CoreEngine;
+use cpu_model::system::{AccessKind, BatchAccess, Busy, MemoryBackend};
+use cpu_model::{Cache, CacheConfig, CacheStats, CpuConfig, SimResult, TraceOp};
+use sim_kernel::{EventQueue, FxHashMap, SimClock};
+
+/// Forwards one core's backend traffic to the shared backend, recording
+/// which core owns each accepted read token so completions can be routed
+/// back. Cores never tick the shared backend — the scheduler does, once
+/// per cycle.
+struct RoutedBackend<'a, B> {
+    inner: &'a mut B,
+    token_core: &'a mut FxHashMap<u64, usize>,
+    core: usize,
+}
+
+impl<B: MemoryBackend> MemoryBackend for RoutedBackend<'_, B> {
+    fn submit(
+        &mut self,
+        kind: AccessKind,
+        addr: u64,
+        now: u64,
+        is_prefetch: bool,
+    ) -> Result<u64, Busy> {
+        let token = self.inner.submit(kind, addr, now, is_prefetch)?;
+        if kind == AccessKind::Read {
+            self.token_core.insert(token, self.core);
+        }
+        Ok(token)
+    }
+
+    fn submit_batch(
+        &mut self,
+        batch: &[BatchAccess],
+        now: u64,
+        results: &mut Vec<Result<u64, Busy>>,
+    ) {
+        let start = results.len();
+        self.inner.submit_batch(batch, now, results);
+        for (access, result) in batch.iter().zip(&results[start..]) {
+            if access.kind == AccessKind::Read {
+                if let Ok(token) = result {
+                    self.token_core.insert(*token, self.core);
+                }
+            }
+        }
+    }
+
+    fn tick(&mut self, _now: u64) -> Vec<u64> {
+        unreachable!("cores never tick the shared backend; the scheduler does")
+    }
+
+    fn next_event(&self, now: u64) -> Option<u64> {
+        self.inner.next_event(now)
+    }
+
+    fn next_completion_event(&self, now: u64) -> Option<u64> {
+        self.inner.next_completion_event(now)
+    }
+
+    fn next_read_capacity_event(&self, now: u64, addr: u64) -> Option<u64> {
+        self.inner.next_read_capacity_event(now, addr)
+    }
+}
+
+/// Per-core and aggregate results of one [`MultiCoreSystem::run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MultiCoreResult {
+    /// One [`SimResult`] per core, in core-index order. A core's
+    /// `cycles` is the cycle it drained (finished its trace, ROB, and
+    /// outstanding misses).
+    pub per_core: Vec<SimResult>,
+}
+
+impl MultiCoreResult {
+    /// All cores folded into one [`SimResult`] via [`SimResult::merge`]:
+    /// counters sum, cache statistics merge, `cycles` is the slowest
+    /// core's finish cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics when there are no cores (a [`MultiCoreSystem`] always has
+    /// at least one).
+    #[must_use]
+    pub fn merged(&self) -> SimResult {
+        let (first, rest) = self.per_core.split_first().expect("at least one core ran");
+        let mut merged = first.clone();
+        for r in rest {
+            merged.merge(r);
+        }
+        merged
+    }
+
+    /// Aggregate IPC: the sum of per-core IPCs (the rate-mode throughput
+    /// metric — N cores each at the single-core IPC score N× the
+    /// aggregate).
+    #[must_use]
+    pub fn aggregate_ipc(&self) -> f64 {
+        self.per_core.iter().map(SimResult::ipc).sum()
+    }
+
+    /// Weighted speedup against per-core stand-alone baselines:
+    /// `Σ_i IPC_i^shared / IPC_i^alone`. Equals the core count when
+    /// sharing costs nothing; lower values quantify LLC and memory
+    /// contention.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `alone_ipc` does not have one (positive) entry per
+    /// core.
+    #[must_use]
+    pub fn weighted_speedup(&self, alone_ipc: &[f64]) -> f64 {
+        assert_eq!(
+            alone_ipc.len(),
+            self.per_core.len(),
+            "one stand-alone IPC per core"
+        );
+        self.per_core
+            .iter()
+            .zip(alone_ipc)
+            .map(|(r, &alone)| {
+                assert!(alone > 0.0, "stand-alone IPC must be positive");
+                r.ipc() / alone
+            })
+            .sum()
+    }
+}
+
+/// N OOO cores over one shared LLC and one shared [`MemoryBackend`],
+/// interleaved by next-event time.
+#[derive(Debug)]
+pub struct MultiCoreSystem<B> {
+    cfg: CpuConfig,
+    backend: B,
+    llc: Cache,
+    cores: Vec<CoreEngine>,
+    clock: SimClock,
+    /// Accepted read token → owning core, for completion routing.
+    token_core: FxHashMap<u64, usize>,
+}
+
+impl<B: MemoryBackend> MultiCoreSystem<B> {
+    /// Builds `cores` identical cores (Table I parameters from `cfg`)
+    /// over one Table I shared LLC and `backend`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cores` is zero.
+    pub fn new(cores: usize, cfg: CpuConfig, backend: B) -> Self {
+        assert!(cores >= 1, "at least one core is required");
+        Self {
+            backend,
+            llc: Cache::new(CacheConfig::llc()),
+            cores: (0..cores).map(|_| CoreEngine::new(cfg)).collect(),
+            clock: SimClock::new(),
+            token_core: FxHashMap::default(),
+            cfg,
+        }
+    }
+
+    /// Number of cores.
+    #[must_use]
+    pub fn core_count(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Read access to the shared backend (for engine statistics).
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// Mutable access to the shared backend.
+    pub fn backend_mut(&mut self) -> &mut B {
+        &mut self.backend
+    }
+
+    /// The shared LLC's own statistics (the per-core shares in
+    /// [`MultiCoreResult::per_core`] sum to exactly these totals).
+    #[must_use]
+    pub fn llc_stats(&self) -> &CacheStats {
+        self.llc.stats()
+    }
+
+    /// Runs one trace per core to completion (all cores drained) and
+    /// returns per-core plus aggregate results.
+    ///
+    /// Calling `run` again continues cumulatively: the clock keeps
+    /// advancing, the shared LLC and per-core caches stay warm, and
+    /// counters accumulate across runs (the single-core `CpuSystem`
+    /// re-run semantics, per core).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `traces` does not hold exactly one trace per core.
+    pub fn run<T: Iterator<Item = TraceOp>>(&mut self, mut traces: Vec<T>) -> MultiCoreResult {
+        let n = self.cores.len();
+        assert_eq!(traces.len(), n, "exactly one trace per core");
+        for core in &mut self.cores {
+            core.begin_trace();
+        }
+        let event_driven = self.cfg.advance.is_event_driven();
+        let Self {
+            backend,
+            llc,
+            cores,
+            clock,
+            token_core,
+            ..
+        } = self;
+
+        // A core is either awake (steps every cycle) or asleep with a
+        // registered wake-up bound; `heap` holds `(bound, core)` entries,
+        // lazily filtered against `bounds` like the shard scheduler.
+        let mut awake = vec![true; n];
+        let mut bounds = vec![0u64; n];
+        let mut heap: EventQueue<usize> = EventQueue::new();
+        let mut routed: Vec<Vec<u64>> = vec![Vec::new(); n];
+
+        loop {
+            // Global jump: when every unfinished core is asleep, nothing
+            // can submit, so the registered bounds stay valid and the
+            // clock can skip to the earliest one.
+            if event_driven
+                && cores
+                    .iter()
+                    .enumerate()
+                    .all(|(i, c)| c.finished() || !awake[i])
+            {
+                if let Some(wake) = earliest_wake(&mut heap, &bounds, &awake, cores) {
+                    if wake > clock.now() + 1 {
+                        clock.skip_to(wake - 1);
+                    }
+                }
+            }
+            let now = clock.tick();
+
+            // Drop spent heap entries eagerly: anything at or before
+            // `now` is either this cycle's wake-up (its core is woken by
+            // the `bounds` check below and re-registers on its next
+            // sleep) or stale (superseded by an earlier refresh), and
+            // `earliest_wake` only ever needs future entries — without
+            // this the push-only heap would grow for the whole run
+            // whenever some core never sleeps.
+            while heap.pop_due(now).is_some() {}
+
+            // One backend tick per cycle; completions are routed to their
+            // owning cores and force-wake them (their state changes, so
+            // any registered bound is moot).
+            for v in &mut routed {
+                v.clear();
+            }
+            for token in backend.tick(now) {
+                if let Some(core) = token_core.remove(&token) {
+                    routed[core].push(token);
+                }
+            }
+
+            let mut any_submitted = false;
+            let mut all_finished = true;
+            for i in 0..n {
+                if cores[i].finished() {
+                    continue;
+                }
+                let was_asleep = !awake[i];
+                if was_asleep && bounds[i] > now && routed[i].is_empty() {
+                    // Asleep and not due: the per-cycle reference would
+                    // provably do nothing for this core this cycle.
+                    all_finished = false;
+                    continue;
+                }
+                awake[i] = true;
+                let outcome = {
+                    let mut port = RoutedBackend {
+                        inner: &mut *backend,
+                        token_core: &mut *token_core,
+                        core: i,
+                    };
+                    cores[i].step(now, llc, &mut port, &mut traces[i], &routed[i])
+                };
+                any_submitted |= outcome.submitted;
+                if outcome.finished {
+                    continue;
+                }
+                all_finished = false;
+                if event_driven {
+                    // A core woken *from sleep* re-sleeps on the raw
+                    // bound: wake-ups here are often spurious (the
+                    // shared backend's completion bound covers every
+                    // core's reads, not just this one's), and the
+                    // single-core backoff heuristic would misread them
+                    // as an event-dense phase and pin the core to
+                    // per-cycle stepping. One ungated O(1) probe per
+                    // wake-up is the right cost. A core that was already
+                    // awake (actively running) keeps the streak/backoff
+                    // gating. Neither choice affects simulated results.
+                    let wake = if was_asleep {
+                        cores[i].wake_bound(now, backend)
+                    } else {
+                        cores[i].sleep_bound(now, backend)
+                    };
+                    if let Some(wake) = wake {
+                        if wake > now + 1 {
+                            awake[i] = false;
+                            bounds[i] = wake;
+                            heap.push(wake, i);
+                        }
+                    }
+                }
+            }
+            if all_finished {
+                break;
+            }
+
+            // An accepted submission mutated the backend, so bounds the
+            // sleeping cores computed against the old state may now be
+            // too late; re-derive them, keeping the earlier bound.
+            if event_driven && any_submitted {
+                for i in 0..n {
+                    if cores[i].finished() || awake[i] {
+                        continue;
+                    }
+                    let refreshed = cores[i].wake_bound(now, backend).unwrap_or(now + 1);
+                    if refreshed < bounds[i] {
+                        bounds[i] = refreshed;
+                        heap.push(refreshed, i);
+                    }
+                }
+            }
+        }
+
+        MultiCoreResult {
+            per_core: cores.iter().map(CoreEngine::result).collect(),
+        }
+    }
+}
+
+/// The earliest registered wake-up among sleeping cores, dropping stale
+/// heap entries (a core re-registered earlier, woke, or finished) on the
+/// way. The returned entry is pushed back so later calls still see it.
+fn earliest_wake(
+    heap: &mut EventQueue<usize>,
+    bounds: &[u64],
+    awake: &[bool],
+    cores: &[CoreEngine],
+) -> Option<u64> {
+    while let Some((at, i)) = heap.pop_due(u64::MAX) {
+        if !awake[i] && !cores[i].finished() && bounds[i] == at {
+            heap.push(at, i);
+            return Some(at);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{AddressSpace, CoreTrace};
+    use cpu_model::{Advance, CpuSystem, FixedLatencyBackend};
+    use std::sync::Arc;
+
+    fn mixed_trace(seed: u64, len: u64) -> Vec<TraceOp> {
+        (0..len)
+            .map(|i| {
+                let x = (i ^ seed).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 16;
+                match x % 5 {
+                    0 => TraceOp::Compute((x % 40) as u32 + 1),
+                    1 => TraceOp::Load((x << 3) & 0xFFF_FFC0),
+                    2 => TraceOp::DependentLoad((x << 4) & 0xFFF_FFC0),
+                    3 => TraceOp::Store((x << 3) & 0xFFF_FFC0),
+                    _ => TraceOp::Load((x % 2048) * 64),
+                }
+            })
+            .collect()
+    }
+
+    fn cfg(advance: Advance) -> CpuConfig {
+        CpuConfig {
+            advance,
+            ..CpuConfig::default()
+        }
+    }
+
+    #[test]
+    fn single_core_matches_cpusystem() {
+        let trace = mixed_trace(0xA5, 3_000);
+        for advance in [Advance::ToNextEvent, Advance::PerCycle] {
+            let single = CpuSystem::new(cfg(advance), FixedLatencyBackend::new(180))
+                .run(trace.iter().copied());
+            let mut multi = MultiCoreSystem::new(1, cfg(advance), FixedLatencyBackend::new(180));
+            let result = multi.run(vec![trace.iter().copied()]);
+            assert_eq!(result.per_core.len(), 1);
+            assert_eq!(result.per_core[0], single, "{advance:?}");
+            assert_eq!(result.merged(), single, "{advance:?}");
+        }
+    }
+
+    #[test]
+    fn event_driven_matches_per_cycle() {
+        let traces: Vec<Vec<TraceOp>> = (0..3).map(|c| mixed_trace(c * 7 + 1, 2_000)).collect();
+        let run = |advance| {
+            let mut sys = MultiCoreSystem::new(3, cfg(advance), FixedLatencyBackend::new(250));
+            sys.run(traces.iter().map(|t| t.iter().copied()).collect())
+        };
+        assert_eq!(run(Advance::ToNextEvent), run(Advance::PerCycle));
+    }
+
+    #[test]
+    fn rate_mode_retires_every_copy() {
+        let trace = Arc::new(mixed_trace(3, 2_000));
+        let per_copy: u64 = trace.iter().map(TraceOp::instructions).sum();
+        let mut sys =
+            MultiCoreSystem::new(4, cfg(Advance::ToNextEvent), FixedLatencyBackend::new(200));
+        let result = sys.run(CoreTrace::rate(&trace, 1 << 32, 4));
+        assert_eq!(result.per_core.len(), 4);
+        for r in &result.per_core {
+            assert_eq!(r.instructions, per_copy);
+        }
+        assert_eq!(result.merged().instructions, 4 * per_copy);
+        assert_eq!(
+            result.merged().cycles,
+            result.per_core.iter().map(|r| r.cycles).max().unwrap()
+        );
+    }
+
+    #[test]
+    fn per_core_llc_shares_sum_to_shared_totals() {
+        let trace = Arc::new(mixed_trace(11, 3_000));
+        let mut sys =
+            MultiCoreSystem::new(4, cfg(Advance::ToNextEvent), FixedLatencyBackend::new(150));
+        let result = sys.run(CoreTrace::rate(&trace, 1 << 32, 4));
+        let merged = result.merged();
+        assert_eq!(&merged.llc, sys.llc_stats());
+        assert!(merged.llc.misses > 0);
+    }
+
+    #[test]
+    fn compute_only_cores_do_not_interfere() {
+        // No memory traffic: each core's run is as long as it would be
+        // alone, and the scheduler still terminates via the global jump.
+        let trace: Vec<TraceOp> = (0..200).map(|_| TraceOp::Compute(60)).collect();
+        let alone = CpuSystem::new(cfg(Advance::ToNextEvent), FixedLatencyBackend::new(100))
+            .run(trace.iter().copied());
+        let mut sys =
+            MultiCoreSystem::new(4, cfg(Advance::ToNextEvent), FixedLatencyBackend::new(100));
+        let result = sys.run((0..4).map(|_| trace.iter().copied()).collect());
+        for r in &result.per_core {
+            assert_eq!(r.cycles, alone.cycles);
+            assert_eq!(r.instructions, alone.instructions);
+        }
+    }
+
+    #[test]
+    fn heterogeneous_mix_produces_per_core_results() {
+        let a = Arc::new(mixed_trace(1, 1_500));
+        let b = Arc::new((0..500).map(|_| TraceOp::Compute(50)).collect::<Vec<_>>());
+        let mut sys =
+            MultiCoreSystem::new(2, cfg(Advance::ToNextEvent), FixedLatencyBackend::new(220));
+        let result = sys.run(CoreTrace::mix(
+            vec![Arc::clone(&a), Arc::clone(&b)],
+            1 << 32,
+        ));
+        let ia: u64 = a.iter().map(TraceOp::instructions).sum();
+        let ib: u64 = b.iter().map(TraceOp::instructions).sum();
+        assert_eq!(result.per_core[0].instructions, ia);
+        assert_eq!(result.per_core[1].instructions, ib);
+        assert!(result.per_core[1].ipc() > result.per_core[0].ipc());
+    }
+
+    #[test]
+    fn metric_accessors() {
+        let result = MultiCoreResult {
+            per_core: vec![
+                SimResult {
+                    instructions: 100,
+                    cycles: 100,
+                    l1: CacheStats::default(),
+                    llc: CacheStats::default(),
+                    prefetches: 0,
+                },
+                SimResult {
+                    instructions: 300,
+                    cycles: 100,
+                    l1: CacheStats::default(),
+                    llc: CacheStats::default(),
+                    prefetches: 0,
+                },
+            ],
+        };
+        assert!((result.aggregate_ipc() - 4.0).abs() < 1e-12);
+        // Cores alone ran at IPC 2 and 4: weighted speedup 0.5 + 0.75.
+        assert!((result.weighted_speedup(&[2.0, 4.0]) - 1.25).abs() < 1e-12);
+        assert!((result.merged().ipc() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identity_address_space_shares_lines_across_cores() {
+        // Core 0 fetches a line; core 1 touches the same trace address
+        // much later (after a long compute ramp). With the identity
+        // disambiguator core 1 hits the line core 0 installed in the
+        // shared LLC; with per-core windows the addresses are disjoint
+        // and both cores miss.
+        let early = Arc::new(vec![TraceOp::Load(0x40_0000)]);
+        let late = Arc::new(vec![TraceOp::Compute(6_000), TraceOp::Load(0x40_0000)]);
+        let misses_with = |space: AddressSpace| {
+            let mut sys =
+                MultiCoreSystem::new(2, cfg(Advance::ToNextEvent), FixedLatencyBackend::new(100));
+            let traces = vec![
+                CoreTrace::new(Arc::clone(&early), 0, space),
+                CoreTrace::new(Arc::clone(&late), 1, space),
+            ];
+            sys.run(traces).merged().llc.misses
+        };
+        assert_eq!(misses_with(AddressSpace::identity()), 1);
+        assert_eq!(misses_with(AddressSpace::windows(1 << 32, 2)), 2);
+    }
+
+    #[test]
+    fn second_run_continues_cumulatively() {
+        let trace = Arc::new(mixed_trace(9, 800));
+        let per_copy: u64 = trace.iter().map(TraceOp::instructions).sum();
+        let mut sys =
+            MultiCoreSystem::new(2, cfg(Advance::ToNextEvent), FixedLatencyBackend::new(150));
+        let r1 = sys.run(CoreTrace::rate(&trace, 1 << 32, 2));
+        let r2 = sys.run(CoreTrace::rate(&trace, 1 << 32, 2));
+        for (a, b) in r1.per_core.iter().zip(&r2.per_core) {
+            assert_eq!(a.instructions, per_copy);
+            assert_eq!(b.instructions, 2 * per_copy, "counters accumulate");
+            assert!(b.cycles > a.cycles, "clock keeps advancing");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly one trace per core")]
+    fn trace_count_must_match_core_count() {
+        let mut sys =
+            MultiCoreSystem::new(2, cfg(Advance::ToNextEvent), FixedLatencyBackend::new(10));
+        let _ = sys.run(vec![std::iter::empty::<TraceOp>()]);
+    }
+}

@@ -34,6 +34,9 @@ pub use graph::{CsrGraph, GraphLayout};
 pub use sink::TraceSink;
 pub use spec::{Pattern, SpecProfile};
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
 use cpu_model::TraceOp;
 
 /// Which suite a benchmark belongs to.
@@ -71,6 +74,14 @@ fn shared_graph() -> std::sync::Arc<CsrGraph> {
     // Memoized per (vertices, degree, seed) in `graph`: sweeps that fan
     // out across benchmarks and configurations reuse one generation.
     CsrGraph::shared(GRAPH_VERTICES, GRAPH_DEGREE, GRAPH_SEED)
+}
+
+/// Key of one memoized trace: `(benchmark, instruction budget, seed)`.
+type TraceKey = (&'static str, u64, u64);
+
+fn trace_cache() -> &'static Mutex<HashMap<TraceKey, Arc<Vec<TraceOp>>>> {
+    static CACHE: OnceLock<Mutex<HashMap<TraceKey, Arc<Vec<TraceOp>>>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
 impl Benchmark {
@@ -134,6 +145,32 @@ impl Benchmark {
             ),
         }
     }
+
+    /// As [`Self::generate`], memoized per `(benchmark, budget, seed)`
+    /// in a process-wide cache (the [`CsrGraph::shared`] idiom, one
+    /// level up): the first request generates the trace, every later
+    /// request for the same parameters shares the same allocation.
+    ///
+    /// Rate-mode multi-core runs and repeated sweeps hand each consumer
+    /// an `Arc` of one trace instead of regenerating or deep-cloning it
+    /// per core.
+    pub fn generate_shared(&self, instruction_budget: u64, seed: u64) -> Arc<Vec<TraceOp>> {
+        let key = (self.name(), instruction_budget, seed);
+        if let Some(t) = trace_cache()
+            .lock()
+            .expect("trace cache poisoned")
+            .get(&key)
+        {
+            return Arc::clone(t);
+        }
+        // Generate outside the lock: trace generation can be expensive
+        // (graph kernels), and a parallel sweep's first touches should
+        // not serialize on it. A racing duplicate is dropped in favor of
+        // whichever entry landed first.
+        let generated = Arc::new(self.generate(instruction_budget, seed));
+        let mut cache = trace_cache().lock().expect("trace cache poisoned");
+        Arc::clone(cache.entry(key).or_insert(generated))
+    }
 }
 
 #[cfg(test)]
@@ -170,6 +207,19 @@ mod tests {
         let all = Benchmark::all();
         assert_eq!(all.iter().filter(|b| b.suite() == Suite::Spec).count(), 23);
         assert_eq!(all.iter().filter(|b| b.suite() == Suite::Gapbs).count(), 6);
+    }
+
+    #[test]
+    fn shared_traces_memoize_per_key() {
+        let mcf = Benchmark::by_name("mcf").unwrap();
+        let a = mcf.generate_shared(5_000, 42);
+        let b = mcf.generate_shared(5_000, 42);
+        assert!(Arc::ptr_eq(&a, &b), "same parameters share one trace");
+        let c = mcf.generate_shared(5_000, 43);
+        assert!(!Arc::ptr_eq(&a, &c), "different seed is a different entry");
+        assert_eq!(*a, mcf.generate(5_000, 42), "memoized == generated");
+        let gcc = Benchmark::by_name("gcc").unwrap();
+        assert!(!Arc::ptr_eq(&a, &gcc.generate_shared(5_000, 42)));
     }
 
     #[test]

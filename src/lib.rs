@@ -12,6 +12,9 @@
 //! * [`cpu`] — trace-driven OOO core + cache hierarchy.
 //! * [`channels`] — sharded multi-channel memory subsystem: N
 //!   interleaved SecDDR channels behind one `MemoryBackend`.
+//! * [`multicore`] — multi-core front-end: N OOO cores sharing the LLC
+//!   and memory engine behind one next-event scheduler (the paper's
+//!   4-core rate mode).
 //! * [`workloads`] — the 29 benchmarks of the paper's evaluation.
 //! * [`kernel`] — the event-driven simulation kernel all timing layers
 //!   ride ([`SimClock`](sim_kernel::SimClock), event queue, and the
@@ -36,10 +39,12 @@ pub use dram_sim as dram;
 pub use secddr_channels as channels;
 pub use secddr_core as core;
 pub use secddr_crypto as crypto;
+pub use secddr_multicore as multicore;
 pub use sim_kernel as kernel;
 pub use workloads;
 
 pub use secddr_channels::{ChannelStats, Interleave, ShardedEngine};
 pub use secddr_core::config::SecurityConfig;
 pub use secddr_core::system::{run_benchmark, RunParams};
+pub use secddr_multicore::{AddressSpace, CoreTrace, MultiCoreResult, MultiCoreSystem};
 pub use sim_kernel::Advance;
