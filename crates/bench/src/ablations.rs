@@ -92,7 +92,7 @@ pub fn run_with_budget(instructions: u64, seed: u64) {
             (bl10 as f64 / bl8 as f64 - 1.0) * 100.0
         );
     }
-    let a1_rows = par_sweep(&["lbm", "omnetpp"], |name| {
+    let a1_rows = par_sweep(vec!["lbm", "omnetpp"], move |name| {
         let bench = Benchmark::by_name(name).expect("known benchmark");
         let row = norms(
             &bench,
@@ -129,7 +129,7 @@ pub fn run_with_budget(instructions: u64, seed: u64) {
         "  {:<10} {:>22} {:>14}",
         "md cache", "Integrity Tree 64ary", "SecDDR+CTR"
     );
-    let a2_rows = par_sweep(&[32u64, 128, 512, 2048], |&kb| {
+    let a2_rows = par_sweep(vec![32u64, 128, 512, 2048], move |&kb| {
         let opt = EngineOptions {
             metadata_cache_bytes: kb << 10,
             ..Default::default()
@@ -155,7 +155,7 @@ pub fn run_with_budget(instructions: u64, seed: u64) {
     println!("  (the tree depends on the cache much more strongly than SecDDR)");
 
     println!("\n=== Ablation A3: parallel vs serial tree-level fetch ===\n");
-    let a3_rows = par_sweep(&["omnetpp", "pr"], |name| {
+    let a3_rows = par_sweep(vec!["omnetpp", "pr"], move |name| {
         let bench = Benchmark::by_name(name).expect("known benchmark");
         let row = norms(
             &bench,
@@ -226,7 +226,7 @@ pub fn run_with_budget(instructions: u64, seed: u64) {
     }
 
     println!("\n=== Ablation A4: FR-FCFS vs FCFS scheduling ===\n");
-    let a4_rows = par_sweep(&["bwaves", "omnetpp"], |name| {
+    let a4_rows = par_sweep(vec!["bwaves", "omnetpp"], move |name| {
         let bench = Benchmark::by_name(name).expect("known benchmark");
         let row = norms(
             &bench,

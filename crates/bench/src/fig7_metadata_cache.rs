@@ -22,7 +22,7 @@ pub fn run_with_budget(instructions: u64, seed: u64) {
         None => Benchmark::all(),
     };
 
-    let rows = par_sweep(&benches, |bench| {
+    let rows = par_sweep(benches.clone(), move |bench| {
         let r = run_benchmark(bench, &cfg, &params);
         (r.metadata_mpki(), r.metadata_miss_rate())
     });

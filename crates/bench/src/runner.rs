@@ -1,59 +1,25 @@
-//! Shared experiment runner: the generic [`par_sweep`] worker pool every
-//! figure/table harness runs on, plus the benchmark × configuration sweep
-//! and paper-style normalized tables built on it.
+//! Shared experiment runner: the [`par_sweep`] harness every
+//! figure/table binary fans out through, plus the benchmark ×
+//! configuration sweep and paper-style normalized tables built on it.
+//!
+//! Since the experiment-service PR, [`par_sweep`] rides the process-wide
+//! persistent [`secddr_service::WorkerPool`] — the same pool machinery
+//! `secddr-serve` schedules jobs on (the service constructs its own
+//! instances so tests can size and drain them independently) — so the
+//! thread-count policy (`SECDDR_THREADS` override, capped at
+//! [`secddr_service::DEFAULT_THREAD_CAP`]) lives in exactly one place.
 
 use secddr_core::config::SecurityConfig;
 use secddr_core::engine::EngineOptions;
 use secddr_core::system::{gmean, run_trace_with_options, RunParams, RunResult};
 use workloads::{Benchmark, Suite};
 
+/// The one parallel map harness (order-preserving, caller-participating)
+/// — see [`secddr_service::par_sweep`].
+pub use secddr_service::par_sweep;
+
 /// The paper's memory-intensity threshold (LLC MPKI >= 10).
 pub const MEM_INTENSIVE_MPKI: f64 = 10.0;
-
-/// Maps `f` over `items` on a scoped worker pool, preserving input order.
-///
-/// This is the one parallel harness in the repository: every figure and
-/// table binary fans out through it (directly or via [`sweep`]), so the
-/// thread-count policy and work distribution live in exactly one place.
-/// Work is claimed by atomic index, results land in per-item slots, and
-/// the scope joins before returning — no channels, no unsafe, no
-/// hand-rolled pools at the call sites.
-pub fn par_sweep<T, R, F>(items: &[T], f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
-{
-    if items.is_empty() {
-        return Vec::new();
-    }
-    let threads = std::thread::available_parallelism()
-        .map_or(4, |n| n.get())
-        .min(16)
-        .min(items.len());
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let mut slots: Vec<Option<R>> = Vec::new();
-    slots.resize_with(items.len(), || None);
-    let slots = std::sync::Mutex::new(&mut slots);
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                let result = f(&items[i]);
-                slots.lock().expect("no poisoned locks")[i] = Some(result);
-            });
-        }
-    });
-    slots
-        .into_inner()
-        .expect("scope joined")
-        .iter_mut()
-        .map(|slot| slot.take().expect("all slots filled"))
-        .collect()
-}
 
 /// Results of a full sweep: `results[bench][config]`.
 pub struct Sweep {
@@ -90,13 +56,14 @@ pub fn sweep_with_options(
     };
     let tdx = SecurityConfig::tdx_baseline();
 
-    let rows = par_sweep(&benches, |bench| {
+    let config_list = configs.to_vec();
+    let rows = par_sweep(benches.clone(), move |bench| {
         // One trace per benchmark, shared by the baseline and every
         // configuration (identical input is also what normalization
         // assumes).
         let trace = bench.generate(params.instructions, params.seed);
         let base = run_trace_with_options(bench, &trace, &tdx, options);
-        let row: Vec<RunResult> = configs
+        let row: Vec<RunResult> = config_list
             .iter()
             .map(|c| run_trace_with_options(bench, &trace, c, options))
             .collect();

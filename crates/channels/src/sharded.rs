@@ -42,6 +42,10 @@ pub struct ShardedEngine {
     /// Per shard: local read token → global token (writes complete
     /// silently and are never mapped).
     local_to_global: Vec<FxHashMap<u64, u64>>,
+    /// Reverse map for per-token completion-bound queries: global read
+    /// token → (shard, local token). Entries live exactly as long as
+    /// their `local_to_global` counterparts.
+    global_to_local: FxHashMap<u64, (usize, u64)>,
     /// Registered next-event lower bound per shard; `u64::MAX` means "no
     /// internal event pending" and keeps the shard out of the heap.
     bounds: Vec<u64>,
@@ -95,6 +99,7 @@ impl ShardedEngine {
             advance: options.advance,
             next_token: 0,
             local_to_global: vec![FxHashMap::default(); n],
+            global_to_local: FxHashMap::default(),
             bounds: vec![u64::MAX; n],
             due: EventQueue::new(),
             last_now: 0,
@@ -186,6 +191,7 @@ impl ShardedEngine {
         self.next_token += 1;
         if kind == AccessKind::Read {
             self.local_to_global[shard].insert(local, global);
+            self.global_to_local.insert(global, (shard, local));
         }
         Ok(global)
     }
@@ -215,6 +221,7 @@ impl ShardedEngine {
             let global = self.local_to_global[s]
                 .remove(&local)
                 .expect("completed read was registered at submit");
+            self.global_to_local.remove(&global);
             done.push(global);
         }
         self.refresh_bound(s, now);
@@ -341,6 +348,34 @@ impl MemoryBackend for ShardedEngine {
 
     fn next_completion_event(&self, now: u64) -> Option<u64> {
         self.fold_shards(now, |sh, n| sh.next_completion_event(n))
+    }
+
+    fn next_completion_event_among(
+        &self,
+        now: u64,
+        tokens: &mut dyn Iterator<Item = u64>,
+    ) -> Option<u64> {
+        // Translate the caller's global tokens once (dropping any that
+        // already completed), then fold each touched shard's own
+        // per-token bound. O(|tokens|) map lookups plus one pass per
+        // shard over the small translated list.
+        let translated: Vec<(usize, u64)> = tokens
+            .filter_map(|global| self.global_to_local.get(&global).copied())
+            .collect();
+        let mut bound = u64::MAX;
+        for (s, shard) in self.shards.iter().enumerate() {
+            if !translated.iter().any(|&(owner, _)| owner == s) {
+                continue;
+            }
+            let mut locals = translated
+                .iter()
+                .filter(|&&(owner, _)| owner == s)
+                .map(|&(_, local)| local);
+            if let Some(t) = shard.next_completion_event_among(now, &mut locals) {
+                bound = bound.min(t);
+            }
+        }
+        (bound != u64::MAX).then(|| bound.max(now + 1))
     }
 
     fn next_read_capacity_event(&self, now: u64, addr: u64) -> Option<u64> {

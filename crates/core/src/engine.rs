@@ -134,6 +134,9 @@ pub struct SecurityEngine {
     min_extra_in_flight: u64,
     /// Completed reads, scheduled at the CPU cycle they become visible.
     ready: EventQueue<u64>,
+    /// Mirror of [`Self::ready`] keyed by token, for the O(1) per-token
+    /// lookups behind [`MemoryBackend::next_completion_event_among`].
+    ready_at: FxHashMap<u64, u64>,
     pending_md_writes: VecDeque<u64>,
     stats: EngineStats,
     options: EngineOptions,
@@ -212,6 +215,7 @@ impl SecurityEngine {
             transactions: FxHashMap::default(),
             min_extra_in_flight: u64::MAX,
             ready: EventQueue::new(),
+            ready_at: FxHashMap::default(),
             pending_md_writes: VecDeque::new(),
             stats: EngineStats::default(),
             options,
@@ -446,8 +450,9 @@ impl SecurityEngine {
                         if self.transactions.is_empty() {
                             self.min_extra_in_flight = u64::MAX;
                         }
-                        self.ready
-                            .push(txn.latest_arrival_cpu + txn.extra_latency, token);
+                        let visible_at = txn.latest_arrival_cpu + txn.extra_latency;
+                        self.ready.push(visible_at, token);
+                        self.ready_at.insert(token, visible_at);
                     }
                 }
             }
@@ -611,6 +616,7 @@ impl MemoryBackend for SecurityEngine {
         self.advance(mem_due);
         let mut done = Vec::new();
         while let Some((_, token)) = self.ready.pop_due(now) {
+            self.ready_at.remove(&token);
             done.push(token);
         }
         done
@@ -645,6 +651,40 @@ impl MemoryBackend for SecurityEngine {
         } else {
             Some(bound.max(now + 1))
         }
+    }
+
+    fn next_completion_event_among(
+        &self,
+        now: u64,
+        tokens: &mut dyn Iterator<Item = u64>,
+    ) -> Option<u64> {
+        // O(|tokens|): each token is either ready (exact visible time in
+        // `ready_at`), in flight (its transaction's fixed crypto
+        // latency rides on the channel-level part bound, computed once
+        // below), or already delivered (ignored). With no owned token
+        // alive the whole bound drops — the key difference from the
+        // global bound, which any other core's read keeps early.
+        let mut bound = u64::MAX;
+        let mut min_extra_owned = u64::MAX;
+        for token in tokens {
+            if let Some(&at) = self.ready_at.get(&token) {
+                bound = bound.min(at);
+            } else if let Some(txn) = self.transactions.get(&token) {
+                min_extra_owned = min_extra_owned.min(txn.extra_latency);
+            }
+        }
+        if min_extra_owned != u64::MAX {
+            let mut part_finish = self.dram.next_read_finish_cycle();
+            if let Some(t) = self.dram.next_pending_completion() {
+                part_finish = part_finish.min(t);
+            }
+            part_finish = part_finish.max(self.dram.cycle() + 1);
+            bound = bound.min(
+                self.cpu_cycle_for(part_finish)
+                    .saturating_add(min_extra_owned),
+            );
+        }
+        (bound != u64::MAX).then(|| bound.max(now + 1))
     }
 
     fn next_read_capacity_event(&self, now: u64, _addr: u64) -> Option<u64> {

@@ -152,6 +152,14 @@ impl CoreEngine {
         self.finished_at.is_some()
     }
 
+    /// The backend read tokens this core is still waiting on (its MSHR
+    /// population) — the ownership set a multi-core scheduler passes to
+    /// [`MemoryBackend::next_completion_event_among`] so the core sleeps
+    /// on *its own* earliest completion.
+    pub fn outstanding_read_tokens(&self) -> impl Iterator<Item = u64> + '_ {
+        self.token_line.keys().copied()
+    }
+
     /// Re-arms the core for another trace: clears trace exhaustion, the
     /// recorded finish cycle, and the idle streak — the state the
     /// pre-extraction monolithic run loop kept per run. A subsequent run

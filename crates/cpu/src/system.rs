@@ -132,6 +132,30 @@ pub trait MemoryBackend {
         let _ = addr;
         self.next_event(now)
     }
+
+    /// Lower bound on the next CPU cycle at which [`Self::tick`] could
+    /// return a completed read token for which `owned` is true.
+    ///
+    /// Multi-core front-ends pass each core's token-ownership predicate
+    /// so a sleeping core waits on *its own* earliest completion instead
+    /// of the backend's global completion bound (another core's read
+    /// returning cannot make this core's per-cycle step do anything).
+    ///
+    /// `tokens` is the caller's set of outstanding read tokens (as
+    /// returned by submit); unknown or already-delivered tokens are
+    /// ignored. Implementations should answer in O(|tokens|) lookups,
+    /// not by scanning their internal queues — this probe runs on every
+    /// sleep/wake decision of every core. The global bound is a valid —
+    /// if loose — lower bound for any subset, so the default falls back
+    /// to [`Self::next_completion_event`].
+    fn next_completion_event_among(
+        &self,
+        now: u64,
+        tokens: &mut dyn Iterator<Item = u64>,
+    ) -> Option<u64> {
+        let _ = tokens;
+        self.next_completion_event(now)
+    }
 }
 
 /// A constant-latency backend for tests and upper-bound experiments.
@@ -179,6 +203,20 @@ impl MemoryBackend for FixedLatencyBackend {
 
     fn next_event(&self, _now: u64) -> Option<u64> {
         self.in_flight.peek_time()
+    }
+
+    fn next_completion_event_among(
+        &self,
+        _now: u64,
+        tokens: &mut dyn Iterator<Item = u64>,
+    ) -> Option<u64> {
+        // Test backend: a linear scan is fine at unit-test scale.
+        let owned: Vec<u64> = tokens.collect();
+        self.in_flight
+            .iter()
+            .filter(|&(_, token)| owned.contains(token))
+            .map(|(at, _)| at)
+            .min()
     }
 }
 

@@ -209,6 +209,16 @@ impl<T: Eq> EventQueue<T> {
         }
     }
 
+    /// Iterates over all scheduled `(time, payload)` entries in
+    /// unspecified order.
+    ///
+    /// Lets a layer derive *filtered* bounds (e.g. "earliest completion
+    /// among tokens owned by one core") without popping; use
+    /// [`Self::peek_time`] for the unfiltered minimum.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &T)> {
+        self.heap.iter().map(|Reverse(s)| (s.at, &s.payload))
+    }
+
     /// Number of scheduled events.
     #[must_use]
     pub fn len(&self) -> usize {

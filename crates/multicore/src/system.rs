@@ -21,15 +21,22 @@
 //! unfinished core is asleep the global clock jumps to the earliest
 //! registered wake-up, so whole-system idle windows cost one heap peek.
 //!
-//! Bounds are computed against the shared backend, and another core's
-//! *accepted submission* can invalidate them (it can advance write-drain
-//! state or consume queue capacity in ways the sleeping core's bound did
-//! not see). After any cycle in which some core submitted, the scheduler
-//! therefore re-derives every sleeping core's bound against the mutated
-//! backend, keeping the earlier of the two (a spuriously early wake-up
-//! merely re-probes; a late one could miss an event). During all-asleep
-//! windows nothing submits, so the registered bounds stay valid and the
-//! global jump is sound — results are bit-identical to
+//! Bounds are computed against the shared backend through a read-only
+//! *routed view*: completion bounds are filtered to the sleeping core's
+//! own outstanding read tokens
+//! ([`cpu_model::MemoryBackend::next_completion_event_among`]), so a
+//! core waiting on its pointer-chase miss no longer wakes every time
+//! *any* core's read returns — with N cores that was ~N spurious
+//! wake-ups per real event. Queue-space bounds stay global (capacity is
+//! shared). Another core's *accepted submission* can still invalidate a
+//! registered bound (it can advance write-drain state or consume queue
+//! capacity in ways the sleeping core's bound did not see). After any
+//! cycle in which some core submitted, the scheduler therefore
+//! re-derives every sleeping core's bound against the mutated backend,
+//! keeping the earlier of the two (a spuriously early wake-up merely
+//! re-probes; a late one could miss an event). During all-asleep windows
+//! nothing submits, so the registered bounds stay valid and the global
+//! jump is sound — results are bit-identical to
 //! [`sim_kernel::Advance::PerCycle`], where every core steps every cycle.
 
 use cpu_model::exec::CoreEngine;
@@ -89,6 +96,44 @@ impl<B: MemoryBackend> MemoryBackend for RoutedBackend<'_, B> {
 
     fn next_completion_event(&self, now: u64) -> Option<u64> {
         self.inner.next_completion_event(now)
+    }
+
+    fn next_read_capacity_event(&self, now: u64, addr: u64) -> Option<u64> {
+        self.inner.next_read_capacity_event(now, addr)
+    }
+}
+
+/// Read-only routed view for *bound* computation: completion bounds are
+/// filtered to the viewing core's own outstanding read tokens, so a core
+/// sleeping on a pure completion wait registers its own earliest
+/// completion instead of the shared backend's global bound (another
+/// core's read returning cannot make this core's per-cycle step do
+/// anything). Queue-space bounds (`next_event`,
+/// `next_read_capacity_event`) stay global — capacity is shared.
+struct RoutedView<'a, B> {
+    inner: &'a B,
+    /// The viewing core's outstanding read tokens (a snapshot of its
+    /// MSHR population, collected into the scheduler's scratch buffer
+    /// just before the bound probe).
+    tokens: &'a [u64],
+}
+
+impl<B: MemoryBackend> MemoryBackend for RoutedView<'_, B> {
+    fn submit(&mut self, _: AccessKind, _: u64, _: u64, _: bool) -> Result<u64, Busy> {
+        unreachable!("RoutedView is a read-only bound probe")
+    }
+
+    fn tick(&mut self, _now: u64) -> Vec<u64> {
+        unreachable!("RoutedView is a read-only bound probe")
+    }
+
+    fn next_event(&self, now: u64) -> Option<u64> {
+        self.inner.next_event(now)
+    }
+
+    fn next_completion_event(&self, now: u64) -> Option<u64> {
+        self.inner
+            .next_completion_event_among(now, &mut self.tokens.iter().copied())
     }
 
     fn next_read_capacity_event(&self, now: u64, addr: u64) -> Option<u64> {
@@ -170,6 +215,10 @@ pub struct MultiCoreSystem<B> {
     clock: SimClock,
     /// Accepted read token → owning core, for completion routing.
     token_core: FxHashMap<u64, usize>,
+    /// Times each core was actually stepped (diagnostic for the
+    /// per-core completion-bound win: spurious wake-ups step a core to
+    /// no effect, so fewer steps at identical results is the measure).
+    core_steps: Vec<u64>,
 }
 
 impl<B: MemoryBackend> MultiCoreSystem<B> {
@@ -187,8 +236,18 @@ impl<B: MemoryBackend> MultiCoreSystem<B> {
             cores: (0..cores).map(|_| CoreEngine::new(cfg)).collect(),
             clock: SimClock::new(),
             token_core: FxHashMap::default(),
+            core_steps: vec![0; cores],
             cfg,
         }
+    }
+
+    /// How many cycles each core was actually stepped. Under the
+    /// event-driven policy a sleeping core skips its due-nothing cycles,
+    /// so this counts real work plus any spurious wake-ups — the
+    /// quantity the per-core completion bounds shrink.
+    #[must_use]
+    pub fn core_step_counts(&self) -> &[u64] {
+        &self.core_steps
     }
 
     /// Number of cores.
@@ -238,6 +297,7 @@ impl<B: MemoryBackend> MultiCoreSystem<B> {
             cores,
             clock,
             token_core,
+            core_steps,
             ..
         } = self;
 
@@ -248,6 +308,9 @@ impl<B: MemoryBackend> MultiCoreSystem<B> {
         let mut bounds = vec![0u64; n];
         let mut heap: EventQueue<usize> = EventQueue::new();
         let mut routed: Vec<Vec<u64>> = vec![Vec::new(); n];
+        // Reused snapshot of one core's outstanding read tokens for the
+        // filtered completion-bound probes.
+        let mut token_scratch: Vec<u64> = Vec::new();
 
         loop {
             // Global jump: when every unfinished core is asleep, nothing
@@ -302,6 +365,7 @@ impl<B: MemoryBackend> MultiCoreSystem<B> {
                     continue;
                 }
                 awake[i] = true;
+                core_steps[i] += 1;
                 let outcome = {
                     let mut port = RoutedBackend {
                         inner: &mut *backend,
@@ -316,20 +380,29 @@ impl<B: MemoryBackend> MultiCoreSystem<B> {
                 }
                 all_finished = false;
                 if event_driven {
-                    // A core woken *from sleep* re-sleeps on the raw
-                    // bound: wake-ups here are often spurious (the
-                    // shared backend's completion bound covers every
-                    // core's reads, not just this one's), and the
-                    // single-core backoff heuristic would misread them
-                    // as an event-dense phase and pin the core to
-                    // per-cycle stepping. One ungated O(1) probe per
+                    // Bounds are computed through a read-only routed
+                    // view, so a pure completion wait registers this
+                    // core's own earliest completion (filtered by token
+                    // ownership) instead of the shared backend's global
+                    // bound — another core's read returning no longer
+                    // wakes this core at all. A core woken *from sleep*
+                    // re-sleeps on the raw bound: residual wake-ups
+                    // (shared in-flight channel bounds) would otherwise
+                    // trip the single-core backoff heuristic into
+                    // per-cycle stepping; one ungated O(1) probe per
                     // wake-up is the right cost. A core that was already
                     // awake (actively running) keeps the streak/backoff
                     // gating. Neither choice affects simulated results.
+                    token_scratch.clear();
+                    token_scratch.extend(cores[i].outstanding_read_tokens());
+                    let view = RoutedView {
+                        inner: &*backend,
+                        tokens: &token_scratch,
+                    };
                     let wake = if was_asleep {
-                        cores[i].wake_bound(now, backend)
+                        cores[i].wake_bound(now, &view)
                     } else {
-                        cores[i].sleep_bound(now, backend)
+                        cores[i].sleep_bound(now, &view)
                     };
                     if let Some(wake) = wake {
                         if wake > now + 1 {
@@ -352,7 +425,13 @@ impl<B: MemoryBackend> MultiCoreSystem<B> {
                     if cores[i].finished() || awake[i] {
                         continue;
                     }
-                    let refreshed = cores[i].wake_bound(now, backend).unwrap_or(now + 1);
+                    token_scratch.clear();
+                    token_scratch.extend(cores[i].outstanding_read_tokens());
+                    let view = RoutedView {
+                        inner: &*backend,
+                        tokens: &token_scratch,
+                    };
+                    let refreshed = cores[i].wake_bound(now, &view).unwrap_or(now + 1);
                     if refreshed < bounds[i] {
                         bounds[i] = refreshed;
                         heap.push(refreshed, i);
@@ -561,6 +640,34 @@ mod tests {
             assert_eq!(b.instructions, 2 * per_copy, "counters accumulate");
             assert!(b.cycles > a.cycles, "clock keeps advancing");
         }
+    }
+
+    #[test]
+    fn sleeping_core_ignores_other_cores_completions() {
+        // Core 0 streams memory misses (completions land nearly every
+        // cycle once its pipeline fills); core 1 walks a serialized
+        // pointer chase, sleeping ~latency cycles per link. With
+        // per-core completion bounds, core 1's sleeps are not punctured
+        // by core 0's completion stream — its steps stay proportional
+        // to its own chain, not to core 0's traffic. The global bound
+        // would have woken it once per core-0 completion, degrading it
+        // to near-per-cycle stepping.
+        let heavy: Vec<TraceOp> = (0..2_000).map(|i| TraceOp::Load(i * 64 * 7)).collect();
+        let chase: Vec<TraceOp> = (0..30)
+            .map(|i| TraceOp::DependentLoad(0x900_0000 + i * 64 * 129))
+            .collect();
+        let run = |advance| {
+            let mut sys = MultiCoreSystem::new(2, cfg(advance), FixedLatencyBackend::new(300));
+            let result = sys.run(vec![heavy.iter().copied(), chase.iter().copied()]);
+            (result, sys.core_step_counts().to_vec())
+        };
+        let (fast, fast_steps) = run(Advance::ToNextEvent);
+        let (reference, ref_steps) = run(Advance::PerCycle);
+        assert_eq!(fast, reference, "filtered bounds must not change results");
+        assert!(
+            fast_steps[1] * 10 < ref_steps[1],
+            "chasing core barely steps under per-core bounds: {fast_steps:?} vs {ref_steps:?}"
+        );
     }
 
     #[test]

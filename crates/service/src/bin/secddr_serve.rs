@@ -1,0 +1,43 @@
+//! `secddr-serve`: the resident experiment server.
+//!
+//! ```text
+//! secddr-serve [--port N] [--threads N]
+//! ```
+//!
+//! Binds `127.0.0.1:PORT` (default 7441, `--port 0` for an ephemeral
+//! port; `SECDDR_PORT` is the env equivalent) and serves the
+//! line-delimited-JSON protocol of `secddr_service::net` until a client
+//! sends `{"cmd":"shutdown"}`. The worker pool is sized by `--threads`
+//! / `SECDDR_THREADS`, else host parallelism capped at 16.
+//!
+//! The first stdout line is `secddr-serve listening on ADDR` so
+//! wrappers (CI, examples) can discover the bound address.
+
+use secddr_service::{ExperimentServer, ExperimentService};
+use std::io::Write;
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() -> std::io::Result<()> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let port: u16 = arg_value(&args, "--port")
+        .or_else(|| std::env::var("SECDDR_PORT").ok())
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(7441);
+    let service = match arg_value(&args, "--threads").and_then(|v| v.parse().ok()) {
+        Some(threads) => ExperimentService::with_threads(threads),
+        None => ExperimentService::new(),
+    };
+    let threads = service.threads();
+    let server = ExperimentServer::bind(("127.0.0.1", port), service)?;
+    let addr = server.local_addr()?;
+    println!("secddr-serve listening on {addr} ({threads} worker threads)");
+    std::io::stdout().flush()?;
+    server.serve()?;
+    println!("secddr-serve: clean shutdown");
+    Ok(())
+}

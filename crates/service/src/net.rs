@@ -1,0 +1,673 @@
+//! Line-delimited-JSON TCP front-end: [`ExperimentServer`] exposes an
+//! [`ExperimentService`] to concurrent clients; [`ServiceClient`] is the
+//! matching blocking client.
+//!
+//! # Protocol
+//!
+//! One JSON object per `\n`-terminated line, both directions.
+//! Requests:
+//!
+//! ```text
+//! {"cmd":"submit","spec":{…}}      → {"type":"submitted","job":N,"cells":M}
+//! {"cmd":"cancel","job":N}         → {"type":"cancel_ack","job":N,"cancelled":bool}
+//! {"cmd":"cache_stats"}            → {"type":"cache_stats",…}
+//! {"cmd":"ping"}                   → {"type":"pong"}
+//! {"cmd":"shutdown"}               → {"type":"shutting_down"} (server then exits)
+//! ```
+//!
+//! After a successful submit the job's events stream to the same
+//! connection as `{"type":"queued"|"started"|"cell"|"finished"|
+//! "cancelled","job":N,…}` lines. Events of one job are written by one
+//! forwarder thread in stream order, so **per-job** event order is
+//! preserved; events of different jobs (and command responses)
+//! interleave arbitrarily between them — every line carries its job id.
+//! Malformed input produces `{"type":"error","message":…}` and keeps
+//! the connection open.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+use cpu_model::SimResult;
+
+use crate::json::Json;
+use crate::service::{ExperimentService, JobEvent, JobId, ServiceStats};
+use crate::spec::JobSpec;
+
+/// Serializes one job event to its wire object.
+#[must_use]
+pub fn event_to_json(event: &JobEvent) -> Json {
+    fn sim_to_json(sim: &SimResult) -> Json {
+        Json::Obj(vec![
+            ("instructions".into(), Json::u64(sim.instructions)),
+            ("cycles".into(), Json::u64(sim.cycles)),
+            ("ipc".into(), Json::f64(sim.ipc())),
+            ("llc_misses".into(), Json::u64(sim.llc.misses)),
+        ])
+    }
+    match event {
+        JobEvent::Queued { job, cells } => Json::Obj(vec![
+            ("type".into(), Json::str("queued")),
+            ("job".into(), Json::u64(job.0)),
+            ("cells".into(), Json::u64(*cells as u64)),
+        ]),
+        JobEvent::Started { job } => Json::Obj(vec![
+            ("type".into(), Json::str("started")),
+            ("job".into(), Json::u64(job.0)),
+        ]),
+        JobEvent::Cell {
+            job,
+            index,
+            total,
+            result,
+        } => {
+            let merged = result.merged();
+            Json::Obj(vec![
+                ("type".into(), Json::str("cell")),
+                ("job".into(), Json::u64(job.0)),
+                ("index".into(), Json::u64(*index as u64)),
+                ("total".into(), Json::u64(*total as u64)),
+                ("benchmark".into(), Json::str(result.benchmark.clone())),
+                ("config".into(), Json::str(result.config.clone())),
+                ("aggregate_ipc".into(), Json::f64(result.aggregate_ipc())),
+                (
+                    "per_core".into(),
+                    Json::Arr(result.per_core.iter().map(sim_to_json).collect()),
+                ),
+                ("merged".into(), sim_to_json(&merged)),
+                (
+                    "engine_data_reads".into(),
+                    Json::u64(result.engine.data_reads),
+                ),
+                (
+                    "engine_data_writes".into(),
+                    Json::u64(result.engine.data_writes),
+                ),
+            ])
+        }
+        JobEvent::Finished { job, summary } => Json::Obj(vec![
+            ("type".into(), Json::str("finished")),
+            ("job".into(), Json::u64(job.0)),
+            ("cells".into(), Json::u64(summary.cells as u64)),
+            ("merged".into(), sim_to_json(&summary.merged)),
+        ]),
+        JobEvent::Cancelled { job, completed } => Json::Obj(vec![
+            ("type".into(), Json::str("cancelled")),
+            ("job".into(), Json::u64(job.0)),
+            ("completed".into(), Json::u64(*completed as u64)),
+        ]),
+        JobEvent::Failed { job, error } => Json::Obj(vec![
+            ("type".into(), Json::str("failed")),
+            ("job".into(), Json::u64(job.0)),
+            ("error".into(), Json::str(error.clone())),
+        ]),
+    }
+}
+
+fn stats_to_json(stats: &ServiceStats) -> Json {
+    Json::Obj(vec![
+        ("type".into(), Json::str("cache_stats")),
+        (
+            "trace_memory_hits".into(),
+            Json::u64(stats.traces.memory_hits),
+        ),
+        ("trace_disk_hits".into(), Json::u64(stats.traces.disk_hits)),
+        ("trace_generated".into(), Json::u64(stats.traces.generated)),
+        ("jobs_submitted".into(), Json::u64(stats.jobs_submitted)),
+        ("jobs_completed".into(), Json::u64(stats.jobs_completed)),
+    ])
+}
+
+fn error_json(message: impl Into<String>) -> Json {
+    Json::Obj(vec![
+        ("type".into(), Json::str("error")),
+        ("message".into(), Json::Str(message.into())),
+    ])
+}
+
+/// Writes one JSON line under the connection's write lock.
+fn write_line(writer: &Mutex<TcpStream>, json: &Json) -> std::io::Result<()> {
+    let mut stream = writer.lock().expect("writer lock");
+    let mut line = json.to_string();
+    line.push('\n');
+    stream.write_all(line.as_bytes())
+}
+
+/// The TCP front-end over one [`ExperimentService`].
+pub struct ExperimentServer {
+    service: Arc<ExperimentService>,
+    listener: TcpListener,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl ExperimentServer {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) over
+    /// `service`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn bind(addr: impl ToSocketAddrs, service: ExperimentService) -> std::io::Result<Self> {
+        Ok(Self {
+            service: Arc::new(service),
+            listener: TcpListener::bind(addr)?,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (read the ephemeral port from here).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket query failure.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that makes [`Self::serve`] return (the `shutdown`
+    /// command uses the same mechanism).
+    #[must_use]
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle {
+            shutdown: Arc::clone(&self.shutdown),
+            addr: self.local_addr().ok(),
+        }
+    }
+
+    /// Accepts and serves connections until a shutdown is requested,
+    /// drains in-flight jobs, and returns.
+    ///
+    /// The drain is explicit ([`ExperimentService::drain`]) rather than
+    /// relying on dropping the service: connection threads hold their
+    /// own references, so a drop here would not join the pool. Every
+    /// queued/running job reaches its terminal event before this
+    /// returns — the "clean shutdown" the CI gate asserts. (Forwarder
+    /// threads may still be flushing final event lines to slow clients
+    /// when the process exits; a client that needs the terminal event
+    /// should read it before requesting shutdown, as the example does.)
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept-loop failures (per-connection I/O errors only
+    /// terminate that connection).
+    pub fn serve(self) -> std::io::Result<()> {
+        for incoming in self.listener.incoming() {
+            if self.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = incoming else {
+                continue;
+            };
+            let service = Arc::clone(&self.service);
+            let shutdown = ShutdownHandle {
+                shutdown: Arc::clone(&self.shutdown),
+                addr: self.local_addr().ok(),
+            };
+            std::thread::spawn(move || handle_connection(stream, &service, &shutdown));
+        }
+        self.service.drain();
+        Ok(())
+    }
+}
+
+/// Makes a running [`ExperimentServer::serve`] loop return.
+#[derive(Debug, Clone)]
+pub struct ShutdownHandle {
+    shutdown: Arc<AtomicBool>,
+    addr: Option<SocketAddr>,
+}
+
+impl ShutdownHandle {
+    /// Requests shutdown and nudges the accept loop awake.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(addr) = self.addr {
+            // The accept loop only observes the flag on a connection;
+            // poke it with one.
+            let _ = TcpStream::connect(addr);
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, service: &ExperimentService, shutdown: &ShutdownHandle) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let writer = Arc::new(Mutex::new(stream));
+    let mut reader = BufReader::new(read_half);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => return, // disconnected
+            Ok(_) => {}
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let request = match Json::parse(line.trim()) {
+            Ok(v) => v,
+            Err(e) => {
+                let _ = write_line(&writer, &error_json(format!("bad json: {e}")));
+                continue;
+            }
+        };
+        match request.get("cmd").and_then(Json::as_str) {
+            Some("submit") => {
+                let response = handle_submit(&request, service, &writer);
+                if write_line(&writer, &response).is_err() {
+                    return;
+                }
+            }
+            Some("cancel") => {
+                let Some(job) = request.get("job").and_then(Json::as_u64) else {
+                    let _ = write_line(&writer, &error_json("cancel needs a \"job\" id"));
+                    continue;
+                };
+                let cancelled = service.cancel(JobId(job));
+                let ack = Json::Obj(vec![
+                    ("type".into(), Json::str("cancel_ack")),
+                    ("job".into(), Json::u64(job)),
+                    ("cancelled".into(), Json::Bool(cancelled)),
+                ]);
+                if write_line(&writer, &ack).is_err() {
+                    return;
+                }
+            }
+            Some("cache_stats") => {
+                if write_line(&writer, &stats_to_json(&service.stats())).is_err() {
+                    return;
+                }
+            }
+            Some("ping") => {
+                let pong = Json::Obj(vec![("type".into(), Json::str("pong"))]);
+                if write_line(&writer, &pong).is_err() {
+                    return;
+                }
+            }
+            Some("shutdown") => {
+                let bye = Json::Obj(vec![("type".into(), Json::str("shutting_down"))]);
+                let _ = write_line(&writer, &bye);
+                shutdown.shutdown();
+                return;
+            }
+            other => {
+                let _ = write_line(&writer, &error_json(format!("unknown cmd {other:?}")));
+            }
+        }
+    }
+}
+
+fn handle_submit(
+    request: &Json,
+    service: &ExperimentService,
+    writer: &Arc<Mutex<TcpStream>>,
+) -> Json {
+    let Some(spec_json) = request.get("spec") else {
+        return error_json("submit needs a \"spec\" member");
+    };
+    let spec = match JobSpec::from_json(spec_json) {
+        Ok(spec) => spec,
+        Err(e) => return error_json(e.to_string()),
+    };
+    let cells = spec.cell_count().map_or(0, |c| c as u64);
+    match service.submit(spec) {
+        Ok(handle) => {
+            let job = handle.id().0;
+            let writer = Arc::clone(writer);
+            // One forwarder per job keeps per-job event order on the
+            // wire; the shared writer lock serializes whole lines.
+            std::thread::spawn(move || {
+                for event in handle.events() {
+                    if write_line(&writer, &event_to_json(&event)).is_err() {
+                        // Client gone: cancel so the worker stops
+                        // burning cycles on unobservable results.
+                        handle.cancel();
+                        return;
+                    }
+                }
+            });
+            Json::Obj(vec![
+                ("type".into(), Json::str("submitted")),
+                ("job".into(), Json::u64(job)),
+                ("cells".into(), Json::u64(cells)),
+            ])
+        }
+        Err(e) => error_json(e.to_string()),
+    }
+}
+
+/// A parsed server→client line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireEvent {
+    /// `{"type":"queued",…}`
+    Queued {
+        /// Job id.
+        job: u64,
+        /// Cell count.
+        cells: u64,
+    },
+    /// `{"type":"started",…}`
+    Started {
+        /// Job id.
+        job: u64,
+    },
+    /// `{"type":"cell",…}`
+    Cell {
+        /// Job id.
+        job: u64,
+        /// Cell index.
+        index: u64,
+        /// Cell count.
+        total: u64,
+        /// Benchmark label.
+        benchmark: String,
+        /// Configuration label.
+        config: String,
+        /// Merged instructions.
+        instructions: u64,
+        /// Merged (slowest-core) cycles.
+        cycles: u64,
+        /// Sum of per-core IPCs.
+        aggregate_ipc: f64,
+    },
+    /// `{"type":"finished",…}`
+    Finished {
+        /// Job id.
+        job: u64,
+        /// Cells run.
+        cells: u64,
+        /// Merged instructions.
+        instructions: u64,
+        /// Merged cycles.
+        cycles: u64,
+    },
+    /// `{"type":"cancelled",…}`
+    Cancelled {
+        /// Job id.
+        job: u64,
+        /// Cells completed before cancellation.
+        completed: u64,
+    },
+    /// `{"type":"failed",…}`
+    Failed {
+        /// Job id.
+        job: u64,
+        /// Server-side failure message.
+        error: String,
+    },
+}
+
+impl WireEvent {
+    /// Parses an event line; `None` for non-event lines (acks, errors).
+    #[must_use]
+    pub fn from_json(json: &Json) -> Option<WireEvent> {
+        let job = json.get("job")?.as_u64()?;
+        match json.get("type")?.as_str()? {
+            "queued" => Some(WireEvent::Queued {
+                job,
+                cells: json.get("cells")?.as_u64()?,
+            }),
+            "started" => Some(WireEvent::Started { job }),
+            "cell" => {
+                let merged = json.get("merged")?;
+                Some(WireEvent::Cell {
+                    job,
+                    index: json.get("index")?.as_u64()?,
+                    total: json.get("total")?.as_u64()?,
+                    benchmark: json.get("benchmark")?.as_str()?.to_string(),
+                    config: json.get("config")?.as_str()?.to_string(),
+                    instructions: merged.get("instructions")?.as_u64()?,
+                    cycles: merged.get("cycles")?.as_u64()?,
+                    aggregate_ipc: json.get("aggregate_ipc")?.as_f64()?,
+                })
+            }
+            "finished" => {
+                let merged = json.get("merged")?;
+                Some(WireEvent::Finished {
+                    job,
+                    cells: json.get("cells")?.as_u64()?,
+                    instructions: merged.get("instructions")?.as_u64()?,
+                    cycles: merged.get("cycles")?.as_u64()?,
+                })
+            }
+            "cancelled" => Some(WireEvent::Cancelled {
+                job,
+                completed: json.get("completed")?.as_u64()?,
+            }),
+            "failed" => Some(WireEvent::Failed {
+                job,
+                error: json.get("error")?.as_str()?.to_string(),
+            }),
+            _ => None,
+        }
+    }
+
+    /// The job this event belongs to.
+    #[must_use]
+    pub fn job(&self) -> u64 {
+        match self {
+            WireEvent::Queued { job, .. }
+            | WireEvent::Started { job }
+            | WireEvent::Cell { job, .. }
+            | WireEvent::Finished { job, .. }
+            | WireEvent::Cancelled { job, .. }
+            | WireEvent::Failed { job, .. } => *job,
+        }
+    }
+
+    /// True for the stream-ending events.
+    #[must_use]
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            WireEvent::Finished { .. } | WireEvent::Cancelled { .. } | WireEvent::Failed { .. }
+        )
+    }
+}
+
+/// Wire view of the server's cache counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireCacheStats {
+    /// Trace requests answered from the in-process memo map.
+    pub trace_memory_hits: u64,
+    /// Trace requests answered from the disk tier.
+    pub trace_disk_hits: u64,
+    /// Trace requests that ran the kernels.
+    pub trace_generated: u64,
+    /// Jobs submitted to the server's service.
+    pub jobs_submitted: u64,
+    /// Jobs that reached a terminal event.
+    pub jobs_completed: u64,
+}
+
+/// Blocking client for the line-delimited-JSON protocol. Responses and
+/// job events share the connection; the client queues events internally
+/// while waiting for command responses, so commands can be issued while
+/// jobs stream.
+pub struct ServiceClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    pending_events: std::collections::VecDeque<WireEvent>,
+}
+
+impl ServiceClient {
+    /// Connects to a running [`ExperimentServer`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let writer = TcpStream::connect(addr)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Self {
+            reader,
+            writer,
+            pending_events: std::collections::VecDeque::new(),
+        })
+    }
+
+    fn send(&mut self, json: &Json) -> std::io::Result<()> {
+        let mut line = json.to_string();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())
+    }
+
+    fn read_json(&mut self) -> std::io::Result<Json> {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ));
+            }
+            if line.trim().is_empty() {
+                continue;
+            }
+            return Json::parse(line.trim())
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e));
+        }
+    }
+
+    /// Reads lines until one satisfies `want`, queueing event lines for
+    /// [`Self::next_event`]; error lines become `Err`.
+    fn read_until(&mut self, want: impl Fn(&Json) -> bool) -> std::io::Result<Json> {
+        loop {
+            let json = self.read_json()?;
+            if want(&json) {
+                return Ok(json);
+            }
+            if json.get("type").and_then(Json::as_str) == Some("error") {
+                let message = json
+                    .get("message")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unknown server error");
+                return Err(std::io::Error::other(message.to_string()));
+            }
+            if let Some(event) = WireEvent::from_json(&json) {
+                self.pending_events.push_back(event);
+            }
+        }
+    }
+
+    /// Submits a spec; returns the assigned job id.
+    ///
+    /// # Errors
+    ///
+    /// Server-side rejections surface as `Err` with the server's
+    /// message.
+    pub fn submit(&mut self, spec: &JobSpec) -> std::io::Result<u64> {
+        self.send(&Json::Obj(vec![
+            ("cmd".into(), Json::str("submit")),
+            ("spec".into(), spec.to_json()),
+        ]))?;
+        let ack = self.read_until(|j| j.get("type").and_then(Json::as_str) == Some("submitted"))?;
+        ack.get("job").and_then(Json::as_u64).ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "submitted ack without job id",
+            )
+        })
+    }
+
+    /// Blocks for the next job event (any job on this connection).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors.
+    pub fn next_event(&mut self) -> std::io::Result<WireEvent> {
+        if let Some(event) = self.pending_events.pop_front() {
+            return Ok(event);
+        }
+        loop {
+            let json = self.read_json()?;
+            if let Some(event) = WireEvent::from_json(&json) {
+                return Ok(event);
+            }
+        }
+    }
+
+    /// Streams events until `job`'s terminal event, returning its full
+    /// stream in order. Other jobs' interleaved events stay queued.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors.
+    pub fn stream_job(&mut self, job: u64) -> std::io::Result<Vec<WireEvent>> {
+        let mut events = Vec::new();
+        let mut stash = Vec::new();
+        loop {
+            let event = self.next_event()?;
+            if event.job() == job {
+                let terminal = event.is_terminal();
+                events.push(event);
+                if terminal {
+                    self.pending_events.extend(stash);
+                    return Ok(events);
+                }
+            } else {
+                stash.push(event);
+            }
+        }
+    }
+
+    /// Requests cancellation of `job`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors.
+    pub fn cancel(&mut self, job: u64) -> std::io::Result<bool> {
+        self.send(&Json::Obj(vec![
+            ("cmd".into(), Json::str("cancel")),
+            ("job".into(), Json::u64(job)),
+        ]))?;
+        let ack = self.read_until(|j| {
+            j.get("type").and_then(Json::as_str) == Some("cancel_ack")
+                && j.get("job").and_then(Json::as_u64) == Some(job)
+        })?;
+        Ok(ack
+            .get("cancelled")
+            .and_then(Json::as_bool)
+            .unwrap_or(false))
+    }
+
+    /// Fetches the server's cache counters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors.
+    pub fn cache_stats(&mut self) -> std::io::Result<WireCacheStats> {
+        self.send(&Json::Obj(vec![("cmd".into(), Json::str("cache_stats"))]))?;
+        let stats =
+            self.read_until(|j| j.get("type").and_then(Json::as_str) == Some("cache_stats"))?;
+        let field = |key: &str| {
+            stats.get(key).and_then(Json::as_u64).ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("cache_stats missing {key}"),
+                )
+            })
+        };
+        Ok(WireCacheStats {
+            trace_memory_hits: field("trace_memory_hits")?,
+            trace_disk_hits: field("trace_disk_hits")?,
+            trace_generated: field("trace_generated")?,
+            jobs_submitted: field("jobs_submitted")?,
+            jobs_completed: field("jobs_completed")?,
+        })
+    }
+
+    /// Asks the server to shut down cleanly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors.
+    pub fn shutdown_server(&mut self) -> std::io::Result<()> {
+        self.send(&Json::Obj(vec![("cmd".into(), Json::str("shutdown"))]))?;
+        self.read_until(|j| j.get("type").and_then(Json::as_str) == Some("shutting_down"))?;
+        Ok(())
+    }
+}

@@ -1,0 +1,504 @@
+//! The persistent worker pool every experiment runs on.
+//!
+//! [`WorkerPool`] generalizes the scoped-thread `par_sweep` harness the
+//! bench binaries used through PR 4 into a resident pool: worker threads
+//! live for the pool's lifetime, jobs queue with priorities (FIFO within
+//! a priority), and every job receives a [`CancelToken`] for cooperative
+//! cancellation. Two consumption styles share the one thread-count
+//! policy:
+//!
+//! * [`WorkerPool::submit`] — fire-and-forget `'static` jobs (the
+//!   experiment service's path: one job per submitted `JobSpec`);
+//! * [`WorkerPool::map`] — order-preserving parallel map (the
+//!   `par_sweep` path). The *calling* thread participates in the work,
+//!   so a `map` issued from inside a pool job — or against a fully busy
+//!   pool — always makes progress and can never deadlock waiting for a
+//!   free worker.
+//!
+//! Sizing: `available_parallelism` capped by a caller-supplied limit
+//! (the old hard-coded `.min(16)`), overridden end-to-end by the
+//! `SECDDR_THREADS` environment variable so service deployments can
+//! size the pool explicitly.
+
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Default cap on worker threads when the caller does not supply one
+/// (the `.min(16)` the scoped harness hard-coded).
+pub const DEFAULT_THREAD_CAP: usize = 16;
+
+/// Cooperative cancellation flag shared between a job's submitter and
+/// the job itself. Cancellation never preempts: the job observes the
+/// flag at its own checkpoints (the service checks between benchmark ×
+/// configuration cells).
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// True once [`Self::cancel`] was called.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Pure thread-count policy: an explicit `SECDDR_THREADS` override wins,
+/// otherwise the host parallelism capped at `cap`; always at least one.
+#[must_use]
+pub fn resolve_threads(available: usize, cap: usize, env_override: Option<&str>) -> usize {
+    if let Some(n) = env_override.and_then(|v| v.trim().parse::<usize>().ok()) {
+        if n >= 1 {
+            return n;
+        }
+    }
+    available.max(1).min(cap.max(1))
+}
+
+/// The thread count for this host: `SECDDR_THREADS` override, else
+/// `available_parallelism` capped at `cap`.
+#[must_use]
+pub fn default_threads(cap: usize) -> usize {
+    let available = std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get);
+    resolve_threads(
+        available,
+        cap,
+        std::env::var("SECDDR_THREADS").ok().as_deref(),
+    )
+}
+
+type Job = Box<dyn FnOnce(&CancelToken) + Send>;
+
+struct QueuedJob {
+    priority: i8,
+    seq: u64,
+    cancel: CancelToken,
+    job: Job,
+}
+
+impl PartialEq for QueuedJob {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+impl Eq for QueuedJob {}
+impl PartialOrd for QueuedJob {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueuedJob {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap: higher priority first, FIFO (lower seq) within one.
+        (self.priority, std::cmp::Reverse(self.seq))
+            .cmp(&(other.priority, std::cmp::Reverse(other.seq)))
+    }
+}
+
+#[derive(Default)]
+struct QueueState {
+    heap: BinaryHeap<QueuedJob>,
+    next_seq: u64,
+    /// Jobs currently executing on workers (for [`WorkerPool::wait_idle`]).
+    running: usize,
+    shutdown: bool,
+}
+
+#[derive(Default)]
+struct Shared {
+    state: Mutex<QueueState>,
+    available: Condvar,
+    /// Signalled whenever the pool becomes idle (empty queue, nothing
+    /// running).
+    idle: Condvar,
+}
+
+/// A persistent priority worker pool (see the module docs).
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.workers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl WorkerPool {
+    /// A pool with exactly `threads` persistent workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `threads` is zero.
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        assert!(threads >= 1, "a worker pool needs at least one thread");
+        let shared = Arc::new(Shared::default());
+        let workers = (0..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("secddr-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawning a worker thread")
+            })
+            .collect();
+        Self { shared, workers }
+    }
+
+    /// A pool sized by [`default_threads`] with the default cap.
+    #[must_use]
+    pub fn with_default_size() -> Self {
+        Self::new(default_threads(DEFAULT_THREAD_CAP))
+    }
+
+    /// The process-wide shared pool ([`crate::par_sweep`] and the bench
+    /// harnesses ride this one).
+    pub fn global() -> &'static WorkerPool {
+        static GLOBAL: OnceLock<WorkerPool> = OnceLock::new();
+        GLOBAL.get_or_init(WorkerPool::with_default_size)
+    }
+
+    /// Number of worker threads.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueues `job` at `priority` (higher runs first; FIFO within a
+    /// priority). The job always runs — a cancelled token is delivered
+    /// to the job, which decides how to wind down (so submitters
+    /// observing a job's side channel always see a terminal signal).
+    pub fn submit<F>(&self, priority: i8, cancel: CancelToken, job: F)
+    where
+        F: FnOnce(&CancelToken) + Send + 'static,
+    {
+        let mut state = self.shared.state.lock().expect("pool lock");
+        assert!(!state.shutdown, "submit on a shut-down pool");
+        let seq = state.next_seq;
+        state.next_seq += 1;
+        state.heap.push(QueuedJob {
+            priority,
+            seq,
+            cancel,
+            job: Box::new(job),
+        });
+        drop(state);
+        self.shared.available.notify_one();
+    }
+
+    /// Applies `f` to every item in parallel, preserving input order.
+    ///
+    /// The caller's thread claims items alongside up to `threads()`
+    /// helper jobs, so the call always completes even when every worker
+    /// is busy with long service jobs (and a `map` from *inside* a pool
+    /// job cannot deadlock). This is the engine under
+    /// [`crate::par_sweep`].
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first panic any invocation of `f` produced, after
+    /// every in-flight item finished — the scoped-thread harness this
+    /// replaces propagated closure panics at scope join, and a silent
+    /// hang would be strictly worse.
+    pub fn map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send + Sync + 'static,
+        R: Send + 'static,
+        F: Fn(&T) -> R + Send + Sync + 'static,
+    {
+        struct MapState<T, R, F> {
+            items: Vec<T>,
+            f: F,
+            next: AtomicUsize,
+            slots: Mutex<Vec<Option<R>>>,
+            completed: Mutex<usize>,
+            all_done: Condvar,
+            /// First panic payload from any item (re-raised by the
+            /// caller once everything settled).
+            panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+        }
+
+        fn drain<T, R, F: Fn(&T) -> R>(state: &MapState<T, R, F>) {
+            loop {
+                let i = state.next.fetch_add(1, Ordering::Relaxed);
+                if i >= state.items.len() {
+                    return;
+                }
+                // Even a panicking item must count as completed, or the
+                // caller's wait below would hang forever on an item no
+                // thread will ever claim again.
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    (state.f)(&state.items[i])
+                }));
+                match result {
+                    Ok(result) => {
+                        state.slots.lock().expect("map slots lock")[i] = Some(result);
+                    }
+                    Err(payload) => {
+                        state
+                            .panic
+                            .lock()
+                            .expect("map panic lock")
+                            .get_or_insert(payload);
+                    }
+                }
+                let mut completed = state.completed.lock().expect("map completion lock");
+                *completed += 1;
+                if *completed == state.items.len() {
+                    state.all_done.notify_all();
+                }
+            }
+        }
+
+        let n = items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut slots = Vec::new();
+        slots.resize_with(n, || None);
+        let state = Arc::new(MapState {
+            items,
+            f,
+            next: AtomicUsize::new(0),
+            slots: Mutex::new(slots),
+            completed: Mutex::new(0),
+            all_done: Condvar::new(),
+            panic: Mutex::new(None),
+        });
+        // Helpers accelerate; the caller guarantees completion. One item
+        // needs no helpers at all.
+        for _ in 0..self.threads().min(n.saturating_sub(1)) {
+            let state = Arc::clone(&state);
+            self.submit(0, CancelToken::new(), move |_| drain(&state));
+        }
+        drain(&state);
+        let mut completed = state.completed.lock().expect("map completion lock");
+        while *completed < n {
+            completed = state.all_done.wait(completed).expect("map completion wait");
+        }
+        drop(completed);
+        if let Some(payload) = state.panic.lock().expect("map panic lock").take() {
+            std::panic::resume_unwind(payload);
+        }
+        let mut slots = state.slots.lock().expect("map slots lock");
+        slots
+            .iter_mut()
+            .map(|slot| slot.take().expect("all slots filled"))
+            .collect()
+    }
+
+    /// Blocks until the pool is idle: no queued and no running jobs.
+    ///
+    /// This is how a server drains in-flight work before exiting without
+    /// depending on being the last holder of the pool (connection
+    /// threads may still hold references).
+    pub fn wait_idle(&self) {
+        let mut state = self.shared.state.lock().expect("pool lock");
+        while state.running > 0 || !state.heap.is_empty() {
+            state = self.shared.idle.wait(state).expect("pool idle wait");
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut state = shared.state.lock().expect("pool lock");
+    loop {
+        if let Some(queued) = state.heap.pop() {
+            state.running += 1;
+            drop(state);
+            // Contain job panics: a resident pool must not degrade
+            // toward zero workers because one job misbehaved. The
+            // submitter observes the failure through its own side
+            // channel (the service wraps its job body and converts a
+            // panic into a terminal Failed event).
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                (queued.job)(&queued.cancel);
+            }));
+            state = shared.state.lock().expect("pool lock");
+            state.running -= 1;
+            if state.running == 0 && state.heap.is_empty() {
+                shared.idle.notify_all();
+            }
+        } else if state.shutdown {
+            return;
+        } else {
+            state = shared.available.wait(state).expect("pool wait");
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    /// Drains the queue: already-submitted jobs still run (each sees its
+    /// own cancel token, so cancelled jobs wind down fast), then workers
+    /// exit and are joined.
+    fn drop(&mut self) {
+        self.shared.state.lock().expect("pool lock").shutdown = true;
+        self.shared.available.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    #[test]
+    fn resolve_threads_policy() {
+        // Cap applies (the old `.min(16)` behavior, now a parameter).
+        assert_eq!(resolve_threads(32, 16, None), 16);
+        assert_eq!(resolve_threads(8, 16, None), 8);
+        assert_eq!(resolve_threads(8, 4, None), 4);
+        // Env override wins over both available parallelism and cap.
+        assert_eq!(resolve_threads(8, 16, Some("2")), 2);
+        assert_eq!(resolve_threads(2, 4, Some("64")), 64);
+        assert_eq!(resolve_threads(8, 16, Some(" 3 ")), 3);
+        // Invalid or zero overrides fall back to the policy.
+        assert_eq!(resolve_threads(8, 16, Some("zero")), 8);
+        assert_eq!(resolve_threads(8, 16, Some("0")), 8);
+        // Degenerate inputs stay at one thread minimum.
+        assert_eq!(resolve_threads(0, 0, None), 1);
+    }
+
+    #[test]
+    fn map_preserves_order_and_runs_everything() {
+        let pool = WorkerPool::new(3);
+        let out = pool.map((0u64..100).collect(), |&x| x * x);
+        assert_eq!(out, (0u64..100).map(|x| x * x).collect::<Vec<_>>());
+        assert_eq!(pool.map(Vec::<u64>::new(), |&x| x), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn map_from_inside_a_job_cannot_deadlock() {
+        // A 1-thread pool whose only worker runs a job that itself maps:
+        // the inner map's helper can never be scheduled, so only the
+        // caller-participation path completes it.
+        let pool = Arc::new(WorkerPool::new(1));
+        let (tx, rx) = mpsc::channel();
+        let inner_pool = Arc::clone(&pool);
+        pool.submit(0, CancelToken::new(), move |_| {
+            let out = inner_pool.map(vec![1u64, 2, 3], |&x| x + 1);
+            tx.send(out).unwrap();
+        });
+        let out = rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("no deadlock");
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn priorities_order_queued_jobs() {
+        let pool = WorkerPool::new(1);
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let (done_tx, done_rx) = mpsc::channel::<()>();
+        // Block the single worker so the queue builds up.
+        pool.submit(0, CancelToken::new(), move |_| {
+            gate_rx.recv().unwrap();
+        });
+        for (priority, tag) in [(0i8, "low-a"), (5, "high"), (0, "low-b"), (3, "mid")] {
+            let order = Arc::clone(&order);
+            let done = done_tx.clone();
+            pool.submit(priority, CancelToken::new(), move |_| {
+                order.lock().unwrap().push(tag);
+                done.send(()).unwrap();
+            });
+        }
+        gate_tx.send(()).unwrap();
+        for _ in 0..4 {
+            done_rx.recv_timeout(Duration::from_secs(10)).unwrap();
+        }
+        assert_eq!(
+            *order.lock().unwrap(),
+            vec!["high", "mid", "low-a", "low-b"],
+            "priority order, FIFO within a priority"
+        );
+    }
+
+    #[test]
+    fn cancelled_jobs_observe_their_token() {
+        let pool = WorkerPool::new(2);
+        let token = CancelToken::new();
+        token.cancel();
+        let (tx, rx) = mpsc::channel();
+        pool.submit(0, token, move |cancel| {
+            tx.send(cancel.is_cancelled()).unwrap();
+        });
+        assert!(
+            rx.recv_timeout(Duration::from_secs(10)).unwrap(),
+            "job still runs and sees the cancelled token"
+        );
+    }
+
+    #[test]
+    fn map_propagates_closure_panics_instead_of_hanging() {
+        let pool = WorkerPool::new(2);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.map((0u64..16).collect(), |&x| {
+                assert!(x != 7, "boom on seven");
+                x
+            })
+        }));
+        assert!(result.is_err(), "the item panic must surface to the caller");
+        // The pool is still fully functional afterwards.
+        assert_eq!(pool.map(vec![1u64, 2], |&x| x * 10), vec![10, 20]);
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_the_worker() {
+        let pool = WorkerPool::new(1);
+        pool.submit(0, CancelToken::new(), |_| panic!("job blew up"));
+        let (tx, rx) = mpsc::channel();
+        pool.submit(0, CancelToken::new(), move |_| tx.send(()).unwrap());
+        rx.recv_timeout(Duration::from_secs(10))
+            .expect("the single worker survived the panicking job");
+    }
+
+    #[test]
+    fn wait_idle_blocks_until_jobs_drain() {
+        let pool = WorkerPool::new(2);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..8 {
+            let counter = Arc::clone(&counter);
+            pool.submit(0, CancelToken::new(), move |_| {
+                std::thread::sleep(Duration::from_millis(5));
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.wait_idle();
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
+        pool.wait_idle(); // idempotent on an idle pool
+    }
+
+    #[test]
+    fn drop_drains_queued_jobs() {
+        let pool = WorkerPool::new(2);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..20 {
+            let counter = Arc::clone(&counter);
+            pool.submit(0, CancelToken::new(), move |_| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        drop(pool);
+        assert_eq!(counter.load(Ordering::Relaxed), 20);
+    }
+}

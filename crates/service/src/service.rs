@@ -1,0 +1,575 @@
+//! The resident experiment service: submit [`JobSpec`]s, stream
+//! [`JobEvent`]s, cancel cooperatively.
+//!
+//! One submitted spec becomes one pool job that runs its benchmark ×
+//! configuration cells in order, emitting an event as each cell
+//! completes. The execution paths are exactly the library's own —
+//! [`run_trace_with_options`] for the 1-core/1-channel shape,
+//! `CpuSystem` over [`ShardedEngine`] for multi-channel, and
+//! [`MultiCoreSystem`] rate mode for multi-core — so service results are
+//! bit-identical to direct calls (pinned by
+//! `tests/service_differential.rs`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Mutex};
+
+use cpu_model::{CpuSystem, SimResult};
+use secddr_channels::ShardedEngine;
+use secddr_core::engine::EngineStats;
+use secddr_core::metadata::DATA_SPAN;
+use secddr_core::system::run_trace_with_options;
+use secddr_multicore::{CoreTrace, MultiCoreSystem};
+use workloads::{Benchmark, TraceCacheStats};
+
+use crate::pool::{default_threads, CancelToken, WorkerPool, DEFAULT_THREAD_CAP};
+use crate::spec::{JobSpec, SpecError};
+
+/// Identifier of one submitted job, unique per service instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(pub u64);
+
+impl std::fmt::Display for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job-{}", self.0)
+    }
+}
+
+/// Result of one benchmark × configuration cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellResult {
+    /// Benchmark label.
+    pub benchmark: String,
+    /// Configuration label.
+    pub config: String,
+    /// One [`SimResult`] per core (length 1 below rate mode).
+    pub per_core: Vec<SimResult>,
+    /// Security-engine traffic statistics (merged over channels).
+    pub engine: EngineStats,
+}
+
+impl CellResult {
+    /// All cores folded into one [`SimResult`] (counters sum, cycles is
+    /// the slowest core).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell has no cores (cells always have at least one).
+    #[must_use]
+    pub fn merged(&self) -> SimResult {
+        let (first, rest) = self.per_core.split_first().expect("at least one core");
+        let mut merged = first.clone();
+        for r in rest {
+            merged.merge(r);
+        }
+        merged
+    }
+
+    /// Sum of per-core IPCs (the rate-mode throughput metric; plain IPC
+    /// for one core).
+    #[must_use]
+    pub fn aggregate_ipc(&self) -> f64 {
+        self.per_core.iter().map(SimResult::ipc).sum()
+    }
+}
+
+/// Merged view of a finished job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSummary {
+    /// Number of cells the job ran.
+    pub cells: usize,
+    /// Every cell's cores folded into one [`SimResult`].
+    pub merged: SimResult,
+}
+
+/// One progress event in a job's stream. Streams are strictly ordered:
+/// `Queued`, `Started`, `Cell` with ascending `index`, then exactly one
+/// terminal event (`Finished` or `Cancelled`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobEvent {
+    /// The spec was accepted and enqueued.
+    Queued {
+        /// The job.
+        job: JobId,
+        /// Cells the job will run.
+        cells: usize,
+    },
+    /// A worker picked the job up.
+    Started {
+        /// The job.
+        job: JobId,
+    },
+    /// One benchmark × configuration cell completed.
+    Cell {
+        /// The job.
+        job: JobId,
+        /// Cell index, ascending from 0.
+        index: usize,
+        /// Total cell count.
+        total: usize,
+        /// The cell's results.
+        result: CellResult,
+    },
+    /// Terminal: all cells completed.
+    Finished {
+        /// The job.
+        job: JobId,
+        /// Merged results.
+        summary: JobSummary,
+    },
+    /// Terminal: cancellation was observed before all cells ran.
+    Cancelled {
+        /// The job.
+        job: JobId,
+        /// Cells that completed before the cancellation took effect.
+        completed: usize,
+    },
+    /// Terminal: the job's worker panicked mid-run. The pool worker
+    /// survives (panics are contained per job) and the stream still
+    /// ends with a terminal event instead of going silent.
+    Failed {
+        /// The job.
+        job: JobId,
+        /// The panic message, best-effort.
+        error: String,
+    },
+}
+
+impl JobEvent {
+    /// The job this event belongs to.
+    #[must_use]
+    pub fn job(&self) -> JobId {
+        match self {
+            JobEvent::Queued { job, .. }
+            | JobEvent::Started { job }
+            | JobEvent::Cell { job, .. }
+            | JobEvent::Finished { job, .. }
+            | JobEvent::Cancelled { job, .. }
+            | JobEvent::Failed { job, .. } => *job,
+        }
+    }
+
+    /// True for the stream-ending events.
+    #[must_use]
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            JobEvent::Finished { .. } | JobEvent::Cancelled { .. } | JobEvent::Failed { .. }
+        )
+    }
+}
+
+/// Collected outcome of one job (the convenience form of draining the
+/// event stream).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobOutcome {
+    /// Every completed cell, in order.
+    pub cells: Vec<CellResult>,
+    /// The merged summary — `None` when the job was cancelled.
+    pub summary: Option<JobSummary>,
+}
+
+impl JobOutcome {
+    /// True when the job ran to completion.
+    #[must_use]
+    pub fn finished(&self) -> bool {
+        self.summary.is_some()
+    }
+}
+
+/// Caller's handle to one submitted job: a blocking event stream plus
+/// cooperative cancellation.
+#[derive(Debug)]
+pub struct JobHandle {
+    id: JobId,
+    events: Receiver<JobEvent>,
+    cancel: CancelToken,
+}
+
+impl JobHandle {
+    /// The job's identifier.
+    #[must_use]
+    pub fn id(&self) -> JobId {
+        self.id
+    }
+
+    /// Requests cooperative cancellation: the job stops at its next
+    /// cell boundary and emits [`JobEvent::Cancelled`].
+    pub fn cancel(&self) {
+        self.cancel.cancel();
+    }
+
+    /// Blocks for the next event; `None` once the stream ended (the
+    /// terminal event was already delivered).
+    pub fn next_event(&self) -> Option<JobEvent> {
+        self.events.recv().ok()
+    }
+
+    /// A blocking iterator over the remaining events, ending after the
+    /// terminal event.
+    pub fn events(&self) -> impl Iterator<Item = JobEvent> + '_ {
+        let mut done = false;
+        std::iter::from_fn(move || {
+            if done {
+                return None;
+            }
+            let event = self.next_event()?;
+            done = event.is_terminal();
+            Some(event)
+        })
+    }
+
+    /// Drains the stream and returns the collected outcome.
+    #[must_use]
+    pub fn wait(self) -> JobOutcome {
+        let mut outcome = JobOutcome {
+            cells: Vec::new(),
+            summary: None,
+        };
+        for event in self.events() {
+            match event {
+                JobEvent::Cell { result, .. } => outcome.cells.push(result),
+                JobEvent::Finished { summary, .. } => outcome.summary = Some(summary),
+                _ => {}
+            }
+        }
+        outcome
+    }
+}
+
+/// Point-in-time view of the service's caches and queue counters (the
+/// TCP `cache_stats` endpoint).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Process-wide trace-cache counters (memory tier, disk tier,
+    /// kernel generations) — see [`workloads::trace_cache_stats`].
+    pub traces: TraceCacheStats,
+    /// Jobs submitted to this service instance.
+    pub jobs_submitted: u64,
+    /// Jobs that reached a terminal event.
+    pub jobs_completed: u64,
+}
+
+/// The resident experiment service (see the module docs).
+///
+/// Dropping the service drains in-flight jobs (cancelled ones wind down
+/// at their next cell boundary) and joins the worker pool.
+#[derive(Debug)]
+pub struct ExperimentService {
+    pool: WorkerPool,
+    next_id: AtomicU64,
+    jobs_submitted: AtomicU64,
+    jobs_completed: Arc<AtomicU64>,
+    /// Live jobs' cancel tokens, for cancellation by id (the TCP path).
+    active: Arc<Mutex<std::collections::HashMap<u64, CancelToken>>>,
+}
+
+impl Default for ExperimentService {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ExperimentService {
+    /// A service on a pool sized by the default policy
+    /// (`SECDDR_THREADS` override, else host parallelism capped at
+    /// [`DEFAULT_THREAD_CAP`]).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_threads(default_threads(DEFAULT_THREAD_CAP))
+    }
+
+    /// A service on a pool of exactly `threads` workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `threads` is zero.
+    #[must_use]
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            pool: WorkerPool::new(threads),
+            next_id: AtomicU64::new(1),
+            jobs_submitted: AtomicU64::new(0),
+            jobs_completed: Arc::new(AtomicU64::new(0)),
+            active: Arc::new(Mutex::new(std::collections::HashMap::new())),
+        }
+    }
+
+    /// Worker threads in the service's pool.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// Validates and enqueues `spec`; the returned handle streams the
+    /// job's events.
+    ///
+    /// # Errors
+    ///
+    /// Rejects invalid specs without consuming a job id.
+    pub fn submit(&self, spec: JobSpec) -> Result<JobHandle, SpecError> {
+        spec.validate()?;
+        let benchmarks = spec.resolve_benchmarks()?;
+        let total = benchmarks.len() * spec.configs.len();
+        let id = JobId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        self.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+
+        let (tx, rx) = std::sync::mpsc::channel();
+        let cancel = CancelToken::new();
+        self.active
+            .lock()
+            .expect("active-jobs lock")
+            .insert(id.0, cancel.clone());
+        let _ = tx.send(JobEvent::Queued {
+            job: id,
+            cells: total,
+        });
+
+        let active = Arc::clone(&self.active);
+        let completed_counter = Arc::clone(&self.jobs_completed);
+        let priority = spec.priority;
+        self.pool.submit(priority, cancel.clone(), move |token| {
+            // A panicking cell must still produce a terminal event —
+            // otherwise the handle (and any TCP client streaming it)
+            // would wait forever on a stream that went silent.
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                run_job(id, &spec, &benchmarks, total, &tx, token)
+            }));
+            // Bookkeeping strictly before the terminal event: a caller
+            // that has seen the terminal event observes the job as done
+            // (no longer cancellable, counted as completed).
+            completed_counter.fetch_add(1, Ordering::Relaxed);
+            active.lock().expect("active-jobs lock").remove(&id.0);
+            let terminal = match outcome {
+                Ok(terminal) => terminal,
+                Err(payload) => Some(JobEvent::Failed {
+                    job: id,
+                    error: panic_message(payload.as_ref()),
+                }),
+            };
+            if let Some(terminal) = terminal {
+                let _ = tx.send(terminal);
+            }
+        });
+        Ok(JobHandle {
+            id,
+            events: rx,
+            cancel,
+        })
+    }
+
+    /// Cancels a job by id (the TCP path — in-process callers use
+    /// [`JobHandle::cancel`]). Returns false when the job is unknown or
+    /// already terminal.
+    pub fn cancel(&self, id: JobId) -> bool {
+        match self.active.lock().expect("active-jobs lock").get(&id.0) {
+            Some(token) => {
+                token.cancel();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Blocks until every queued and running job reached its terminal
+    /// event — the server's shutdown drain, independent of how many
+    /// handles or connection threads still reference the service.
+    pub fn drain(&self) {
+        self.pool.wait_idle();
+    }
+
+    /// Current cache and queue counters.
+    #[must_use]
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            traces: workloads::trace_cache_stats(),
+            jobs_submitted: self.jobs_submitted.load(Ordering::Relaxed),
+            jobs_completed: self.jobs_completed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Best-effort human-readable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "job panicked".to_string()
+    }
+}
+
+/// Runs one job's cells in order on the calling worker thread and
+/// returns the terminal event (the caller sends it after bookkeeping),
+/// or `None` when the handle disappeared mid-run.
+fn run_job(
+    id: JobId,
+    spec: &JobSpec,
+    benchmarks: &[Benchmark],
+    total: usize,
+    tx: &Sender<JobEvent>,
+    cancel: &CancelToken,
+) -> Option<JobEvent> {
+    let _ = tx.send(JobEvent::Started { job: id });
+    let mut merged: Option<SimResult> = None;
+    let mut completed = 0usize;
+    for bench in benchmarks {
+        for config in &spec.configs {
+            if cancel.is_cancelled() {
+                return Some(JobEvent::Cancelled { job: id, completed });
+            }
+            let result = run_cell(bench, config, spec);
+            let cell_merged = result.merged();
+            match &mut merged {
+                Some(m) => m.merge(&cell_merged),
+                None => merged = Some(cell_merged),
+            }
+            let delivered = tx.send(JobEvent::Cell {
+                job: id,
+                index: completed,
+                total,
+                result,
+            });
+            completed += 1;
+            if delivered.is_err() {
+                // The handle is gone — nobody can observe further cells
+                // or a terminal event; abandon the orphaned job.
+                return None;
+            }
+        }
+    }
+    Some(JobEvent::Finished {
+        job: id,
+        summary: JobSummary {
+            cells: completed,
+            merged: merged.expect("a job has at least one cell"),
+        },
+    })
+}
+
+/// Runs one benchmark × configuration cell with the spec's machine
+/// shape. Traces come from [`Benchmark::generate_shared`], so repeated
+/// specs hit the warm in-process cache (and restarts hit the disk tier).
+fn run_cell(
+    bench: &Benchmark,
+    config: &secddr_core::config::SecurityConfig,
+    spec: &JobSpec,
+) -> CellResult {
+    let trace = bench.generate_shared(spec.instructions, spec.seed);
+    let options = spec.options;
+    let cpu_cfg = spec.cpu_config();
+    let (per_core, engine) = if spec.cores == 1 && spec.channels == 1 {
+        let r = run_trace_with_options(bench, &trace, config, options);
+        (vec![r.sim], r.engine)
+    } else if spec.cores == 1 {
+        let engine =
+            ShardedEngine::with_options(*config, cpu_cfg.clock_mhz, spec.interleave(), options);
+        let mut sys = CpuSystem::new(cpu_cfg, engine);
+        let sim = sys.run(trace.iter().copied());
+        (vec![sim], sys.backend_mut().stats())
+    } else {
+        let engine =
+            ShardedEngine::with_options(*config, cpu_cfg.clock_mhz, spec.interleave(), options);
+        let mut sys = MultiCoreSystem::new(spec.cores, cpu_cfg, engine);
+        let result = sys.run(CoreTrace::rate(&trace, DATA_SPAN, spec.cores));
+        (result.per_core, sys.backend_mut().stats())
+    };
+    CellResult {
+        benchmark: bench.name().to_string(),
+        config: config.label(),
+        per_core,
+        engine,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{SuiteSel, Workload};
+
+    fn tiny_spec(name: &str) -> JobSpec {
+        let mut spec = JobSpec::bench(name);
+        spec.instructions = 3_000;
+        spec
+    }
+
+    #[test]
+    fn job_streams_ordered_events_to_completion() {
+        let service = ExperimentService::with_threads(2);
+        let handle = service.submit(tiny_spec("povray")).unwrap();
+        let events: Vec<JobEvent> = handle.events().collect();
+        assert!(matches!(events[0], JobEvent::Queued { cells: 1, .. }));
+        assert!(matches!(events[1], JobEvent::Started { .. }));
+        assert!(matches!(
+            events[2],
+            JobEvent::Cell {
+                index: 0,
+                total: 1,
+                ..
+            }
+        ));
+        let JobEvent::Finished { summary, .. } = &events[3] else {
+            panic!("terminal event must be Finished: {events:?}");
+        };
+        assert_eq!(summary.cells, 1);
+        assert!(summary.merged.instructions > 0);
+        let stats = service.stats();
+        assert_eq!(stats.jobs_submitted, 1);
+    }
+
+    #[test]
+    fn multi_cell_jobs_index_cells_in_order() {
+        let mut spec = tiny_spec("mcf");
+        spec.configs = vec![
+            secddr_core::config::SecurityConfig::secddr_ctr(),
+            secddr_core::config::SecurityConfig::tdx_baseline(),
+        ];
+        let service = ExperimentService::with_threads(2);
+        let outcome = service.submit(spec).unwrap().wait();
+        assert!(outcome.finished());
+        assert_eq!(outcome.cells.len(), 2);
+        assert_eq!(outcome.cells[0].config, "SecDDR+CTR");
+        assert_eq!(outcome.cells[1].config, "TDX baseline");
+    }
+
+    #[test]
+    fn cancellation_stops_remaining_cells() {
+        let service = ExperimentService::with_threads(1);
+        // Occupy the single worker so cancel lands before the job runs.
+        let mut blocker = tiny_spec("povray");
+        blocker.instructions = 30_000;
+        let blocker = service.submit(blocker).unwrap();
+        let mut spec = tiny_spec("mcf");
+        spec.workload = Workload::Suite(SuiteSel::Gapbs);
+        let handle = service.submit(spec).unwrap();
+        handle.cancel();
+        let outcome_blocked = blocker.wait();
+        assert!(outcome_blocked.finished());
+        let events: Vec<JobEvent> = handle.events().collect();
+        let terminal = events.last().unwrap();
+        assert!(
+            matches!(terminal, JobEvent::Cancelled { completed: 0, .. }),
+            "{events:?}"
+        );
+    }
+
+    #[test]
+    fn cancel_by_id_reaches_live_jobs_only() {
+        let service = ExperimentService::with_threads(1);
+        let handle = service.submit(tiny_spec("povray")).unwrap();
+        let id = handle.id();
+        let _ = handle.wait();
+        // The job already reached its terminal event; its token is gone.
+        assert!(!service.cancel(id), "terminal jobs cannot be cancelled");
+        assert!(!service.cancel(JobId(999)), "unknown id");
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected_at_submit() {
+        let service = ExperimentService::with_threads(1);
+        assert!(service.submit(tiny_spec("nope")).is_err());
+        let stats = service.stats();
+        assert_eq!(stats.jobs_submitted, 0, "rejected specs consume nothing");
+    }
+}

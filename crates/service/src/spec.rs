@@ -1,0 +1,502 @@
+//! [`JobSpec`]: the typed description of one experiment job, with its
+//! line-delimited-JSON codec (the TCP front-end's submit payload).
+
+use cpu_model::{Advance, CpuConfig};
+use secddr_channels::Interleave;
+use secddr_core::config::{EncMode, Mechanism, SecurityConfig};
+use secddr_core::engine::EngineOptions;
+use workloads::{Benchmark, Suite};
+
+use crate::json::Json;
+
+/// Which benchmarks a job runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Workload {
+    /// One benchmark by its paper label (`"mcf"`, `"pr"`, …).
+    Bench(String),
+    /// A whole suite, in Figure 6 order.
+    Suite(SuiteSel),
+}
+
+/// Suite selector for [`Workload::Suite`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SuiteSel {
+    /// The 23 SPEC CPU2017 profiles.
+    Spec,
+    /// The 6 GAPBS kernels.
+    Gapbs,
+    /// All 29 benchmarks.
+    All,
+}
+
+/// Everything needed to run one experiment job: workload × security
+/// configurations × machine shape × budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Benchmark or suite to run.
+    pub workload: Workload,
+    /// Security configurations; each benchmark runs under each (the
+    /// job's cells are the benchmark × configuration product).
+    pub configs: Vec<SecurityConfig>,
+    /// Engine ablation knobs and the clock-advance policy.
+    pub options: EngineOptions,
+    /// Core count (1 = the bare `CpuSystem`; >1 = rate mode over a
+    /// shared LLC and backend).
+    pub cores: usize,
+    /// Memory channel count (1 = the bare engine; >1 = `ShardedEngine`).
+    pub channels: usize,
+    /// Instruction budget per benchmark (per core in rate mode).
+    pub instructions: u64,
+    /// Trace generation seed.
+    pub seed: u64,
+    /// Scheduling priority (higher runs first; FIFO within one).
+    pub priority: i8,
+}
+
+/// Upper bound on cores and channels (a spec is a remote input; the
+/// simulator's memory footprint scales with both).
+const MAX_WIDTH: usize = 64;
+
+impl JobSpec {
+    /// A single-core, single-channel SecDDR+CTR run of one benchmark at
+    /// a 40k-instruction budget — the smallest useful job; adjust fields
+    /// from here.
+    #[must_use]
+    pub fn bench(name: &str) -> Self {
+        Self {
+            workload: Workload::Bench(name.to_string()),
+            configs: vec![SecurityConfig::secddr_ctr()],
+            options: EngineOptions::default(),
+            cores: 1,
+            channels: 1,
+            instructions: 40_000,
+            seed: 0xD5,
+            priority: 0,
+        }
+    }
+
+    /// Validates shape and configuration compatibility.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first problem found.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if let Workload::Bench(name) = &self.workload {
+            if Benchmark::by_name(name).is_none() {
+                return Err(SpecError::UnknownBenchmark(name.clone()));
+            }
+        }
+        if self.configs.is_empty() {
+            return Err(SpecError::Invalid("at least one config is required".into()));
+        }
+        for config in &self.configs {
+            config.validate().map_err(SpecError::Invalid)?;
+        }
+        if self.cores == 0 || self.cores > MAX_WIDTH {
+            return Err(SpecError::Invalid(format!(
+                "cores must be in 1..={MAX_WIDTH}"
+            )));
+        }
+        if self.channels == 0 || self.channels > MAX_WIDTH {
+            return Err(SpecError::Invalid(format!(
+                "channels must be in 1..={MAX_WIDTH}"
+            )));
+        }
+        if self.instructions == 0 {
+            return Err(SpecError::Invalid("instruction budget must be > 0".into()));
+        }
+        Ok(())
+    }
+
+    /// The benchmarks this spec runs, in Figure 6 order.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::UnknownBenchmark`] for an unresolvable name.
+    pub fn resolve_benchmarks(&self) -> Result<Vec<Benchmark>, SpecError> {
+        match &self.workload {
+            Workload::Bench(name) => Benchmark::by_name(name)
+                .map(|b| vec![b])
+                .ok_or_else(|| SpecError::UnknownBenchmark(name.clone())),
+            Workload::Suite(sel) => Ok(Benchmark::all()
+                .into_iter()
+                .filter(|b| match sel {
+                    SuiteSel::Spec => b.suite() == Suite::Spec,
+                    SuiteSel::Gapbs => b.suite() == Suite::Gapbs,
+                    SuiteSel::All => true,
+                })
+                .collect()),
+        }
+    }
+
+    /// Number of benchmark × configuration cells this job runs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates benchmark resolution failures.
+    pub fn cell_count(&self) -> Result<usize, SpecError> {
+        Ok(self.resolve_benchmarks()?.len() * self.configs.len())
+    }
+
+    /// The address interleave for this spec's channel count: XOR-folded
+    /// for powers of two, modulo otherwise.
+    #[must_use]
+    pub fn interleave(&self) -> Interleave {
+        if self.channels.is_power_of_two() {
+            Interleave::xor(self.channels)
+        } else {
+            Interleave::modulo(self.channels)
+        }
+    }
+
+    /// The CPU configuration matching [`Self::options`] (the same
+    /// derivation `run_trace_with_options` uses).
+    #[must_use]
+    pub fn cpu_config(&self) -> CpuConfig {
+        CpuConfig {
+            advance: self.options.advance,
+            batch_submit: self.options.batched_ingestion,
+            ..CpuConfig::default()
+        }
+    }
+
+    /// Encodes the spec as a JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let workload = match &self.workload {
+            Workload::Bench(name) => Json::Obj(vec![("bench".into(), Json::str(name.clone()))]),
+            Workload::Suite(sel) => Json::Obj(vec![(
+                "suite".into(),
+                Json::str(match sel {
+                    SuiteSel::Spec => "spec",
+                    SuiteSel::Gapbs => "gapbs",
+                    SuiteSel::All => "all",
+                }),
+            )]),
+        };
+        Json::Obj(vec![
+            ("workload".into(), workload),
+            (
+                "configs".into(),
+                Json::Arr(self.configs.iter().map(config_to_json).collect()),
+            ),
+            ("options".into(), options_to_json(&self.options)),
+            ("cores".into(), Json::u64(self.cores as u64)),
+            ("channels".into(), Json::u64(self.channels as u64)),
+            ("instructions".into(), Json::u64(self.instructions)),
+            ("seed".into(), Json::u64(self.seed)),
+            (
+                "priority".into(),
+                Json::Num(crate::json::Number::I(i64::from(self.priority))),
+            ),
+        ])
+    }
+
+    /// Decodes a spec from the [`Self::to_json`] encoding and validates
+    /// it.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::Malformed`] on shape problems, plus everything
+    /// [`Self::validate`] rejects.
+    pub fn from_json(json: &Json) -> Result<Self, SpecError> {
+        let workload_json = require(json, "workload")?;
+        let workload = if let Some(name) = workload_json.get("bench").and_then(Json::as_str) {
+            Workload::Bench(name.to_string())
+        } else if let Some(suite) = workload_json.get("suite").and_then(Json::as_str) {
+            Workload::Suite(match suite {
+                "spec" => SuiteSel::Spec,
+                "gapbs" => SuiteSel::Gapbs,
+                "all" => SuiteSel::All,
+                other => return Err(SpecError::Malformed(format!("unknown suite \"{other}\""))),
+            })
+        } else {
+            return Err(SpecError::Malformed(
+                "workload needs a \"bench\" or \"suite\" member".into(),
+            ));
+        };
+        let configs = require(json, "configs")?
+            .as_array()
+            .ok_or_else(|| SpecError::Malformed("configs must be an array".into()))?
+            .iter()
+            .map(config_from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        let options = options_from_json(require(json, "options")?)?;
+        let spec = JobSpec {
+            workload,
+            configs,
+            options,
+            cores: usize_field(json, "cores")?,
+            channels: usize_field(json, "channels")?,
+            instructions: u64_field(json, "instructions")?,
+            seed: u64_field(json, "seed")?,
+            priority: i8_field(json, "priority")?,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+}
+
+/// Everything that can be wrong with a submitted spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// No benchmark with the given paper label.
+    UnknownBenchmark(String),
+    /// A structurally valid spec with invalid contents (incompatible
+    /// security configuration, zero cores, …).
+    Invalid(String),
+    /// The JSON encoding did not match the schema.
+    Malformed(String),
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::UnknownBenchmark(name) => write!(f, "unknown benchmark \"{name}\""),
+            SpecError::Invalid(why) => write!(f, "invalid spec: {why}"),
+            SpecError::Malformed(why) => write!(f, "malformed spec: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+fn require<'a>(json: &'a Json, key: &str) -> Result<&'a Json, SpecError> {
+    json.get(key)
+        .ok_or_else(|| SpecError::Malformed(format!("missing \"{key}\"")))
+}
+
+fn u64_field(json: &Json, key: &str) -> Result<u64, SpecError> {
+    require(json, key)?
+        .as_u64()
+        .ok_or_else(|| SpecError::Malformed(format!("\"{key}\" must be a non-negative integer")))
+}
+
+fn usize_field(json: &Json, key: &str) -> Result<usize, SpecError> {
+    usize::try_from(u64_field(json, key)?)
+        .map_err(|_| SpecError::Malformed(format!("\"{key}\" out of range")))
+}
+
+fn i8_field(json: &Json, key: &str) -> Result<i8, SpecError> {
+    let v = require(json, key)?
+        .as_f64()
+        .ok_or_else(|| SpecError::Malformed(format!("\"{key}\" must be a number")))?;
+    #[allow(clippy::cast_possible_truncation)]
+    if v.fract() == 0.0 && (f64::from(i8::MIN)..=f64::from(i8::MAX)).contains(&v) {
+        Ok(v as i8)
+    } else {
+        Err(SpecError::Malformed(format!(
+            "\"{key}\" must be an integer in {}..={}",
+            i8::MIN,
+            i8::MAX
+        )))
+    }
+}
+
+fn bool_field(json: &Json, key: &str) -> Result<bool, SpecError> {
+    require(json, key)?
+        .as_bool()
+        .ok_or_else(|| SpecError::Malformed(format!("\"{key}\" must be a boolean")))
+}
+
+/// Encodes a [`SecurityConfig`] structurally (mechanism + parameters),
+/// so every expressible configuration — not just the paper's named
+/// presets — round-trips.
+fn config_to_json(config: &SecurityConfig) -> Json {
+    let mut members = Vec::new();
+    let mechanism = match config.mechanism {
+        Mechanism::Tdx => "tdx",
+        Mechanism::CounterTree { arity } => {
+            members.push(("arity".into(), Json::u64(u64::from(arity))));
+            "counter_tree"
+        }
+        Mechanism::HashTree { arity } => {
+            members.push(("arity".into(), Json::u64(u64::from(arity))));
+            "hash_tree"
+        }
+        Mechanism::SecDdr => "secddr",
+        Mechanism::EncryptOnly => "encrypt_only",
+        Mechanism::InvisiMem { realistic } => {
+            members.push(("realistic".into(), Json::Bool(realistic)));
+            "invisimem"
+        }
+    };
+    members.insert(0, ("mechanism".into(), Json::str(mechanism)));
+    members.push((
+        "enc".into(),
+        Json::str(match config.enc {
+            EncMode::Ctr => "ctr",
+            EncMode::Xts => "xts",
+        }),
+    ));
+    members.push(("packing".into(), Json::u64(u64::from(config.ctr_packing))));
+    Json::Obj(members)
+}
+
+fn config_from_json(json: &Json) -> Result<SecurityConfig, SpecError> {
+    let arity = || -> Result<u32, SpecError> {
+        u32::try_from(u64_field(json, "arity")?)
+            .map_err(|_| SpecError::Malformed("\"arity\" out of range".into()))
+    };
+    let mechanism = match require(json, "mechanism")?.as_str() {
+        Some("tdx") => Mechanism::Tdx,
+        Some("counter_tree") => Mechanism::CounterTree { arity: arity()? },
+        Some("hash_tree") => Mechanism::HashTree { arity: arity()? },
+        Some("secddr") => Mechanism::SecDdr,
+        Some("encrypt_only") => Mechanism::EncryptOnly,
+        Some("invisimem") => Mechanism::InvisiMem {
+            realistic: bool_field(json, "realistic")?,
+        },
+        other => return Err(SpecError::Malformed(format!("unknown mechanism {other:?}"))),
+    };
+    let enc = match require(json, "enc")?.as_str() {
+        Some("ctr") => EncMode::Ctr,
+        Some("xts") => EncMode::Xts,
+        other => return Err(SpecError::Malformed(format!("unknown enc {other:?}"))),
+    };
+    let ctr_packing = u32::try_from(u64_field(json, "packing")?)
+        .map_err(|_| SpecError::Malformed("\"packing\" out of range".into()))?;
+    Ok(SecurityConfig {
+        mechanism,
+        enc,
+        ctr_packing,
+    })
+}
+
+fn options_to_json(options: &EngineOptions) -> Json {
+    // Exhaustive destructuring: adding an `EngineOptions` field refuses
+    // to compile until the codec carries it.
+    let EngineOptions {
+        metadata_cache_bytes,
+        serial_tree_fetch,
+        force_bl8,
+        fcfs,
+        advance,
+        batched_ingestion,
+    } = *options;
+    Json::Obj(vec![
+        (
+            "metadata_cache_bytes".into(),
+            Json::u64(metadata_cache_bytes),
+        ),
+        ("serial_tree_fetch".into(), Json::Bool(serial_tree_fetch)),
+        ("force_bl8".into(), Json::Bool(force_bl8)),
+        ("fcfs".into(), Json::Bool(fcfs)),
+        (
+            "advance".into(),
+            Json::str(match advance {
+                Advance::PerCycle => "per_cycle",
+                Advance::ToNextEvent => "event_driven",
+            }),
+        ),
+        ("batched_ingestion".into(), Json::Bool(batched_ingestion)),
+    ])
+}
+
+fn options_from_json(json: &Json) -> Result<EngineOptions, SpecError> {
+    let advance = match require(json, "advance")?.as_str() {
+        Some("per_cycle") => Advance::PerCycle,
+        Some("event_driven") => Advance::ToNextEvent,
+        other => return Err(SpecError::Malformed(format!("unknown advance {other:?}"))),
+    };
+    Ok(EngineOptions {
+        metadata_cache_bytes: u64_field(json, "metadata_cache_bytes")?,
+        serial_tree_fetch: bool_field(json, "serial_tree_fetch")?,
+        force_bl8: bool_field(json, "force_bl8")?,
+        fcfs: bool_field(json, "fcfs")?,
+        advance,
+        batched_ingestion: bool_field(json, "batched_ingestion")?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_bench_spec_validates_and_round_trips() {
+        let spec = JobSpec::bench("mcf");
+        spec.validate().unwrap();
+        let text = spec.to_json().to_string();
+        let back = JobSpec::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(spec.cell_count().unwrap(), 1);
+    }
+
+    #[test]
+    fn suite_specs_resolve_paper_counts() {
+        for (sel, count) in [
+            (SuiteSel::Spec, 23),
+            (SuiteSel::Gapbs, 6),
+            (SuiteSel::All, 29),
+        ] {
+            let mut spec = JobSpec::bench("mcf");
+            spec.workload = Workload::Suite(sel);
+            assert_eq!(spec.resolve_benchmarks().unwrap().len(), count);
+        }
+    }
+
+    #[test]
+    fn every_paper_config_round_trips() {
+        for config in [
+            SecurityConfig::tdx_baseline(),
+            SecurityConfig::tree_64ary(),
+            SecurityConfig::tree_128ary(),
+            SecurityConfig::tree_8ary_hash(),
+            SecurityConfig::secddr_ctr(),
+            SecurityConfig::secddr_xts(),
+            SecurityConfig::encrypt_only_ctr(),
+            SecurityConfig::encrypt_only_xts(),
+            SecurityConfig::invisimem_unrealistic(EncMode::Ctr),
+            SecurityConfig::invisimem_realistic(EncMode::Xts),
+        ] {
+            let encoded = config_to_json(&config).to_string();
+            let back = config_from_json(&Json::parse(&encoded).unwrap()).unwrap();
+            assert_eq!(back, config, "{}", config.label());
+        }
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected() {
+        assert!(matches!(
+            JobSpec::bench("nonexistent").validate(),
+            Err(SpecError::UnknownBenchmark(_))
+        ));
+        let mut no_configs = JobSpec::bench("mcf");
+        no_configs.configs.clear();
+        assert!(no_configs.validate().is_err());
+        let mut zero_cores = JobSpec::bench("mcf");
+        zero_cores.cores = 0;
+        assert!(zero_cores.validate().is_err());
+        let mut wide = JobSpec::bench("mcf");
+        wide.channels = MAX_WIDTH + 1;
+        assert!(wide.validate().is_err());
+        let mut incompatible = JobSpec::bench("mcf");
+        incompatible.configs = vec![SecurityConfig {
+            mechanism: Mechanism::CounterTree { arity: 64 },
+            enc: EncMode::Xts,
+            ctr_packing: 64,
+        }];
+        assert!(matches!(
+            incompatible.validate(),
+            Err(SpecError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn malformed_json_is_rejected_with_context() {
+        let good = JobSpec::bench("mcf").to_json().to_string();
+        let mangled = good.replace("\"cores\"", "\"cpus\"");
+        let err = JobSpec::from_json(&Json::parse(&mangled).unwrap()).unwrap_err();
+        assert!(matches!(err, SpecError::Malformed(_)), "{err}");
+    }
+
+    #[test]
+    fn interleave_matches_channel_count() {
+        let mut spec = JobSpec::bench("mcf");
+        spec.channels = 4;
+        assert_eq!(spec.interleave().shard_count(), 4);
+        spec.channels = 3;
+        assert_eq!(spec.interleave().shard_count(), 3);
+    }
+}

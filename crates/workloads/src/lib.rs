@@ -24,11 +24,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod gapbs;
 pub mod graph;
 pub mod sink;
 pub mod spec;
 
+pub use cache::{trace_cache_stats, TraceCacheStats};
 pub use gapbs::Kernel;
 pub use graph::{CsrGraph, GraphLayout};
 pub use sink::TraceSink;
@@ -147,13 +149,17 @@ impl Benchmark {
     }
 
     /// As [`Self::generate`], memoized per `(benchmark, budget, seed)`
-    /// in a process-wide cache (the [`CsrGraph::shared`] idiom, one
-    /// level up): the first request generates the trace, every later
-    /// request for the same parameters shares the same allocation.
+    /// through three tiers: a process-wide memo map (the
+    /// [`CsrGraph::shared`] idiom, one level up), then the on-disk
+    /// [`cache`] under `target/trace-cache/`, then the trace kernels.
+    /// Disk round-trips are lossless, so all tiers hand out identical
+    /// traces; freshly generated traces are persisted best-effort so
+    /// the *next process* skips the kernels too.
     ///
     /// Rate-mode multi-core runs and repeated sweeps hand each consumer
     /// an `Arc` of one trace instead of regenerating or deep-cloning it
-    /// per core.
+    /// per core. [`trace_cache_stats`] reports the per-tier hit
+    /// counters (the experiment service's cache-stats endpoint).
     pub fn generate_shared(&self, instruction_budget: u64, seed: u64) -> Arc<Vec<TraceOp>> {
         let key = (self.name(), instruction_budget, seed);
         if let Some(t) = trace_cache()
@@ -161,15 +167,27 @@ impl Benchmark {
             .expect("trace cache poisoned")
             .get(&key)
         {
+            cache::count_memory_hit();
             return Arc::clone(t);
         }
-        // Generate outside the lock: trace generation can be expensive
-        // (graph kernels), and a parallel sweep's first touches should
-        // not serialize on it. A racing duplicate is dropped in favor of
-        // whichever entry landed first.
-        let generated = Arc::new(self.generate(instruction_budget, seed));
+        // Load or generate outside the lock: trace generation can be
+        // expensive (graph kernels), and a parallel sweep's first
+        // touches should not serialize on it. A racing duplicate is
+        // dropped in favor of whichever entry landed first.
+        let loaded = match cache::load(self.name(), instruction_budget, seed) {
+            Some(trace) => {
+                cache::count_disk_hit();
+                Arc::new(trace)
+            }
+            None => {
+                cache::count_generated();
+                let generated = Arc::new(self.generate(instruction_budget, seed));
+                cache::store(self.name(), instruction_budget, seed, &generated);
+                generated
+            }
+        };
         let mut cache = trace_cache().lock().expect("trace cache poisoned");
-        Arc::clone(cache.entry(key).or_insert(generated))
+        Arc::clone(cache.entry(key).or_insert(loaded))
     }
 }
 

@@ -1,0 +1,134 @@
+//! The experiment service end to end: submit two jobs over TCP, stream
+//! both event streams as they interleave, prove the warm trace-cache
+//! hit, and shut the server down cleanly.
+//!
+//! Two modes:
+//!
+//! * `SECDDR_SERVE_ADDR=host:port` — connect to an already-running
+//!   `secddr-serve` (what CI does: it launches the binary on a loopback
+//!   port, runs this example against it, and gates on the server's
+//!   clean exit after the shutdown command this example sends);
+//! * unset — spin up an in-process server on an ephemeral port, so
+//!   `cargo run --release --example service` works stand-alone.
+//!
+//! Run with: `cargo run --release --example service`
+//! (`SECDDR_INSTRS` overrides the instruction budget.)
+
+use secddr::core::config::SecurityConfig;
+use secddr::service::{ExperimentServer, ExperimentService, JobSpec, ServiceClient, WireEvent};
+
+fn main() {
+    let instructions = std::env::var("SECDDR_INSTRS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20_000);
+
+    // ---- Reach a server: external (CI) or in-process (stand-alone). ----
+    let external = std::env::var("SECDDR_SERVE_ADDR").ok();
+    let (addr, local_server) = match &external {
+        Some(addr) => {
+            println!("connecting to external secddr-serve at {addr}");
+            (addr.clone(), None)
+        }
+        None => {
+            let server = ExperimentServer::bind("127.0.0.1:0", ExperimentService::with_threads(2))
+                .expect("bind an ephemeral loopback port");
+            let addr = server.local_addr().expect("bound address").to_string();
+            println!("started in-process server on {addr}");
+            (addr, Some(std::thread::spawn(move || server.serve())))
+        }
+    };
+    let mut client = ServiceClient::connect(&addr).expect("connect to the server");
+
+    // ---- Job A: the paper's 4-core rate mode over 4 channels. ----
+    let mut rate = JobSpec::bench("mcf");
+    rate.cores = 4;
+    rate.channels = 4;
+    rate.instructions = instructions;
+    let rate_job = client.submit(&rate).expect("submit rate job");
+
+    // ---- Job B: a single-core configuration sweep. ----
+    let mut sweep = JobSpec::bench("omnetpp");
+    sweep.configs = vec![
+        SecurityConfig::tdx_baseline(),
+        SecurityConfig::secddr_ctr(),
+        SecurityConfig::tree_64ary(),
+    ];
+    sweep.instructions = instructions;
+    let sweep_job = client.submit(&sweep).expect("submit sweep job");
+
+    println!(
+        "\nsubmitted job {rate_job} (mcf rate, 4 cores x 4 channels) and \
+         job {sweep_job} (omnetpp x 3 configs); streaming both:\n"
+    );
+
+    // ---- Stream both jobs as their events interleave on the wire. ----
+    let mut open = 2;
+    while open > 0 {
+        let event = client.next_event().expect("event stream");
+        match &event {
+            WireEvent::Queued { job, cells } => println!("  job {job}: queued ({cells} cells)"),
+            WireEvent::Started { job } => println!("  job {job}: started"),
+            WireEvent::Cell {
+                job,
+                index,
+                total,
+                benchmark,
+                config,
+                aggregate_ipc,
+                ..
+            } => println!(
+                "  job {job}: cell {}/{total} {benchmark} x {config}: aggregate IPC {aggregate_ipc:.3}",
+                index + 1
+            ),
+            WireEvent::Finished { job, cells, instructions, cycles } => {
+                println!(
+                    "  job {job}: finished ({cells} cells, {instructions} instrs, {cycles} cycles)"
+                );
+                open -= 1;
+            }
+            WireEvent::Cancelled { job, completed } => {
+                println!("  job {job}: cancelled after {completed} cells");
+                open -= 1;
+            }
+            WireEvent::Failed { job, error } => {
+                println!("  job {job}: failed ({error})");
+                open -= 1;
+            }
+        }
+    }
+
+    // ---- Warm-cache proof: an identical spec regenerates nothing. ----
+    let cold = client.cache_stats().expect("cache stats");
+    let warm_job = client.submit(&sweep).expect("submit identical sweep again");
+    let events = client.stream_job(warm_job).expect("stream warm job");
+    assert!(
+        matches!(events.last(), Some(WireEvent::Finished { .. })),
+        "warm job finishes: {events:?}"
+    );
+    let warm = client.cache_stats().expect("cache stats");
+    assert_eq!(
+        warm.trace_generated + warm.trace_disk_hits,
+        cold.trace_generated + cold.trace_disk_hits,
+        "the identical-spec job must not regenerate or re-read any trace"
+    );
+    assert!(
+        warm.trace_memory_hits > cold.trace_memory_hits,
+        "the identical-spec job hits the warm in-process trace cache"
+    );
+    println!(
+        "\nwarm-cache proof: job {warm_job} (same spec as {sweep_job}) generated 0 traces \
+         ({} memory hits, {} disk hits, {} generated since server start)",
+        warm.trace_memory_hits, warm.trace_disk_hits, warm.trace_generated
+    );
+
+    // ---- Clean shutdown (the CI gate waits on the server's exit). ----
+    client.shutdown_server().expect("shutdown command");
+    if let Some(server) = local_server {
+        server
+            .join()
+            .expect("server thread")
+            .expect("clean serve exit");
+    }
+    println!("server shut down cleanly");
+}

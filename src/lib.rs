@@ -15,6 +15,10 @@
 //! * [`multicore`] — multi-core front-end: N OOO cores sharing the LLC
 //!   and memory engine behind one next-event scheduler (the paper's
 //!   4-core rate mode).
+//! * [`service`] — the resident experiment service: a long-running job
+//!   server (`secddr-serve`) that queues [`JobSpec`]s on a persistent
+//!   worker pool and streams per-cell results, in-process or over
+//!   line-delimited-JSON TCP.
 //! * [`workloads`] — the 29 benchmarks of the paper's evaluation.
 //! * [`kernel`] — the event-driven simulation kernel all timing layers
 //!   ride ([`SimClock`](sim_kernel::SimClock), event queue, and the
@@ -40,6 +44,7 @@ pub use secddr_channels as channels;
 pub use secddr_core as core;
 pub use secddr_crypto as crypto;
 pub use secddr_multicore as multicore;
+pub use secddr_service as service;
 pub use sim_kernel as kernel;
 pub use workloads;
 
@@ -47,4 +52,7 @@ pub use secddr_channels::{ChannelStats, Interleave, ShardedEngine};
 pub use secddr_core::config::SecurityConfig;
 pub use secddr_core::system::{run_benchmark, RunParams};
 pub use secddr_multicore::{AddressSpace, CoreTrace, MultiCoreResult, MultiCoreSystem};
+pub use secddr_service::{
+    ExperimentServer, ExperimentService, JobEvent, JobHandle, JobSpec, ServiceClient,
+};
 pub use sim_kernel::Advance;
