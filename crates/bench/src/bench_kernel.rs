@@ -23,14 +23,18 @@
 //!   speedup must not shrink under sharding. The N=1 sharded run is
 //!   asserted bit-identical to the bare unsharded engine (reported as
 //!   `sharded_n1_matches_unsharded`, gated in CI).
-//! * **multicore_rate_nN** (N = 1, 2, 4) — the pointer-chase workload in
-//!   rate mode: N cores sharing the LLC and a 4-channel `ShardedEngine`
-//!   through `MultiCoreSystem`, per-cycle (every core steps every cycle)
-//!   vs the event-driven core scheduler. Each N's event-driven run is
-//!   asserted bit-identical to its per-cycle reference, and the
-//!   single-core `MultiCoreSystem` is asserted bit-identical to the bare
-//!   `CpuSystem` over the same backend and trace (reported as
-//!   `multicore_n1_matches_single`, gated in CI).
+//! * **multicore_rate_nN** (N = 1, 2, 4, 8, 16) — the pointer-chase
+//!   workload in rate mode: N cores sharing the LLC and a 4-channel
+//!   `ShardedEngine` through `MultiCoreSystem`, per-cycle (every core
+//!   steps every cycle) vs the event-driven awake-list scheduler. Each
+//!   N's event-driven run is asserted bit-identical to its per-cycle
+//!   reference, and the single-core `MultiCoreSystem` is asserted
+//!   bit-identical to the bare `CpuSystem` over the same backend and
+//!   trace (reported as `multicore_n1_matches_single`, gated in CI).
+//!   These records also carry `per_cycle_core_steps` /
+//!   `event_driven_core_steps` — the summed number of times any core was
+//!   actually stepped, the scheduler-efficiency measure wall-clock
+//!   speedups follow from.
 //!
 //! Every record also carries `*_vs_pr1` ratios against the wall-clock
 //! the PR 1 kernel recorded in its own `BENCH_kernel.json` (same
@@ -274,6 +278,7 @@ fn shard_scaling_records(params: RunParams) -> Vec<Record> {
             ),
             ref_secs: ref_a.min(ref_b),
             fast_secs: fast_a.min(fast_b),
+            core_steps: None,
         });
     }
     records
@@ -283,13 +288,13 @@ fn shard_scaling_records(params: RunParams) -> Vec<Record> {
 const MULTICORE_CHANNELS: usize = 4;
 
 /// One rate-mode run: N cores over one shared 4-channel `ShardedEngine`,
-/// returning the simulated observables (for the identity asserts) and
-/// the wall-clock seconds of the run itself.
+/// returning the simulated observables (for the identity asserts), the
+/// summed core-step count, and the wall-clock seconds of the run itself.
 fn multicore_run(
     trace: &Arc<Vec<TraceOp>>,
     cores: usize,
     advance: Advance,
-) -> ((MultiCoreResult, EngineStats, DramStats), f64) {
+) -> ((MultiCoreResult, EngineStats, DramStats), u64, f64) {
     let options = EngineOptions {
         advance,
         ..EngineOptions::default()
@@ -309,17 +314,19 @@ fn multicore_run(
     let mut sys = MultiCoreSystem::new(cores, cpu_cfg, engine);
     let result = sys.run(CoreTrace::rate(trace, DATA_SPAN, cores));
     let secs = start.elapsed().as_secs_f64();
+    let steps = sys.core_step_counts().iter().sum();
     (
         (
             result,
             sys.backend_mut().stats(),
             sys.backend_mut().dram_stats(),
         ),
+        steps,
         secs,
     )
 }
 
-/// Multi-core rate-mode records (N = 1, 2, 4 cores over a shared
+/// Multi-core rate-mode records (N = 1, 2, 4, 8, 16 cores over a shared
 /// 4-channel `ShardedEngine`), ABBA-ordered per N. Asserts along the way
 /// that each N's event-driven core scheduler matches its per-cycle
 /// reference and that the single-core `MultiCoreSystem` is bit-identical
@@ -360,11 +367,13 @@ fn multicore_records(params: RunParams) -> Vec<Record> {
         (1usize, "multicore_rate_n1"),
         (2, "multicore_rate_n2"),
         (4, "multicore_rate_n4"),
+        (8, "multicore_rate_n8"),
+        (16, "multicore_rate_n16"),
     ] {
-        let (ref_res, ref_a) = multicore_run(&trace, n, Advance::PerCycle);
-        let (fast_res, fast_a) = multicore_run(&trace, n, Advance::ToNextEvent);
-        let (_, fast_b) = multicore_run(&trace, n, Advance::ToNextEvent);
-        let (_, ref_b) = multicore_run(&trace, n, Advance::PerCycle);
+        let (ref_res, ref_steps, ref_a) = multicore_run(&trace, n, Advance::PerCycle);
+        let (fast_res, fast_steps, fast_a) = multicore_run(&trace, n, Advance::ToNextEvent);
+        let (_, _, fast_b) = multicore_run(&trace, n, Advance::ToNextEvent);
+        let (_, _, ref_b) = multicore_run(&trace, n, Advance::PerCycle);
         assert_eq!(
             fast_res, ref_res,
             "N={n}: event-driven multicore run diverged from per-cycle"
@@ -393,6 +402,7 @@ fn multicore_records(params: RunParams) -> Vec<Record> {
             ),
             ref_secs: ref_a.min(ref_b),
             fast_secs: fast_a.min(fast_b),
+            core_steps: Some((ref_steps, fast_steps)),
         });
     }
     records
@@ -403,6 +413,10 @@ struct Record {
     detail: String,
     ref_secs: f64,
     fast_secs: f64,
+    /// Summed core-step counts (per-cycle, event-driven) for multicore
+    /// records: the deterministic scheduler-efficiency measure behind
+    /// the host-dependent wall-clocks.
+    core_steps: Option<(u64, u64)>,
 }
 
 impl Record {
@@ -412,16 +426,24 @@ impl Record {
             .find(|(n, _)| *n == self.name)
             .and_then(|(_, b)| *b)
             .filter(|_| at_baseline_budget);
-        let mut vs_pr1 = String::new();
+        let mut extra = String::new();
+        if let Some((ref_steps, fast_steps)) = self.core_steps {
+            extra.push_str(&format!(
+                ",\n    \"per_cycle_core_steps\": {ref_steps},\n    \
+                 \"event_driven_core_steps\": {fast_steps},\n    \
+                 \"core_step_ratio\": {:.2}",
+                ref_steps as f64 / fast_steps as f64
+            ));
+        }
         if let Some((pr1_ref, pr1_fast)) = pr1 {
             if pr1_ref >= MIN_MEANINGFUL_BASELINE_SECS {
-                vs_pr1.push_str(&format!(
+                extra.push_str(&format!(
                     ",\n    \"per_cycle_vs_pr1\": {:.2}",
                     pr1_ref / self.ref_secs
                 ));
             }
             if pr1_fast >= MIN_MEANINGFUL_BASELINE_SECS {
-                vs_pr1.push_str(&format!(
+                extra.push_str(&format!(
                     ",\n    \"event_driven_vs_pr1\": {:.2}",
                     pr1_fast / self.fast_secs
                 ));
@@ -432,7 +454,7 @@ impl Record {
              \"detail\": \"{}\",\n    \
              \"per_cycle_seconds\": {:.3},\n    \
              \"event_driven_seconds\": {:.3},\n    \
-             \"speedup\": {:.2}{vs_pr1}\n  }}",
+             \"speedup\": {:.2}{extra}\n  }}",
             self.name,
             self.detail,
             self.ref_secs,
@@ -507,18 +529,21 @@ pub fn report(instructions: u64, seed: u64) -> String {
             ),
             ref_secs,
             fast_secs,
+            core_steps: None,
         },
         Record {
             name: "pointer_chase_runs",
             detail: format!("{subset} x {} configs", fast_lat.configs.len() + 1),
             ref_secs: ref_lat_secs,
             fast_secs: fast_lat_secs,
+            core_steps: None,
         },
         Record {
             name: "dram_idle_gaps",
             detail: "bare DDR4 controller, bursty traffic over 200k-cycle windows".into(),
             ref_secs: dram_ref,
             fast_secs: dram_fast,
+            core_steps: None,
         },
         Record {
             name: "batched_ingestion",
@@ -527,6 +552,7 @@ pub fn report(instructions: u64, seed: u64) -> String {
                 .into(),
             ref_secs: per_call_secs,
             fast_secs: batch_secs,
+            core_steps: None,
         },
     ];
 

@@ -42,10 +42,6 @@ pub struct ShardedEngine {
     /// Per shard: local read token → global token (writes complete
     /// silently and are never mapped).
     local_to_global: Vec<FxHashMap<u64, u64>>,
-    /// Reverse map for per-token completion-bound queries: global read
-    /// token → (shard, local token). Entries live exactly as long as
-    /// their `local_to_global` counterparts.
-    global_to_local: FxHashMap<u64, (usize, u64)>,
     /// Registered next-event lower bound per shard; `u64::MAX` means "no
     /// internal event pending" and keeps the shard out of the heap.
     bounds: Vec<u64>,
@@ -64,6 +60,9 @@ pub struct ShardedEngine {
     cursors: Vec<usize>,
     /// Scratch list of shards due in the current tick.
     due_now: Vec<usize>,
+    /// Reusable `(cycle, local token)` buffer for per-shard block
+    /// advances.
+    stamp_scratch: Vec<(u64, u64)>,
 }
 
 impl ShardedEngine {
@@ -99,7 +98,6 @@ impl ShardedEngine {
             advance: options.advance,
             next_token: 0,
             local_to_global: vec![FxHashMap::default(); n],
-            global_to_local: FxHashMap::default(),
             bounds: vec![u64::MAX; n],
             due: EventQueue::new(),
             last_now: 0,
@@ -108,6 +106,7 @@ impl ShardedEngine {
             split_results: vec![Vec::new(); n],
             cursors: vec![0; n],
             due_now: Vec::new(),
+            stamp_scratch: Vec::new(),
         }
     }
 
@@ -191,7 +190,6 @@ impl ShardedEngine {
         self.next_token += 1;
         if kind == AccessKind::Read {
             self.local_to_global[shard].insert(local, global);
-            self.global_to_local.insert(global, (shard, local));
         }
         Ok(global)
     }
@@ -221,10 +219,26 @@ impl ShardedEngine {
             let global = self.local_to_global[s]
                 .remove(&local)
                 .expect("completed read was registered at submit");
-            self.global_to_local.remove(&global);
             done.push(global);
         }
         self.refresh_bound(s, now);
+    }
+
+    /// Block-advances shard `s` to `target`, translating its stamped
+    /// completions to global tokens, and re-registers its bound.
+    fn advance_shard_to(&mut self, s: usize, target: u64, out: &mut Vec<(u64, u64)>) {
+        self.shard_ticks[s] += 1;
+        let mut scratch = std::mem::take(&mut self.stamp_scratch);
+        scratch.clear();
+        self.shards[s].advance_to(target, &mut scratch);
+        for &(at, local) in &scratch {
+            let global = self.local_to_global[s]
+                .remove(&local)
+                .expect("completed read was registered at submit");
+            out.push((at, global));
+        }
+        self.stamp_scratch = scratch;
+        self.refresh_bound(s, target);
     }
 
     /// Folds `f(shard, now)` over all shards into one lower bound with
@@ -342,40 +356,44 @@ impl MemoryBackend for ShardedEngine {
         done
     }
 
+    fn advance_to(&mut self, target: u64, completions: &mut Vec<(u64, u64)>) {
+        self.last_now = self.last_now.max(target);
+        let start = completions.len();
+        if self.advance.is_event_driven() {
+            // Same due-shard discipline as `tick`: shards whose bound is
+            // after `target` provably surface nothing in the window.
+            let mut due_now = std::mem::take(&mut self.due_now);
+            due_now.clear();
+            while let Some((at, s)) = self.due.pop_due(target) {
+                if self.bounds[s] != at {
+                    continue; // stale entry superseded by an earlier bound
+                }
+                self.bounds[s] = u64::MAX;
+                due_now.push(s);
+            }
+            due_now.sort_unstable();
+            for &s in &due_now {
+                self.advance_shard_to(s, target, completions);
+            }
+            self.due_now = due_now;
+        } else {
+            for s in 0..self.shards.len() {
+                self.advance_shard_to(s, target, completions);
+            }
+        }
+        // Shards were advanced in ascending index order; the stable sort
+        // re-merges their streams by cycle while keeping shard-index
+        // order within a cycle — exactly what a per-cycle tick loop over
+        // all shards would have produced.
+        completions[start..].sort_by_key(|&(at, _)| at);
+    }
+
     fn next_event(&self, now: u64) -> Option<u64> {
         self.fold_shards(now, |sh, n| sh.next_event(n))
     }
 
     fn next_completion_event(&self, now: u64) -> Option<u64> {
         self.fold_shards(now, |sh, n| sh.next_completion_event(n))
-    }
-
-    fn next_completion_event_among(
-        &self,
-        now: u64,
-        tokens: &mut dyn Iterator<Item = u64>,
-    ) -> Option<u64> {
-        // Translate the caller's global tokens once (dropping any that
-        // already completed), then fold each touched shard's own
-        // per-token bound. O(|tokens|) map lookups plus one pass per
-        // shard over the small translated list.
-        let translated: Vec<(usize, u64)> = tokens
-            .filter_map(|global| self.global_to_local.get(&global).copied())
-            .collect();
-        let mut bound = u64::MAX;
-        for (s, shard) in self.shards.iter().enumerate() {
-            if !translated.iter().any(|&(owner, _)| owner == s) {
-                continue;
-            }
-            let mut locals = translated
-                .iter()
-                .filter(|&&(owner, _)| owner == s)
-                .map(|&(_, local)| local);
-            if let Some(t) = shard.next_completion_event_among(now, &mut locals) {
-                bound = bound.min(t);
-            }
-        }
-        (bound != u64::MAX).then(|| bound.max(now + 1))
     }
 
     fn next_read_capacity_event(&self, now: u64, addr: u64) -> Option<u64> {

@@ -16,7 +16,7 @@ use std::rc::Rc;
 use cpu_model::cache::{Cache, CacheConfig, CacheStats};
 use cpu_model::system::{AccessKind, Busy, MemoryBackend};
 use dram_sim::{DramSystem, MemRequest, ReqKind};
-use sim_kernel::{Advance, EventQueue, FxHashMap};
+use sim_kernel::{Advance, EventQueue};
 
 use crate::config::{EncMode, Mechanism, SecurityConfig, CRYPTO_LATENCY};
 use crate::metadata::{MetadataLayout, DATA_SPAN};
@@ -73,6 +73,18 @@ struct Transaction {
     extra_latency: u64,
 }
 
+/// Part-slot sentinel: enqueued traffic no transaction waits on
+/// (data/metadata writes, untracked parent fetches). Completes like any
+/// request but routes nowhere.
+const UNTRACKED_PART: u64 = u64::MAX - 1;
+/// Part-slot sentinel: already completed, or never enqueued (allocation
+/// raced a full queue) — the window's front can slide past it.
+const DEAD_PART: u64 = u64::MAX;
+/// `Transaction::remaining` placeholder for a read token between its
+/// allocation and its part count being known; nonzero so the window's
+/// front cannot slide past a transaction still being assembled.
+const TXN_ASSEMBLING: u32 = u32::MAX;
+
 /// Tuning knobs for ablation studies (DESIGN.md §5). [`Default`] matches
 /// the paper's setup.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -125,8 +137,24 @@ pub struct SecurityEngine {
     mem_mhz: u64,
     next_token: u64,
     next_part: u64,
-    part_token: FxHashMap<u64, u64>,
-    transactions: FxHashMap<u64, Transaction>,
+    /// Owning token per part id, as a dense sliding window over the part
+    /// sequence: slot `p - part_base` holds the token of part `p`
+    /// ([`UNTRACKED_PART`] for traffic no transaction waits on,
+    /// [`DEAD_PART`] once completed or never enqueued). Parts complete
+    /// within the channel's bounded in-flight window, so the deque stays
+    /// small and routing a completion is one array store instead of a
+    /// hash-map remove on the busiest shared path in the simulator.
+    part_token: VecDeque<u64>,
+    /// Part id of `part_token`'s front slot.
+    part_base: u64,
+    /// In-flight read transactions, as the same dense sliding window
+    /// over the token sequence (`remaining == 0` marks a dead slot:
+    /// a posted write's token or a completed read).
+    transactions: VecDeque<Transaction>,
+    /// Token id of `transactions`' front slot.
+    txn_base: u64,
+    /// Live (incomplete read) entries in `transactions`.
+    live_txns: usize,
     /// Lower bound on `extra_latency` across in-flight transactions
     /// (tightened on insert, reset when none remain). Lets
     /// [`MemoryBackend::next_completion_event`] push the CPU's wake-up
@@ -134,9 +162,6 @@ pub struct SecurityEngine {
     min_extra_in_flight: u64,
     /// Completed reads, scheduled at the CPU cycle they become visible.
     ready: EventQueue<u64>,
-    /// Mirror of [`Self::ready`] keyed by token, for the O(1) per-token
-    /// lookups behind [`MemoryBackend::next_completion_event_among`].
-    ready_at: FxHashMap<u64, u64>,
     pending_md_writes: VecDeque<u64>,
     stats: EngineStats,
     options: EngineOptions,
@@ -211,11 +236,13 @@ impl SecurityEngine {
             mem_mhz,
             next_token: 0,
             next_part: 0,
-            part_token: FxHashMap::default(),
-            transactions: FxHashMap::default(),
+            part_token: VecDeque::new(),
+            part_base: 0,
+            transactions: VecDeque::new(),
+            txn_base: 0,
+            live_txns: 0,
             min_extra_in_flight: u64::MAX,
             ready: EventQueue::new(),
-            ready_at: FxHashMap::default(),
             pending_md_writes: VecDeque::new(),
             stats: EngineStats::default(),
             options,
@@ -289,6 +316,37 @@ impl SecurityEngine {
         }
     }
 
+    /// Allocates the next part id, recording `slot` (an owning token or a
+    /// sentinel) in the routing window.
+    fn alloc_part(&mut self, slot: u64) -> u64 {
+        let part = self.next_part;
+        self.next_part += 1;
+        self.part_token.push_back(slot);
+        part
+    }
+
+    /// Allocates the next token id; a read passes `assembling` (its part
+    /// count is filled in once the metadata walk is done), a posted write
+    /// burns the id with a dead slot.
+    fn alloc_token(&mut self, assembling: bool) -> u64 {
+        let token = self.next_token;
+        self.next_token += 1;
+        self.transactions.push_back(Transaction {
+            remaining: if assembling { TXN_ASSEMBLING } else { 0 },
+            latest_arrival_cpu: 0,
+            extra_latency: 0,
+        });
+        if !assembling {
+            // A burned write id may leave dead slots at the front; slide
+            // now so a write-heavy phase cannot grow the window.
+            while matches!(self.transactions.front(), Some(t) if t.remaining == 0) {
+                self.transactions.pop_front();
+                self.txn_base += 1;
+            }
+        }
+        token
+    }
+
     /// Accesses the metadata cache for `line`; on a miss, fetches it from
     /// DRAM as part of transaction `token` (or untracked when `token` is
     /// `None`) and installs it. Returns `true` when it missed.
@@ -306,20 +364,22 @@ impl SecurityEngine {
         }
         // Fetch from DRAM.
         let part = self.next_part;
-        self.next_part += 1;
-        match self
+        let slot = match self
             .dram
             .enqueue(MemRequest::new(part, ReqKind::Read, line, now_mem))
         {
             Ok(()) => {
-                if let Some(t) = token {
-                    self.part_token.insert(part, t);
-                    *parts += 1;
-                }
                 if is_tree_node {
                     self.stats.tree_fetches += 1;
                 } else {
                     self.stats.leaf_fetches += 1;
+                }
+                match token {
+                    Some(t) => {
+                        *parts += 1;
+                        t
+                    }
+                    None => UNTRACKED_PART,
                 }
             }
             Err(_) => {
@@ -329,8 +389,11 @@ impl SecurityEngine {
                 );
                 // Untracked fetch under saturation: elide the DRAM access
                 // (models MSHR merging with the concurrent demand traffic).
+                DEAD_PART
             }
-        }
+        };
+        let allocated = self.alloc_part(slot);
+        debug_assert_eq!(allocated, part);
         if let Some(victim) = self.md_cache.fill(line, is_write) {
             self.queue_md_writeback(victim, now_mem);
         }
@@ -346,14 +409,18 @@ impl SecurityEngine {
                     // Parent not cached: fetch it (untracked) and install
                     // dirty, spilling recursively via this same hook.
                     let part = self.next_part;
-                    self.next_part += 1;
-                    if self
+                    let slot = if self
                         .dram
                         .enqueue(MemRequest::new(part, ReqKind::Read, parent, now_mem))
                         .is_ok()
                     {
                         self.stats.tree_fetches += 1;
-                    }
+                        UNTRACKED_PART
+                    } else {
+                        DEAD_PART
+                    };
+                    let allocated = self.alloc_part(slot);
+                    debug_assert_eq!(allocated, part);
                     if let Some(v2) = self.md_cache.fill(parent, true) {
                         self.stats.metadata_writebacks += 1;
                         self.pending_md_writes.push_back(v2);
@@ -362,14 +429,18 @@ impl SecurityEngine {
             }
         }
         let part = self.next_part;
-        self.next_part += 1;
-        if self
+        let slot = if self
             .dram
             .enqueue(MemRequest::new(part, ReqKind::Write, victim, now_mem))
-            .is_err()
+            .is_ok()
         {
+            UNTRACKED_PART
+        } else {
             self.pending_md_writes.push_back(victim);
-        }
+            DEAD_PART
+        };
+        let allocated = self.alloc_part(slot);
+        debug_assert_eq!(allocated, part);
     }
 
     /// Worst-case read-queue slots one read transaction may need
@@ -388,7 +459,7 @@ impl SecurityEngine {
         if let Some(t) = self.ready.peek_time() {
             bound = bound.min(t);
         }
-        if !self.transactions.is_empty() {
+        if self.live_txns > 0 {
             let mut part_finish = self.dram.next_read_finish_cycle();
             if let Some(t) = self.dram.next_pending_completion() {
                 part_finish = part_finish.min(t);
@@ -438,22 +509,33 @@ impl SecurityEngine {
                 }
             }
             for completion in self.dram.tick() {
-                let Some(token) = self.part_token.remove(&completion.id) else {
+                let off = (completion.id - self.part_base) as usize;
+                let slot = std::mem::replace(&mut self.part_token[off], DEAD_PART);
+                // Slide the window's front over everything already done.
+                while self.part_token.front() == Some(&DEAD_PART) {
+                    self.part_token.pop_front();
+                    self.part_base += 1;
+                }
+                if slot >= UNTRACKED_PART {
+                    debug_assert_ne!(slot, DEAD_PART, "part completed twice");
                     continue; // untracked metadata traffic
-                };
+                }
+                let token = slot;
                 let arrival = self.cpu_cycle_for(completion.finish_cycle);
-                if let Some(txn) = self.transactions.get_mut(&token) {
-                    txn.remaining -= 1;
-                    txn.latest_arrival_cpu = txn.latest_arrival_cpu.max(arrival);
-                    if txn.remaining == 0 {
-                        let txn = self.transactions.remove(&token).expect("present");
-                        if self.transactions.is_empty() {
-                            self.min_extra_in_flight = u64::MAX;
-                        }
-                        let visible_at = txn.latest_arrival_cpu + txn.extra_latency;
-                        self.ready.push(visible_at, token);
-                        self.ready_at.insert(token, visible_at);
+                let txn = &mut self.transactions[(token - self.txn_base) as usize];
+                txn.remaining -= 1;
+                txn.latest_arrival_cpu = txn.latest_arrival_cpu.max(arrival);
+                if txn.remaining == 0 {
+                    let visible_at = txn.latest_arrival_cpu + txn.extra_latency;
+                    while matches!(self.transactions.front(), Some(t) if t.remaining == 0) {
+                        self.transactions.pop_front();
+                        self.txn_base += 1;
                     }
+                    self.live_txns -= 1;
+                    if self.live_txns == 0 {
+                        self.min_extra_in_flight = u64::MAX;
+                    }
+                    self.ready.push(visible_at, token);
                 }
             }
             // Retry spilled metadata writebacks.
@@ -465,7 +547,8 @@ impl SecurityEngine {
                     .enqueue(MemRequest::new(part, ReqKind::Write, wb, mem_now))
                     .is_ok()
                 {
-                    self.next_part += 1;
+                    let allocated = self.alloc_part(UNTRACKED_PART);
+                    debug_assert_eq!(allocated, part);
                     self.pending_md_writes.pop_front();
                 } else {
                     break;
@@ -490,14 +573,11 @@ impl SecurityEngine {
                 {
                     return Err(Busy);
                 }
-                let token = self.next_token;
-                self.next_token += 1;
+                let token = self.alloc_token(true);
                 let mut parts = 0u32;
 
                 // Data fetch.
-                let part = self.next_part;
-                self.next_part += 1;
-                self.part_token.insert(part, token);
+                let part = self.alloc_part(token);
                 parts += 1;
                 self.dram
                     .enqueue(MemRequest::new(part, ReqKind::Read, addr, now_mem))
@@ -539,22 +619,19 @@ impl SecurityEngine {
                     extra += (tree_misses - 1) * per_fetch;
                 }
                 self.min_extra_in_flight = self.min_extra_in_flight.min(extra);
-                self.transactions.insert(
-                    token,
-                    Transaction {
-                        remaining: parts,
-                        latest_arrival_cpu: 0,
-                        extra_latency: extra,
-                    },
-                );
+                self.transactions[(token - self.txn_base) as usize] = Transaction {
+                    remaining: parts,
+                    latest_arrival_cpu: 0,
+                    extra_latency: extra,
+                };
+                self.live_txns += 1;
                 Ok(token)
             }
             AccessKind::Write => {
                 if self.dram.write_queue_len() >= self.dram.config().write_queue {
                     return Err(Busy);
                 }
-                let part = self.next_part;
-                self.next_part += 1;
+                let part = self.alloc_part(UNTRACKED_PART);
                 self.dram
                     .enqueue(MemRequest::new(part, ReqKind::Write, addr, now_mem))
                     .expect("capacity checked");
@@ -570,9 +647,7 @@ impl SecurityEngine {
                     }
                 }
                 // Writes are posted; token unused by the caller.
-                let token = self.next_token;
-                self.next_token += 1;
-                Ok(token)
+                Ok(self.alloc_token(false))
             }
         }
     }
@@ -616,10 +691,21 @@ impl MemoryBackend for SecurityEngine {
         self.advance(mem_due);
         let mut done = Vec::new();
         while let Some((_, token)) = self.ready.pop_due(now) {
-            self.ready_at.remove(&token);
             done.push(token);
         }
         done
+    }
+
+    fn advance_to(&mut self, target: u64, completions: &mut Vec<(u64, u64)>) {
+        // One channel catch-up for the whole window (the [`Self::sync_to`]
+        // idiom), then drain the ready queue with its visibility stamps —
+        // `ready` pops in (cycle, insertion) order, which is exactly the
+        // order a per-cycle tick loop would have delivered.
+        let mem_due = self.mem_cycle_for(target);
+        self.advance(mem_due);
+        while let Some((at, token)) = self.ready.pop_due(target) {
+            completions.push((at, token));
+        }
     }
 
     fn next_event(&self, now: u64) -> Option<u64> {
@@ -651,40 +737,6 @@ impl MemoryBackend for SecurityEngine {
         } else {
             Some(bound.max(now + 1))
         }
-    }
-
-    fn next_completion_event_among(
-        &self,
-        now: u64,
-        tokens: &mut dyn Iterator<Item = u64>,
-    ) -> Option<u64> {
-        // O(|tokens|): each token is either ready (exact visible time in
-        // `ready_at`), in flight (its transaction's fixed crypto
-        // latency rides on the channel-level part bound, computed once
-        // below), or already delivered (ignored). With no owned token
-        // alive the whole bound drops — the key difference from the
-        // global bound, which any other core's read keeps early.
-        let mut bound = u64::MAX;
-        let mut min_extra_owned = u64::MAX;
-        for token in tokens {
-            if let Some(&at) = self.ready_at.get(&token) {
-                bound = bound.min(at);
-            } else if let Some(txn) = self.transactions.get(&token) {
-                min_extra_owned = min_extra_owned.min(txn.extra_latency);
-            }
-        }
-        if min_extra_owned != u64::MAX {
-            let mut part_finish = self.dram.next_read_finish_cycle();
-            if let Some(t) = self.dram.next_pending_completion() {
-                part_finish = part_finish.min(t);
-            }
-            part_finish = part_finish.max(self.dram.cycle() + 1);
-            bound = bound.min(
-                self.cpu_cycle_for(part_finish)
-                    .saturating_add(min_extra_owned),
-            );
-        }
-        (bound != u64::MAX).then(|| bound.max(now + 1))
     }
 
     fn next_read_capacity_event(&self, now: u64, _addr: u64) -> Option<u64> {

@@ -62,6 +62,31 @@ pub struct StepOutcome {
     pub finished: bool,
 }
 
+/// How a multi-core scheduler should treat a core after a step, from
+/// [`CoreEngine::sleep_plan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SleepPlan {
+    /// The next per-cycle step might do work: keep stepping.
+    Run,
+    /// Nothing this core's per-cycle step does before `wake_at` can have
+    /// any effect, except that one of its own routed completions
+    /// arriving earlier must wake it immediately.
+    Sleep {
+        /// Self-scheduled wake-up cycle. `None` means the core has no
+        /// self-scheduled event at all — only a routed completion can
+        /// make its step do work (e.g. a pointer chase whose ROB head is
+        /// the waiting load).
+        wake_at: Option<u64>,
+        /// The bound is derived from shared backend *capacity* state
+        /// (blocked writebacks or a Busy-stalled op). Capacity is shared
+        /// between cores, so after any other core's accepted submission
+        /// the scheduler must re-derive this bound (keeping the
+        /// earlier); non-capacity sleeps are exact and never need
+        /// refreshing.
+        capacity: bool,
+    },
+}
+
 /// One ROB-limited OOO core with private L1D and stream prefetcher,
 /// steppable against a borrowed shared LLC and memory backend.
 #[derive(Debug)]
@@ -150,14 +175,6 @@ impl CoreEngine {
     #[must_use]
     pub fn finished(&self) -> bool {
         self.finished_at.is_some()
-    }
-
-    /// The backend read tokens this core is still waiting on (its MSHR
-    /// population) — the ownership set a multi-core scheduler passes to
-    /// [`MemoryBackend::next_completion_event_among`] so the core sleeps
-    /// on *its own* earliest completion.
-    pub fn outstanding_read_tokens(&self) -> impl Iterator<Item = u64> + '_ {
-        self.token_line.keys().copied()
     }
 
     /// Re-arms the core for another trace: clears trace exhaustion, the
@@ -368,20 +385,7 @@ impl CoreEngine {
     /// submitted (see [`StepOutcome::submitted`]).
     #[must_use]
     pub fn wake_bound<B: MemoryBackend>(&self, now: u64, backend: &B) -> Option<u64> {
-        let dispatch_idle = match &self.stalled_op {
-            // A compute remainder only stalls on ROB space (a plain
-            // budget cut dispatches again next cycle with fresh width).
-            Some(TraceOp::Compute(_)) => self.rob.space() == 0,
-            // A blocked pointer chase resumes on its completion event.
-            Some(TraceOp::DependentLoad(_)) if self.chase_outstanding.is_some() => true,
-            // Other memory ops stalled on ROB space (retire event) or a
-            // busy backend (backend queues only drain on backend events).
-            Some(_) => true,
-            // A fresh op could dispatch unless the ROB is full (it would
-            // merely become the stalled op, which is equivalent).
-            None => self.trace_done || self.rob.space() == 0,
-        };
-        if !dispatch_idle {
+        if !self.dispatch_idle() {
             return None;
         }
         let mut bound = u64::MAX;
@@ -398,12 +402,7 @@ impl CoreEngine {
         // blocked writeback or a Busy-stalled op; a pure completion wait
         // can use the (often much larger) completion bound, and a load
         // stalled on read capacity the read-issue bound.
-        let busy_stalled = match &self.stalled_op {
-            Some(TraceOp::Compute(_)) | None => None,
-            Some(TraceOp::DependentLoad(_)) if self.chase_outstanding.is_some() => None,
-            Some(op) if self.rob.space() > 0 => Some(*op), // Busy, not ROB-stalled
-            Some(_) => None,
-        };
+        let busy_stalled = self.busy_stalled();
         let backend_bound = if !self.pending_writebacks.is_empty()
             || matches!(busy_stalled, Some(TraceOp::Store(_)))
         {
@@ -423,6 +422,95 @@ impl CoreEngine {
             return None;
         }
         Some(bound.max(now + 1))
+    }
+
+    /// True when the dispatch stage cannot make progress this cycle —
+    /// the precondition for any sleep.
+    fn dispatch_idle(&self) -> bool {
+        match &self.stalled_op {
+            // A compute remainder only stalls on ROB space (a plain
+            // budget cut dispatches again next cycle with fresh width).
+            Some(TraceOp::Compute(_)) => self.rob.space() == 0,
+            // A blocked pointer chase resumes on its completion event.
+            Some(TraceOp::DependentLoad(_)) if self.chase_outstanding.is_some() => true,
+            // Other memory ops stalled on ROB space (retire event) or a
+            // busy backend (backend queues only drain on backend events).
+            Some(_) => true,
+            // A fresh op could dispatch unless the ROB is full (it would
+            // merely become the stalled op, which is equivalent).
+            None => self.trace_done || self.rob.space() == 0,
+        }
+    }
+
+    /// The stalled op if it is waiting on backend *capacity* (Busy
+    /// rejection) rather than ROB space or its own chase completion.
+    fn busy_stalled(&self) -> Option<TraceOp> {
+        match &self.stalled_op {
+            Some(TraceOp::Compute(_)) | None => None,
+            Some(TraceOp::DependentLoad(_)) if self.chase_outstanding.is_some() => None,
+            Some(op) if self.rob.space() > 0 => Some(*op), // Busy, not ROB-stalled
+            Some(_) => None,
+        }
+    }
+
+    /// Classifies this core's wait for a multi-core next-event scheduler,
+    /// right after a step at `now`.
+    ///
+    /// The key split is *exact* versus *capacity-bounded* waits. A core
+    /// that is not blocked on backend capacity (no refused writebacks, no
+    /// Busy-stalled op) can only be woken by in-order retirement — whose
+    /// exact cycle [`crate::core::CpuConfig::rob_entries`]-bounded
+    /// `next_retire_at` gives — or by one of its *own* read completions,
+    /// which the scheduler already delivers as exact routed events. Such
+    /// a sleep needs no backend probe at all, never fires spuriously, and
+    /// stays valid across other cores' submissions. Capacity waits are
+    /// only *bounded* by the shared backend's queue-space events, so they
+    /// carry `capacity: true` (refresh-on-submit) and are gated by the
+    /// same streak/backoff heuristics as [`Self::sleep_bound`] — the
+    /// probe folds DRAM state and must pay for itself (wall-clock only,
+    /// never simulated results).
+    pub fn sleep_plan<B: MemoryBackend>(&mut self, now: u64, backend: &B) -> SleepPlan {
+        if !self.cfg.advance.is_event_driven() || !self.dispatch_idle() {
+            return SleepPlan::Run;
+        }
+        let retire = self.rob.next_retire_at();
+        if let Some(t) = retire {
+            if t <= now + 1 {
+                return SleepPlan::Run;
+            }
+        }
+        if self.pending_writebacks.is_empty() && self.busy_stalled().is_none() {
+            // Exact wait: own completions (routed) plus in-order retire.
+            return SleepPlan::Sleep {
+                wake_at: retire,
+                capacity: false,
+            };
+        }
+        if self.idle_streak < MIN_IDLE_STREAK {
+            return SleepPlan::Run;
+        }
+        if self.skip_cooldown > 0 {
+            self.skip_cooldown -= 1;
+            return SleepPlan::Run;
+        }
+        let Some(wake) = self.wake_bound(now, backend) else {
+            return SleepPlan::Run;
+        };
+        let skip_yield = wake.saturating_sub(now + 1);
+        if skip_yield >= MIN_SKIP_YIELD {
+            self.skip_backoff = 0;
+        } else {
+            self.skip_backoff = (self.skip_backoff * 2 + 1).min(256);
+            self.skip_cooldown = self.skip_backoff;
+        }
+        if wake > now + 1 {
+            SleepPlan::Sleep {
+                wake_at: Some(wake),
+                capacity: true,
+            }
+        } else {
+            SleepPlan::Run
+        }
     }
 
     /// Attempts to dispatch one trace op; returns it back on stall.

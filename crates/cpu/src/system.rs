@@ -58,6 +58,11 @@ impl std::error::Error for Busy {}
 /// Implementations assign tokens to accepted reads; [`Self::tick`] advances
 /// backend time to the given CPU cycle and reports which read tokens
 /// completed (writes complete silently).
+///
+/// Tokens are allocated as a dense ascending sequence starting at zero —
+/// one per accepted submission, reads and writes alike. Front-ends rely
+/// on this to key per-token side tables by plain index (e.g. the
+/// multi-core completion router's token→core table) instead of hashing.
 pub trait MemoryBackend {
     /// Submits a line-granularity access at CPU cycle `now`.
     ///
@@ -93,6 +98,29 @@ pub trait MemoryBackend {
 
     /// Advances to CPU cycle `now`; returns completed read tokens.
     fn tick(&mut self, now: u64) -> Vec<u64>;
+
+    /// Advances to CPU cycle `target` in one call, appending every read
+    /// completion that became visible in the advanced window to
+    /// `completions` as `(visible_cycle, token)` pairs, in exactly the
+    /// order a per-cycle [`Self::tick`] loop would have delivered them
+    /// (ascending cycle; same-cycle completions in the tick's own order).
+    ///
+    /// This is the block-advance seam for next-event schedulers: instead
+    /// of one `tick` per simulated cycle, the backend is touched once per
+    /// *observable* event. The call is sound at any `target`; the stamps
+    /// tell the caller which cycle each completion belongs to. A caller
+    /// that never advances past [`Self::next_completion_event`] without
+    /// harvesting will only ever see stamps equal to its current cycle.
+    ///
+    /// The default implementation delegates to `tick(target)` and stamps
+    /// every token at `target` — exact for such disciplined callers
+    /// (under the default per-cycle bounds the backend is harvested
+    /// every cycle, where `tick`'s semantics are already exact).
+    fn advance_to(&mut self, target: u64, completions: &mut Vec<(u64, u64)>) {
+        for token in self.tick(target) {
+            completions.push((target, token));
+        }
+    }
 
     /// Lower bound on the next CPU cycle at which this backend's
     /// observable state can change: a read completing, or queue space
@@ -131,30 +159,6 @@ pub trait MemoryBackend {
     fn next_read_capacity_event(&self, now: u64, addr: u64) -> Option<u64> {
         let _ = addr;
         self.next_event(now)
-    }
-
-    /// Lower bound on the next CPU cycle at which [`Self::tick`] could
-    /// return a completed read token for which `owned` is true.
-    ///
-    /// Multi-core front-ends pass each core's token-ownership predicate
-    /// so a sleeping core waits on *its own* earliest completion instead
-    /// of the backend's global completion bound (another core's read
-    /// returning cannot make this core's per-cycle step do anything).
-    ///
-    /// `tokens` is the caller's set of outstanding read tokens (as
-    /// returned by submit); unknown or already-delivered tokens are
-    /// ignored. Implementations should answer in O(|tokens|) lookups,
-    /// not by scanning their internal queues — this probe runs on every
-    /// sleep/wake decision of every core. The global bound is a valid —
-    /// if loose — lower bound for any subset, so the default falls back
-    /// to [`Self::next_completion_event`].
-    fn next_completion_event_among(
-        &self,
-        now: u64,
-        tokens: &mut dyn Iterator<Item = u64>,
-    ) -> Option<u64> {
-        let _ = tokens;
-        self.next_completion_event(now)
     }
 }
 
@@ -201,22 +205,16 @@ impl MemoryBackend for FixedLatencyBackend {
         done
     }
 
-    fn next_event(&self, _now: u64) -> Option<u64> {
-        self.in_flight.peek_time()
+    fn advance_to(&mut self, target: u64, completions: &mut Vec<(u64, u64)>) {
+        // `in_flight` is keyed at finish cycles, so the pop order *is*
+        // the per-cycle delivery order, stamps included.
+        while let Some((at, token)) = self.in_flight.pop_due(target) {
+            completions.push((at, token));
+        }
     }
 
-    fn next_completion_event_among(
-        &self,
-        _now: u64,
-        tokens: &mut dyn Iterator<Item = u64>,
-    ) -> Option<u64> {
-        // Test backend: a linear scan is fine at unit-test scale.
-        let owned: Vec<u64> = tokens.collect();
-        self.in_flight
-            .iter()
-            .filter(|&(_, token)| owned.contains(token))
-            .map(|(at, _)| at)
-            .min()
+    fn next_event(&self, _now: u64) -> Option<u64> {
+        self.in_flight.peek_time()
     }
 }
 

@@ -137,12 +137,25 @@ pub enum SchedAction {
     },
 }
 
-/// Per-queue incremental scheduler state: the dense arrival-ordered
-/// request vector plus per-bank eligibility FIFOs of indices into it.
+/// Per-queue incremental scheduler state: the arrival-ordered request
+/// vector plus per-bank eligibility FIFOs of indices into it.
+///
+/// Removal tombstones its slot instead of shifting the tail down, so a
+/// column issue is O(1) rather than O(queue) — indices stay monotone in
+/// arrival order (the FR-FCFS age comparisons are untouched) and the
+/// vector is compacted once tombstones outnumber live entries.
 #[derive(Debug)]
 struct SchedQueue {
-    /// Queued requests in arrival order (position = FR-FCFS age).
-    q: Vec<QueuedReq>,
+    /// Queued requests in arrival order (position = FR-FCFS age);
+    /// `None` marks an issued entry's tombstone.
+    q: Vec<Option<QueuedReq>>,
+    /// Live (non-tombstone) entries in `q`.
+    live: usize,
+    /// Position at or after which the oldest live entry sits: slots
+    /// below it are all tombstones (tombstones never resurrect, so the
+    /// hint only ever advances between compactions). A `Cell` because
+    /// the `&self` bound computations walk it forward.
+    first_live: Cell<usize>,
     /// Per-flat-bank FIFO (arrival order) of indices of requests
     /// targeting the bank's open row.
     hits: Vec<VecDeque<u32>>,
@@ -151,20 +164,76 @@ struct SchedQueue {
     misses: Vec<VecDeque<u32>>,
     /// Queued requests per bank (hits + misses).
     bank_count: Vec<u32>,
+    /// Bit `fb` set iff `hits[fb]` is nonempty. The scheduler's hot
+    /// passes run every busy cycle and most banks are empty most of the
+    /// time, so they walk set bits instead of sweeping every FIFO header.
+    hit_mask: u64,
+    /// Bit `fb` set iff `misses[fb]` is nonempty.
+    miss_mask: u64,
 }
 
 impl SchedQueue {
     fn new(total_banks: usize) -> Self {
+        assert!(
+            total_banks <= 64,
+            "bank-occupancy masks require at most 64 banks per channel"
+        );
         Self {
             q: Vec::new(),
+            live: 0,
+            first_live: Cell::new(0),
             hits: vec![VecDeque::new(); total_banks],
             misses: vec![VecDeque::new(); total_banks],
             bank_count: vec![0; total_banks],
+            hit_mask: 0,
+            miss_mask: 0,
         }
     }
 
     fn len(&self) -> usize {
-        self.q.len()
+        self.live
+    }
+
+    fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// The queued request at arrival position `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is a tombstone — callers only hold indices of
+    /// live entries (FIFO fronts and iteration positions).
+    fn req(&self, idx: usize) -> &QueuedReq {
+        self.q[idx].as_ref().expect("index refers to a live entry")
+    }
+
+    fn req_mut(&mut self, idx: usize) -> &mut QueuedReq {
+        self.q[idx].as_mut().expect("index refers to a live entry")
+    }
+
+    /// Live entries with their arrival positions, oldest first.
+    fn iter(&self) -> impl Iterator<Item = (usize, &QueuedReq)> {
+        self.q
+            .iter()
+            .enumerate()
+            .skip(self.first_live.get())
+            .filter_map(|(i, e)| e.as_ref().map(|e| (i, e)))
+    }
+
+    /// The oldest live entry and its arrival position, advancing the
+    /// first-live hint over any tombstones in front of it.
+    fn oldest(&self) -> Option<(usize, &QueuedReq)> {
+        let mut i = self.first_live.get();
+        while i < self.q.len() {
+            if let Some(e) = &self.q[i] {
+                self.first_live.set(i);
+                return Some((i, e));
+            }
+            i += 1;
+        }
+        self.first_live.set(i);
+        None
     }
 
     /// Accepts a newly enqueued entry (its index is the current tail, so
@@ -174,41 +243,60 @@ impl SchedQueue {
         let fb = entry.flat_bank;
         if is_hit {
             self.hits[fb].push_back(idx);
+            self.hit_mask |= 1 << fb;
         } else {
             self.misses[fb].push_back(idx);
+            self.miss_mask |= 1 << fb;
         }
         self.bank_count[fb] += 1;
-        self.q.push(entry);
+        self.q.push(Some(entry));
+        self.live += 1;
     }
 
-    /// Removes an issued entry. Column commands only ever issue for the
-    /// oldest row hit of a bank, so the index is the front of that
-    /// bank's hit FIFO; every index above it shifts down by one.
+    /// Removes an issued entry, leaving a tombstone in its slot so every
+    /// other live index stays valid. Column commands only ever issue for
+    /// the oldest row hit of a bank, so the index is the front of that
+    /// bank's hit FIFO.
     fn remove_issued_hit(&mut self, idx: usize) -> QueuedReq {
-        let entry = self.q.remove(idx);
+        let entry = self.q[idx].take().expect("issued index is live");
         let fb = entry.flat_bank;
         debug_assert_eq!(self.hits[fb].front(), Some(&(idx as u32)));
         self.hits[fb].pop_front();
+        if self.hits[fb].is_empty() {
+            self.hit_mask &= !(1 << fb);
+        }
         self.bank_count[fb] -= 1;
-        let idx = idx as u32;
-        // Every index above the removed position shifts down by one; the
-        // occupancy counters keep this from touching empty banks' FIFOs.
-        for fb in 0..self.bank_count.len() {
-            if self.bank_count[fb] == 0 {
-                continue;
-            }
-            for v in self.hits[fb].iter_mut() {
-                if *v > idx {
-                    *v -= 1;
-                }
-            }
-            for v in self.misses[fb].iter_mut() {
-                if *v > idx {
-                    *v -= 1;
-                }
-            }
+        self.live -= 1;
+        if self.live == 0 {
+            // Every FIFO is empty: restart arrival positions from zero.
+            self.q.clear();
+            self.first_live.set(0);
+        } else if self.q.len() >= 16 && self.q.len() >= self.live * 2 {
+            self.compact();
         }
         entry
+    }
+
+    /// Drops tombstones, renumbering every FIFO through the (monotone,
+    /// hence order-preserving) old-to-new position map. Triggered once
+    /// tombstones outnumber live entries, so the O(queue) cost amortizes
+    /// to O(1) per removal.
+    fn compact(&mut self) {
+        let mut map = vec![u32::MAX; self.q.len()];
+        let mut dense = Vec::with_capacity(self.q.len());
+        for (i, slot) in self.q.iter_mut().enumerate() {
+            if let Some(e) = slot.take() {
+                map[i] = dense.len() as u32;
+                dense.push(Some(e));
+            }
+        }
+        self.q = dense;
+        for fifo in self.hits.iter_mut().chain(self.misses.iter_mut()) {
+            for v in fifo.iter_mut() {
+                *v = map[*v as usize];
+            }
+        }
+        self.first_live.set(0);
     }
 
     /// Reclassifies a bank's entries after an ACT opened `row`: misses
@@ -218,12 +306,13 @@ impl SchedQueue {
         debug_assert!(self.hits[flat_bank].is_empty());
         let old = std::mem::take(&mut self.misses[flat_bank]);
         for idx in old {
-            if self.q[idx as usize].decoded.row == row {
+            if self.req(idx as usize).decoded.row == row {
                 self.hits[flat_bank].push_back(idx);
             } else {
                 self.misses[flat_bank].push_back(idx);
             }
         }
+        self.set_masks(flat_bank);
     }
 
     /// Reclassifies a bank's entries after a PRE closed the row: former
@@ -252,6 +341,22 @@ impl SchedQueue {
             }
         }
         self.misses[flat_bank] = merged;
+        self.set_masks(flat_bank);
+    }
+
+    /// Re-derives `flat_bank`'s occupancy-mask bits from its FIFOs.
+    fn set_masks(&mut self, flat_bank: usize) {
+        let bit = 1 << flat_bank;
+        if self.hits[flat_bank].is_empty() {
+            self.hit_mask &= !bit;
+        } else {
+            self.hit_mask |= bit;
+        }
+        if self.misses[flat_bank].is_empty() {
+            self.miss_mask &= !bit;
+        } else {
+            self.miss_mask |= bit;
+        }
     }
 }
 
@@ -415,7 +520,7 @@ impl DramSystem {
 
     /// True when no request is queued or in flight.
     pub fn is_idle(&self) -> bool {
-        self.read_sched.q.is_empty() && self.write_sched.q.is_empty() && self.pending.is_empty()
+        self.read_sched.is_empty() && self.write_sched.is_empty() && self.pending.is_empty()
     }
 
     /// True when the last tick performed no action and nothing was
@@ -513,15 +618,18 @@ impl DramSystem {
         let queued = self.read_sched.len() + self.write_sched.len();
         if queued <= SMALL_QUEUE_RESCAN {
             for q in [&self.read_sched, &self.write_sched] {
-                for entry in &q.q {
+                for (_, entry) in q.iter() {
                     self.fold_bank_thresholds(now, &mut bound, entry.flat_bank);
                 }
             }
         } else {
-            for fb in 0..self.banks.len() {
-                if self.read_sched.bank_count[fb] == 0 && self.write_sched.bank_count[fb] == 0 {
-                    continue;
-                }
+            let mut m = self.read_sched.hit_mask
+                | self.read_sched.miss_mask
+                | self.write_sched.hit_mask
+                | self.write_sched.miss_mask;
+            while m != 0 {
+                let fb = m.trailing_zeros() as usize;
+                m &= m - 1;
                 self.fold_bank_thresholds(now, &mut bound, fb);
             }
         }
@@ -549,7 +657,7 @@ impl DramSystem {
         // Anti-starvation kicks in when the oldest request's age crosses
         // the limit, which changes scheduling even without a new command.
         for q in [&self.read_sched, &self.write_sched] {
-            if let Some(oldest) = q.q.first() {
+            if let Some((_, oldest)) = q.oldest() {
                 fold_next_event(
                     now,
                     &mut bound,
@@ -570,7 +678,7 @@ impl DramSystem {
     /// future readiness. Refresh blackouts are ignored (they only push
     /// the true issue later). Returns `u64::MAX` when no read is queued.
     pub fn next_read_issue_cycle(&self) -> u64 {
-        if self.read_sched.q.is_empty() {
+        if self.read_sched.is_empty() {
             return u64::MAX;
         }
         let now = self.clock.now();
@@ -593,22 +701,29 @@ impl DramSystem {
 
     fn compute_next_read_issue(&self, now: u64) -> u64 {
         // While draining, no read issues until the write queue falls to
-        // the low watermark; consecutive write bursts occupy the data bus
-        // at least `write_burst_cycles` apart.
+        // the low watermark: `surplus` more writes must issue, their data
+        // bursts occupy the bus at least `write_burst_cycles` apart, and
+        // the earliest schedule starts a write this very cycle — so the
+        // last one issues no sooner than `(surplus - 1)` spacings out and
+        // a read column follows at the next tick. (`surplus *
+        // write_burst_cycles` would overshoot by `write_burst_cycles - 1`;
+        // this bound is consumed as an exact no-read-possible gate by
+        // [`Self::pick_action_incremental`], so an overshoot would delay
+        // real issues, not just wake sleepers late.)
         let floor = if self.draining_writes {
             let surplus = self
                 .write_sched
                 .len()
                 .saturating_sub(self.cfg.write_drain_lo) as u64;
-            now + surplus * self.cfg.write_burst_cycles
+            now + surplus.saturating_sub(1) * self.cfg.write_burst_cycles + 1
         } else {
             now
         };
         let mut bound = u64::MAX;
-        for fb in 0..self.banks.len() {
-            if self.read_sched.bank_count[fb] == 0 {
-                continue;
-            }
+        let mut m = self.read_sched.hit_mask | self.read_sched.miss_mask;
+        while m != 0 {
+            let fb = m.trailing_zeros() as usize;
+            m &= m - 1;
             let per_bank = match self.read_bank_bound[fb].get() {
                 Some(b) if b > now => b,
                 _ => {
@@ -812,7 +927,7 @@ impl DramSystem {
                 self.draining_writes = false;
             }
         } else if self.write_sched.len() >= self.cfg.write_drain_hi
-            || (self.read_sched.q.is_empty() && !self.write_sched.q.is_empty())
+            || (self.read_sched.is_empty() && !self.write_sched.is_empty())
         {
             self.draining_writes = true;
         }
@@ -880,7 +995,7 @@ impl DramSystem {
     fn issue_scheduled(&mut self) -> bool {
         let kind = if self.draining_writes {
             ReqKind::Write
-        } else if !self.read_sched.q.is_empty() {
+        } else if !self.read_sched.is_empty() {
             ReqKind::Read
         } else {
             return false;
@@ -924,7 +1039,7 @@ impl DramSystem {
     fn sched_kind(&self) -> Option<ReqKind> {
         if self.draining_writes {
             Some(ReqKind::Write)
-        } else if !self.read_sched.q.is_empty() {
+        } else if !self.read_sched.is_empty() {
             Some(ReqKind::Read)
         } else {
             None
@@ -939,7 +1054,7 @@ impl DramSystem {
     /// quantity both FR-FCFS passes select.
     fn pick_action_incremental(&self, kind: ReqKind) -> Option<SchedAction> {
         let q = self.sched(kind);
-        let oldest = q.q.first()?;
+        let (oldest_idx, oldest) = q.oldest()?;
         let now = self.clock.now();
         let starving = now.saturating_sub(oldest.req.enqueue_cycle) > self.starvation_limit;
         // Column-issue pre-filter (reads only): a still-valid cached
@@ -959,12 +1074,15 @@ impl DramSystem {
         // the earliest-arrived ready hit-FIFO front across banks.
         if !starving && !self.cfg.fcfs && col_possible {
             let mut best: Option<u32> = None;
-            for (fb, fifo) in q.hits.iter().enumerate() {
-                let Some(&idx) = fifo.front() else { continue };
+            let mut m = q.hit_mask;
+            while m != 0 {
+                let fb = m.trailing_zeros() as usize;
+                m &= m - 1;
+                let idx = *q.hits[fb].front().expect("masked bank has hits");
                 if best.is_some_and(|b| b < idx) {
                     continue;
                 }
-                let e = &q.q[idx as usize];
+                let e = q.req(idx as usize);
                 if self.col_cmd_ready(kind, &e.decoded, fb) {
                     best = Some(idx);
                 }
@@ -990,13 +1108,15 @@ impl DramSystem {
             return match self.banks[fb].open_row {
                 Some(row) if row == e.decoded.row => (col_possible
                     && self.col_cmd_ready(kind, &e.decoded, fb))
-                .then_some(SchedAction::Column { kind, idx: 0 }),
-                Some(_) => {
-                    (now >= self.banks[fb].next_pre).then_some(SchedAction::Precharge { idx: 0 })
-                }
+                .then_some(SchedAction::Column {
+                    kind,
+                    idx: oldest_idx,
+                }),
+                Some(_) => (now >= self.banks[fb].next_pre)
+                    .then_some(SchedAction::Precharge { idx: oldest_idx }),
                 None => self
                     .act_ready(&e.decoded, fb)
-                    .then_some(SchedAction::Activate { idx: 0 }),
+                    .then_some(SchedAction::Activate { idx: oldest_idx }),
             };
         }
 
@@ -1009,18 +1129,24 @@ impl DramSystem {
                 && self.banks[fb].open_row == Some(e.decoded.row)
                 && self.col_cmd_ready(kind, &e.decoded, fb)
             {
-                return Some(SchedAction::Column { kind, idx: 0 });
+                return Some(SchedAction::Column {
+                    kind,
+                    idx: oldest_idx,
+                });
             }
         }
 
         // PRE/ACT preparation: earliest-arrived ready miss-FIFO front.
         let mut best: Option<(u32, SchedAction)> = None;
-        for (fb, fifo) in q.misses.iter().enumerate() {
-            let Some(&idx) = fifo.front() else { continue };
+        let mut m = q.miss_mask;
+        while m != 0 {
+            let fb = m.trailing_zeros() as usize;
+            m &= m - 1;
+            let idx = *q.misses[fb].front().expect("masked bank has misses");
             if best.as_ref().is_some_and(|&(b, _)| b < idx) {
                 continue;
             }
-            let e = &q.q[idx as usize];
+            let e = q.req(idx as usize);
             if self.ranks[e.decoded.rank as usize].refresh_pending {
                 continue;
             }
@@ -1043,14 +1169,14 @@ impl DramSystem {
     /// The retained naive reference scheduler: a full rescan of the queue
     /// in arrival order, exactly the pre-incremental implementation.
     fn pick_action_rescan(&self, kind: ReqKind) -> Option<SchedAction> {
-        let q = &self.sched(kind).q;
-        let oldest = q.first()?;
+        let q = self.sched(kind);
+        let (oldest_idx, oldest) = q.oldest()?;
         let now = self.clock.now();
         let starving = now.saturating_sub(oldest.req.enqueue_cycle) > self.starvation_limit;
 
         // Pass 1 (FR-FCFS only): first-ready row hit in arrival order.
         if !starving && !self.cfg.fcfs {
-            for (idx, e) in q.iter().enumerate() {
+            for (idx, e) in q.iter() {
                 if self.banks[e.flat_bank].open_row == Some(e.decoded.row)
                     && self.col_cmd_ready(kind, &e.decoded, e.flat_bank)
                 {
@@ -1062,7 +1188,7 @@ impl DramSystem {
         // Pass 2: prepare the oldest serviceable request (PRE or ACT), or
         // issue its column command if it is a starving row hit.
         let limit = if starving { 1 } else { q.len() };
-        for (idx, e) in q.iter().take(limit).enumerate() {
+        for (idx, e) in q.iter().take(limit) {
             if self.ranks[e.decoded.rank as usize].refresh_pending {
                 continue;
             }
@@ -1070,7 +1196,7 @@ impl DramSystem {
                 Some(row) if row == e.decoded.row => {
                     // FCFS: only the oldest request may issue its column
                     // command (younger ones may still prepare their banks).
-                    if (starving || (self.cfg.fcfs && idx == 0))
+                    if (starving || (self.cfg.fcfs && idx == oldest_idx))
                         && self.col_cmd_ready(kind, &e.decoded, e.flat_bank)
                     {
                         return Some(SchedAction::Column { kind, idx });
@@ -1101,8 +1227,8 @@ impl DramSystem {
                     true => &mut self.write_sched,
                     false => &mut self.read_sched,
                 };
-                let fb = q.q[idx].flat_bank;
-                q.q[idx].touched = true;
+                let fb = q.req(idx).flat_bank;
+                q.req_mut(idx).touched = true;
                 self.banks[fb].open_row = None;
                 self.banks[fb].next_act = self.banks[fb].next_act.max(now + self.cfg.t_rp);
                 self.stats.precharges += 1;
@@ -1113,9 +1239,9 @@ impl DramSystem {
                     true => &mut self.write_sched,
                     false => &mut self.read_sched,
                 };
-                q.q[idx].touched = true;
+                q.req_mut(idx).touched = true;
                 let (decoded, fb) = {
-                    let e = &q.q[idx];
+                    let e = q.req(idx);
                     (e.decoded, e.flat_bank)
                 };
                 self.issue_act(&decoded, fb);
@@ -1292,12 +1418,16 @@ impl DramSystem {
             let banks = self.banks.len();
             let mut exp_hits: Vec<Vec<u32>> = vec![Vec::new(); banks];
             let mut exp_misses: Vec<Vec<u32>> = vec![Vec::new(); banks];
-            for (idx, e) in q.q.iter().enumerate() {
+            for (idx, e) in q.iter() {
                 if self.banks[e.flat_bank].open_row == Some(e.decoded.row) {
                     exp_hits[e.flat_bank].push(idx as u32);
                 } else {
                     exp_misses[e.flat_bank].push(idx as u32);
                 }
+            }
+            let live = q.iter().count();
+            if q.live != live {
+                return Err(format!("{label}: live count {} != rescan {live}", q.live));
             }
             for fb in 0..banks {
                 let got_hits: Vec<u32> = q.hits[fb].iter().copied().collect();
@@ -1321,6 +1451,12 @@ impl DramSystem {
                         q.bank_count[fb]
                     ));
                 }
+                if (q.hit_mask & (1 << fb) != 0) == exp_hits[fb].is_empty() {
+                    return Err(format!("{label}: bank {fb} hit-mask bit wrong"));
+                }
+                if (q.miss_mask & (1 << fb) != 0) == exp_misses[fb].is_empty() {
+                    return Err(format!("{label}: bank {fb} miss-mask bit wrong"));
+                }
                 // Cached per-bank read-issue bounds must stay lower bounds
                 // of a fresh computation (the ratchet invariant).
                 if kind == ReqKind::Read && count > 0 {
@@ -1338,7 +1474,7 @@ impl DramSystem {
         // Store-forward index matches the queued writes.
         let line_mask = !u64::from(self.cfg.line_bytes - 1);
         let mut exp_lines: FxHashMap<u64, u32> = FxHashMap::default();
-        for e in &self.write_sched.q {
+        for (_, e) in self.write_sched.iter() {
             *exp_lines.entry(e.req.addr & line_mask).or_insert(0) += 1;
         }
         if exp_lines != self.write_lines {

@@ -200,6 +200,24 @@ impl<T: Eq> EventQueue<T> {
         self.heap.peek().map(|Reverse(s)| s.at)
     }
 
+    /// The earliest scheduled `(time, payload)` without removing it.
+    ///
+    /// Schedulers with lazy staleness filtering use this to inspect the
+    /// head entry and pop it only when it turns out to be stale — the
+    /// pop-then-push round trip (two sift operations plus a burned
+    /// sequence number per inspection) disappears.
+    #[must_use]
+    pub fn peek(&self) -> Option<(u64, &T)> {
+        self.heap.peek().map(|Reverse(s)| (s.at, &s.payload))
+    }
+
+    /// As [`Self::peek`], but only when the head entry fires at or
+    /// before `now`.
+    #[must_use]
+    pub fn peek_due(&self, now: u64) -> Option<(u64, &T)> {
+        self.peek().filter(|&(at, _)| at <= now)
+    }
+
     /// Pops the earliest event if it fires at or before `now`.
     pub fn pop_due(&mut self, now: u64) -> Option<(u64, T)> {
         if self.peek_time()? <= now {
@@ -279,6 +297,20 @@ mod tests {
         assert_eq!(q.pop_due(5), Some((5, "b")), "FIFO among same-cycle events");
         assert_eq!(q.pop_due(5), Some((5, "c")));
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_is_non_destructive_and_fifo_consistent() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek(), None);
+        q.push(7, "late");
+        q.push(4, "early");
+        assert_eq!(q.peek(), Some((4, &"early")));
+        assert_eq!(q.peek(), Some((4, &"early")), "peek must not pop");
+        assert_eq!(q.peek_due(3), None);
+        assert_eq!(q.peek_due(4), Some((4, &"early")));
+        assert_eq!(q.pop_due(10), Some((4, "early")));
+        assert_eq!(q.peek(), Some((7, &"late")));
     }
 
     #[test]

@@ -1,56 +1,88 @@
-//! N OOO cores sharing one LLC and one memory backend behind a
+//! N OOO cores sharing one LLC and one memory backend behind a true
 //! next-event scheduler.
 //!
 //! [`MultiCoreSystem`] owns N [`CoreEngine`]s (each a private ROB, L1D
 //! and stream prefetcher — the machinery extracted from `CpuSystem`),
-//! one shared LLC, and one [`MemoryBackend`]. The backend is ticked once
-//! per simulated cycle and its completed read tokens are routed to their
-//! owning cores, so the backend is oblivious to the core count — exactly
-//! the seam `ShardedEngine` already presents to a single core, which is
-//! what makes cores × channels compose (`MultiCoreSystem<ShardedEngine>`
-//! works unchanged).
+//! one shared LLC, and one [`MemoryBackend`]. Completed read tokens are
+//! routed to their owning cores, so the backend is oblivious to the core
+//! count — exactly the seam `ShardedEngine` already presents to a single
+//! core, which is what makes cores × channels compose
+//! (`MultiCoreSystem<ShardedEngine>` works unchanged).
 //!
 //! # Scheduling
 //!
-//! The top-level advance mirrors the sharded backend's shard scheduler
-//! one layer up. Under [`sim_kernel::Advance::ToNextEvent`], a core whose
-//! step made no progress computes its memoized wake-up bound (the same
-//! bound the single-core run loop skips on) and goes to sleep; sleeping
-//! cores are registered in a [`sim_kernel::EventQueue`] min-heap with
-//! lazy staleness filtering, and only *due* cores step. When every
-//! unfinished core is asleep the global clock jumps to the earliest
-//! registered wake-up, so whole-system idle windows cost one heap peek.
+//! Under [`sim_kernel::Advance::ToNextEvent`] the run loop is organized
+//! around three structures instead of a per-cycle scan:
 //!
-//! Bounds are computed against the shared backend through a read-only
-//! *routed view*: completion bounds are filtered to the sleeping core's
-//! own outstanding read tokens
-//! ([`cpu_model::MemoryBackend::next_completion_event_among`]), so a
-//! core waiting on its pointer-chase miss no longer wakes every time
-//! *any* core's read returns — with N cores that was ~N spurious
-//! wake-ups per real event. Queue-space bounds stay global (capacity is
-//! shared). Another core's *accepted submission* can still invalidate a
-//! registered bound (it can advance write-drain state or consume queue
-//! capacity in ways the sleeping core's bound did not see). After any
-//! cycle in which some core submitted, the scheduler therefore
-//! re-derives every sleeping core's bound against the mutated backend,
-//! keeping the earlier of the two (a spuriously early wake-up merely
-//! re-probes; a late one could miss an event). During all-asleep windows
-//! nothing submits, so the registered bounds stay valid and the global
-//! jump is sound — results are bit-identical to
-//! [`sim_kernel::Advance::PerCycle`], where every core steps every cycle.
+//! * an **awake-list** — a sorted dense list of awake, unfinished core
+//!   indices, maintained incrementally on sleep/wake/finish. Only listed
+//!   cores step; a sleeping or finished core costs literally zero per
+//!   cycle (no scan slot, no `routed` clear);
+//! * a **block-advanced backend** — the backend is touched only when its
+//!   memoized [`MemoryBackend::next_completion_event`] bound comes due,
+//!   and then advanced in one [`MemoryBackend::advance_to`] call whose
+//!   cycle-stamped completions are routed by a dense token→core table
+//!   (tokens are a dense sequence by the backend contract, so routing is
+//!   one indexed load, no hashing);
+//! * a **merged event heap** — sleeping cores register wake-up bounds in
+//!   a [`sim_kernel::EventQueue`] with lazy staleness filtering
+//!   ([`sim_kernel::EventQueue::peek`] inspects without the old
+//!   pop-then-push round trip). Whenever the awake-list is empty the
+//!   clock jumps straight to the earlier of the heap head and the
+//!   backend bound — idle windows cost one peek even when only *some*
+//!   cores ever sleep.
+//!
+//! Sleeps come in two kinds, classified by [`CoreEngine::sleep_plan`].
+//! *Exact* sleeps (no backend-capacity involvement) wait only on the
+//! core's own routed completions and its in-order retire cycle — they
+//! never fire spuriously and stay valid across other cores' activity.
+//! *Capacity* sleeps are bounded by shared queue-space events, so after
+//! any cycle with an accepted submission the scheduler re-derives just
+//! the capacity sleepers' bounds (keeping the earlier) plus the backend
+//! bound — the mutated backend can owe them an earlier wake-up. During
+//! all-asleep windows nothing submits, so every registered bound stays
+//! valid and the global jump is sound. Results are bit-identical to
+//! [`sim_kernel::Advance::PerCycle`], where every core steps every cycle
+//! against a backend ticked every cycle.
 
-use cpu_model::exec::CoreEngine;
+use cpu_model::exec::{CoreEngine, SleepPlan};
 use cpu_model::system::{AccessKind, BatchAccess, Busy, MemoryBackend};
 use cpu_model::{Cache, CacheConfig, CacheStats, CpuConfig, SimResult, TraceOp};
-use sim_kernel::{EventQueue, FxHashMap, SimClock};
+use sim_kernel::{EventQueue, SimClock};
+
+/// Sentinel in the token→core table: no routing entry (writes, and
+/// tokens whose completion was already delivered).
+const NO_OWNER: u32 = u32::MAX;
+
+/// Records `core` as the owner of `token` in the dense side-table.
+/// Tokens ascend densely from zero (the [`MemoryBackend`] contract), so
+/// the table grows amortized-O(1) and never rehashes.
+fn record_owner(table: &mut Vec<u32>, token: u64, core: usize) {
+    let idx = usize::try_from(token).expect("token fits in memory");
+    if idx >= table.len() {
+        table.resize(idx + 1, NO_OWNER);
+    }
+    table[idx] = core as u32;
+}
+
+/// Takes (and clears) the owning core of `token`, if it was a routed
+/// read. O(1) arithmetic — the completion-routing hot path.
+fn take_owner(table: &mut [u32], token: u64) -> Option<usize> {
+    let slot = table.get_mut(token as usize)?;
+    let owner = *slot;
+    if owner == NO_OWNER {
+        return None;
+    }
+    *slot = NO_OWNER;
+    Some(owner as usize)
+}
 
 /// Forwards one core's backend traffic to the shared backend, recording
 /// which core owns each accepted read token so completions can be routed
-/// back. Cores never tick the shared backend — the scheduler does, once
-/// per cycle.
+/// back. Cores never advance the shared backend — the scheduler does.
 struct RoutedBackend<'a, B> {
     inner: &'a mut B,
-    token_core: &'a mut FxHashMap<u64, usize>,
+    token_owner: &'a mut Vec<u32>,
     core: usize,
 }
 
@@ -64,7 +96,7 @@ impl<B: MemoryBackend> MemoryBackend for RoutedBackend<'_, B> {
     ) -> Result<u64, Busy> {
         let token = self.inner.submit(kind, addr, now, is_prefetch)?;
         if kind == AccessKind::Read {
-            self.token_core.insert(token, self.core);
+            record_owner(self.token_owner, token, self.core);
         }
         Ok(token)
     }
@@ -80,14 +112,14 @@ impl<B: MemoryBackend> MemoryBackend for RoutedBackend<'_, B> {
         for (access, result) in batch.iter().zip(&results[start..]) {
             if access.kind == AccessKind::Read {
                 if let Ok(token) = result {
-                    self.token_core.insert(*token, self.core);
+                    record_owner(self.token_owner, *token, self.core);
                 }
             }
         }
     }
 
     fn tick(&mut self, _now: u64) -> Vec<u64> {
-        unreachable!("cores never tick the shared backend; the scheduler does")
+        unreachable!("cores never advance the shared backend; the scheduler does")
     }
 
     fn next_event(&self, now: u64) -> Option<u64> {
@@ -96,44 +128,6 @@ impl<B: MemoryBackend> MemoryBackend for RoutedBackend<'_, B> {
 
     fn next_completion_event(&self, now: u64) -> Option<u64> {
         self.inner.next_completion_event(now)
-    }
-
-    fn next_read_capacity_event(&self, now: u64, addr: u64) -> Option<u64> {
-        self.inner.next_read_capacity_event(now, addr)
-    }
-}
-
-/// Read-only routed view for *bound* computation: completion bounds are
-/// filtered to the viewing core's own outstanding read tokens, so a core
-/// sleeping on a pure completion wait registers its own earliest
-/// completion instead of the shared backend's global bound (another
-/// core's read returning cannot make this core's per-cycle step do
-/// anything). Queue-space bounds (`next_event`,
-/// `next_read_capacity_event`) stay global — capacity is shared.
-struct RoutedView<'a, B> {
-    inner: &'a B,
-    /// The viewing core's outstanding read tokens (a snapshot of its
-    /// MSHR population, collected into the scheduler's scratch buffer
-    /// just before the bound probe).
-    tokens: &'a [u64],
-}
-
-impl<B: MemoryBackend> MemoryBackend for RoutedView<'_, B> {
-    fn submit(&mut self, _: AccessKind, _: u64, _: u64, _: bool) -> Result<u64, Busy> {
-        unreachable!("RoutedView is a read-only bound probe")
-    }
-
-    fn tick(&mut self, _now: u64) -> Vec<u64> {
-        unreachable!("RoutedView is a read-only bound probe")
-    }
-
-    fn next_event(&self, now: u64) -> Option<u64> {
-        self.inner.next_event(now)
-    }
-
-    fn next_completion_event(&self, now: u64) -> Option<u64> {
-        self.inner
-            .next_completion_event_among(now, &mut self.tokens.iter().copied())
     }
 
     fn next_read_capacity_event(&self, now: u64, addr: u64) -> Option<u64> {
@@ -213,11 +207,12 @@ pub struct MultiCoreSystem<B> {
     llc: Cache,
     cores: Vec<CoreEngine>,
     clock: SimClock,
-    /// Accepted read token → owning core, for completion routing.
-    token_core: FxHashMap<u64, usize>,
-    /// Times each core was actually stepped (diagnostic for the
-    /// per-core completion-bound win: spurious wake-ups step a core to
-    /// no effect, so fewer steps at identical results is the measure).
+    /// Dense token→owning-core table for completion routing, indexed by
+    /// token value (`NO_OWNER` for writes and delivered reads).
+    token_owner: Vec<u32>,
+    /// Times each core was actually stepped (the event-driven scheduler's
+    /// efficiency measure: spurious wake-ups step a core to no effect, so
+    /// fewer steps at identical results is the win).
     core_steps: Vec<u64>,
 }
 
@@ -235,7 +230,7 @@ impl<B: MemoryBackend> MultiCoreSystem<B> {
             llc: Cache::new(CacheConfig::llc()),
             cores: (0..cores).map(|_| CoreEngine::new(cfg)).collect(),
             clock: SimClock::new(),
-            token_core: FxHashMap::default(),
+            token_owner: Vec::new(),
             core_steps: vec![0; cores],
             cfg,
         }
@@ -244,7 +239,7 @@ impl<B: MemoryBackend> MultiCoreSystem<B> {
     /// How many cycles each core was actually stepped. Under the
     /// event-driven policy a sleeping core skips its due-nothing cycles,
     /// so this counts real work plus any spurious wake-ups — the
-    /// quantity the per-core completion bounds shrink.
+    /// quantity the next-event scheduler minimizes.
     #[must_use]
     pub fn core_step_counts(&self) -> &[u64] {
         &self.core_steps
@@ -290,148 +285,224 @@ impl<B: MemoryBackend> MultiCoreSystem<B> {
         for core in &mut self.cores {
             core.begin_trace();
         }
-        let event_driven = self.cfg.advance.is_event_driven();
+        if self.cfg.advance.is_event_driven() {
+            self.run_event_driven(&mut traces);
+        } else {
+            self.run_per_cycle(&mut traces);
+        }
+        MultiCoreResult {
+            per_core: self.cores.iter().map(CoreEngine::result).collect(),
+        }
+    }
+
+    /// The per-cycle reference: every cycle the backend ticks once and
+    /// every unfinished core steps, in core-index order. This is the
+    /// semantics the event-driven scheduler must reproduce bit for bit.
+    fn run_per_cycle<T: Iterator<Item = TraceOp>>(&mut self, traces: &mut [T]) {
+        let n = self.cores.len();
         let Self {
             backend,
             llc,
             cores,
             clock,
-            token_core,
+            token_owner,
             core_steps,
             ..
         } = self;
-
-        // A core is either awake (steps every cycle) or asleep with a
-        // registered wake-up bound; `heap` holds `(bound, core)` entries,
-        // lazily filtered against `bounds` like the shard scheduler.
-        let mut awake = vec![true; n];
-        let mut bounds = vec![0u64; n];
-        let mut heap: EventQueue<usize> = EventQueue::new();
         let mut routed: Vec<Vec<u64>> = vec![Vec::new(); n];
-        // Reused snapshot of one core's outstanding read tokens for the
-        // filtered completion-bound probes.
-        let mut token_scratch: Vec<u64> = Vec::new();
-
         loop {
-            // Global jump: when every unfinished core is asleep, nothing
-            // can submit, so the registered bounds stay valid and the
-            // clock can skip to the earliest one.
-            if event_driven
-                && cores
-                    .iter()
-                    .enumerate()
-                    .all(|(i, c)| c.finished() || !awake[i])
-            {
-                if let Some(wake) = earliest_wake(&mut heap, &bounds, &awake, cores) {
-                    if wake > clock.now() + 1 {
-                        clock.skip_to(wake - 1);
-                    }
-                }
-            }
             let now = clock.tick();
-
-            // Drop spent heap entries eagerly: anything at or before
-            // `now` is either this cycle's wake-up (its core is woken by
-            // the `bounds` check below and re-registers on its next
-            // sleep) or stale (superseded by an earlier refresh), and
-            // `earliest_wake` only ever needs future entries — without
-            // this the push-only heap would grow for the whole run
-            // whenever some core never sleeps.
-            while heap.pop_due(now).is_some() {}
-
-            // One backend tick per cycle; completions are routed to their
-            // owning cores and force-wake them (their state changes, so
-            // any registered bound is moot).
             for v in &mut routed {
                 v.clear();
             }
             for token in backend.tick(now) {
-                if let Some(core) = token_core.remove(&token) {
+                if let Some(core) = take_owner(token_owner, token) {
                     routed[core].push(token);
                 }
             }
-
-            let mut any_submitted = false;
             let mut all_finished = true;
             for i in 0..n {
                 if cores[i].finished() {
                     continue;
                 }
-                let was_asleep = !awake[i];
-                if was_asleep && bounds[i] > now && routed[i].is_empty() {
-                    // Asleep and not due: the per-cycle reference would
-                    // provably do nothing for this core this cycle.
+                core_steps[i] += 1;
+                let mut port = RoutedBackend {
+                    inner: &mut *backend,
+                    token_owner: &mut *token_owner,
+                    core: i,
+                };
+                let outcome = cores[i].step(now, llc, &mut port, &mut traces[i], &routed[i]);
+                if !outcome.finished {
                     all_finished = false;
-                    continue;
                 }
+            }
+            if all_finished {
+                break;
+            }
+        }
+    }
+
+    /// The next-event scheduler (see the module docs for the invariant
+    /// arguments): awake-list iteration, block-advanced backend, global
+    /// jumps keyed off the merged event heap.
+    fn run_event_driven<T: Iterator<Item = TraceOp>>(&mut self, traces: &mut [T]) {
+        let n = self.cores.len();
+        let Self {
+            backend,
+            llc,
+            cores,
+            clock,
+            token_owner,
+            core_steps,
+            ..
+        } = self;
+
+        // Awake, unfinished cores in ascending index order (cores share
+        // the LLC and backend, so step order is part of the semantics).
+        let mut awake_list: Vec<usize> = (0..n).collect();
+        let mut awake = vec![true; n];
+        // Registered wake-up per sleeping core (`u64::MAX` = none: only a
+        // routed completion wakes it); heap entries not matching are
+        // stale and filtered lazily.
+        let mut bounds = vec![u64::MAX; n];
+        let mut heap: EventQueue<usize> = EventQueue::new();
+        // Sleepers whose bound came from shared backend capacity — the
+        // only ones refreshed after a submission cycle.
+        let mut capacity_sleeper = vec![false; n];
+        let mut capacity_sleepers: Vec<usize> = Vec::new();
+        let mut routed: Vec<Vec<u64>> = vec![Vec::new(); n];
+        let mut routed_cores: Vec<usize> = Vec::new();
+        let mut stamps: Vec<(u64, u64)> = Vec::new();
+        let mut finished = 0usize;
+        // Memoized lower bound on the backend's next visible completion:
+        // the only cycles the backend is touched at all. Refreshed after
+        // every harvest and every cycle with an accepted submission (the
+        // two ways backend state changes).
+        let mut backend_bound = backend
+            .next_completion_event(clock.now())
+            .unwrap_or(u64::MAX);
+
+        loop {
+            if awake_list.is_empty() {
+                // Nothing can step or submit until a registered core
+                // wake-up or a backend completion: jump to the earliest.
+                let wake = earliest_wake(&mut heap, &bounds)
+                    .unwrap_or(u64::MAX)
+                    .min(backend_bound);
+                assert_ne!(
+                    wake,
+                    u64::MAX,
+                    "scheduler deadlock: every core asleep with no pending event"
+                );
+                if wake > clock.now() + 1 {
+                    clock.skip_to(wake - 1);
+                }
+            }
+            let now = clock.tick();
+
+            // Clear last cycle's delivery buffers (touched cores only).
+            for &i in &routed_cores {
+                routed[i].clear();
+            }
+            routed_cores.clear();
+
+            // Harvest the backend only when its bound is due; completions
+            // force-wake their owners (their state changes, so any
+            // registered bound is moot).
+            if backend_bound <= now {
+                stamps.clear();
+                backend.advance_to(now, &mut stamps);
+                backend_bound = backend.next_completion_event(now).unwrap_or(u64::MAX);
+                for &(at, token) in &stamps {
+                    debug_assert_eq!(at, now, "completion matured inside a skipped window");
+                    let Some(core) = take_owner(token_owner, token) else {
+                        continue;
+                    };
+                    if cores[core].finished() {
+                        continue;
+                    }
+                    if routed[core].is_empty() {
+                        routed_cores.push(core);
+                    }
+                    routed[core].push(token);
+                    if !awake[core] {
+                        awake[core] = true;
+                        insert_sorted(&mut awake_list, core);
+                        bounds[core] = u64::MAX;
+                        if capacity_sleeper[core] {
+                            capacity_sleeper[core] = false;
+                            remove_unordered(&mut capacity_sleepers, core);
+                        }
+                    }
+                }
+            }
+
+            // Wake sleeping cores whose registered bound is due.
+            while let Some((at, i)) = heap.pop_due(now) {
+                if bounds[i] != at {
+                    continue; // stale entry superseded by an earlier bound
+                }
+                bounds[i] = u64::MAX;
+                debug_assert!(!awake[i] && !cores[i].finished());
                 awake[i] = true;
+                insert_sorted(&mut awake_list, i);
+                if capacity_sleeper[i] {
+                    capacity_sleeper[i] = false;
+                    remove_unordered(&mut capacity_sleepers, i);
+                }
+            }
+
+            // Step the awake cores, in index order, compacting the list
+            // in place as cores finish or go to sleep.
+            let mut any_submitted = false;
+            let mut idx = 0;
+            while idx < awake_list.len() {
+                let i = awake_list[idx];
                 core_steps[i] += 1;
                 let outcome = {
                     let mut port = RoutedBackend {
                         inner: &mut *backend,
-                        token_core: &mut *token_core,
+                        token_owner: &mut *token_owner,
                         core: i,
                     };
                     cores[i].step(now, llc, &mut port, &mut traces[i], &routed[i])
                 };
                 any_submitted |= outcome.submitted;
                 if outcome.finished {
+                    awake[i] = false;
+                    awake_list.remove(idx);
+                    finished += 1;
                     continue;
                 }
-                all_finished = false;
-                if event_driven {
-                    // Bounds are computed through a read-only routed
-                    // view, so a pure completion wait registers this
-                    // core's own earliest completion (filtered by token
-                    // ownership) instead of the shared backend's global
-                    // bound — another core's read returning no longer
-                    // wakes this core at all. A core woken *from sleep*
-                    // re-sleeps on the raw bound: residual wake-ups
-                    // (shared in-flight channel bounds) would otherwise
-                    // trip the single-core backoff heuristic into
-                    // per-cycle stepping; one ungated O(1) probe per
-                    // wake-up is the right cost. A core that was already
-                    // awake (actively running) keeps the streak/backoff
-                    // gating. Neither choice affects simulated results.
-                    token_scratch.clear();
-                    token_scratch.extend(cores[i].outstanding_read_tokens());
-                    let view = RoutedView {
-                        inner: &*backend,
-                        tokens: &token_scratch,
-                    };
-                    let wake = if was_asleep {
-                        cores[i].wake_bound(now, &view)
-                    } else {
-                        cores[i].sleep_bound(now, &view)
-                    };
-                    if let Some(wake) = wake {
-                        if wake > now + 1 {
-                            awake[i] = false;
-                            bounds[i] = wake;
-                            heap.push(wake, i);
+                match cores[i].sleep_plan(now, &*backend) {
+                    SleepPlan::Run => idx += 1,
+                    SleepPlan::Sleep { wake_at, capacity } => {
+                        awake[i] = false;
+                        awake_list.remove(idx);
+                        bounds[i] = wake_at.unwrap_or(u64::MAX);
+                        if let Some(at) = wake_at {
+                            heap.push(at, i);
+                        }
+                        if capacity {
+                            capacity_sleeper[i] = true;
+                            capacity_sleepers.push(i);
                         }
                     }
                 }
             }
-            if all_finished {
+            if finished == n {
                 break;
             }
 
-            // An accepted submission mutated the backend, so bounds the
-            // sleeping cores computed against the old state may now be
-            // too late; re-derive them, keeping the earlier bound.
-            if event_driven && any_submitted {
-                for i in 0..n {
-                    if cores[i].finished() || awake[i] {
-                        continue;
-                    }
-                    token_scratch.clear();
-                    token_scratch.extend(cores[i].outstanding_read_tokens());
-                    let view = RoutedView {
-                        inner: &*backend,
-                        tokens: &token_scratch,
-                    };
-                    let refreshed = cores[i].wake_bound(now, &view).unwrap_or(now + 1);
+            // An accepted submission mutated the backend: completions may
+            // now land earlier and shared queue-space bounds may have
+            // moved, so re-derive the backend bound and just the capacity
+            // sleepers' bounds (exact sleepers are unaffected by other
+            // cores' traffic), keeping the earlier of old and new.
+            if any_submitted {
+                backend_bound = backend.next_completion_event(now).unwrap_or(u64::MAX);
+                for &i in &capacity_sleepers {
+                    let refreshed = cores[i].wake_bound(now, &*backend).unwrap_or(now + 1);
                     if refreshed < bounds[i] {
                         bounds[i] = refreshed;
                         heap.push(refreshed, i);
@@ -440,28 +511,45 @@ impl<B: MemoryBackend> MultiCoreSystem<B> {
             }
         }
 
-        MultiCoreResult {
-            per_core: cores.iter().map(CoreEngine::result).collect(),
-        }
+        // Leave the backend synced to the finish cycle so statistics
+        // reflect the whole run — the per-cycle reference ticks it every
+        // cycle through the last. Any stragglers (in-flight prefetches)
+        // are dropped, as the reference drops them for finished cores.
+        stamps.clear();
+        backend.advance_to(clock.now(), &mut stamps);
     }
 }
 
-/// The earliest registered wake-up among sleeping cores, dropping stale
-/// heap entries (a core re-registered earlier, woke, or finished) on the
-/// way. The returned entry is pushed back so later calls still see it.
-fn earliest_wake(
-    heap: &mut EventQueue<usize>,
-    bounds: &[u64],
-    awake: &[bool],
-    cores: &[CoreEngine],
-) -> Option<u64> {
-    while let Some((at, i)) = heap.pop_due(u64::MAX) {
-        if !awake[i] && !cores[i].finished() && bounds[i] == at {
-            heap.push(at, i);
+/// Inserts `i` into the sorted awake-list (N ≤ a few dozen, so a binary
+/// search plus shift beats any fancier structure).
+fn insert_sorted(list: &mut Vec<usize>, i: usize) {
+    match list.binary_search(&i) {
+        Ok(_) => debug_assert!(false, "core {i} woken twice"),
+        Err(pos) => list.insert(pos, i),
+    }
+}
+
+/// Removes `i` from an unordered membership list.
+fn remove_unordered(list: &mut Vec<usize>, i: usize) {
+    let pos = list.iter().position(|&x| x == i).expect("member present");
+    list.swap_remove(pos);
+}
+
+/// The earliest registered wake-up among sleeping cores, popping stale
+/// heap entries (superseded by an earlier refresh, or their core woke
+/// since) on the way. The head entry is only inspected, never cycled
+/// through a pop-and-repush.
+fn earliest_wake(heap: &mut EventQueue<usize>, bounds: &[u64]) -> Option<u64> {
+    loop {
+        let (at, i) = {
+            let (at, &i) = heap.peek()?;
+            (at, i)
+        };
+        if bounds[i] == at {
             return Some(at);
         }
+        heap.pop_due(u64::MAX);
     }
-    None
 }
 
 #[cfg(test)]
@@ -646,12 +734,10 @@ mod tests {
     fn sleeping_core_ignores_other_cores_completions() {
         // Core 0 streams memory misses (completions land nearly every
         // cycle once its pipeline fills); core 1 walks a serialized
-        // pointer chase, sleeping ~latency cycles per link. With
-        // per-core completion bounds, core 1's sleeps are not punctured
-        // by core 0's completion stream — its steps stay proportional
-        // to its own chain, not to core 0's traffic. The global bound
-        // would have woken it once per core-0 completion, degrading it
-        // to near-per-cycle stepping.
+        // pointer chase, sleeping ~latency cycles per link. Its waits
+        // are exact (routed completions plus retire), so core 0's
+        // completion stream never punctures them — its steps stay
+        // proportional to its own chain, not to core 0's traffic.
         let heavy: Vec<TraceOp> = (0..2_000).map(|i| TraceOp::Load(i * 64 * 7)).collect();
         let chase: Vec<TraceOp> = (0..30)
             .map(|i| TraceOp::DependentLoad(0x900_0000 + i * 64 * 129))
@@ -663,10 +749,27 @@ mod tests {
         };
         let (fast, fast_steps) = run(Advance::ToNextEvent);
         let (reference, ref_steps) = run(Advance::PerCycle);
-        assert_eq!(fast, reference, "filtered bounds must not change results");
+        assert_eq!(fast, reference, "exact sleeps must not change results");
         assert!(
             fast_steps[1] * 10 < ref_steps[1],
-            "chasing core barely steps under per-core bounds: {fast_steps:?} vs {ref_steps:?}"
+            "chasing core barely steps under exact waits: {fast_steps:?} vs {ref_steps:?}"
+        );
+    }
+
+    #[test]
+    fn finished_cores_leave_the_awake_list() {
+        // A short trace finishes early; the awake-list must stop
+        // stepping that core while the long trace keeps running.
+        let long = mixed_trace(5, 3_000);
+        let short: Vec<TraceOp> = vec![TraceOp::Compute(10)];
+        let mut sys =
+            MultiCoreSystem::new(2, cfg(Advance::ToNextEvent), FixedLatencyBackend::new(200));
+        let result = sys.run(vec![long.iter().copied(), short.iter().copied()]);
+        let steps = sys.core_step_counts();
+        assert_eq!(result.per_core[1].instructions, 10);
+        assert!(
+            steps[1] * 50 < steps[0],
+            "finished core must cost nothing: {steps:?}"
         );
     }
 

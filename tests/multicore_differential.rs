@@ -20,7 +20,8 @@ use secddr::core::metadata::DATA_SPAN;
 use secddr::cpu::{CpuConfig, CpuSystem, SimResult, TraceOp};
 use secddr::dram::{Advance, DramStats};
 use secddr::workloads::Benchmark;
-use secddr::{CoreTrace, Interleave, MultiCoreSystem, ShardedEngine};
+use secddr::{CoreTrace, Interleave, MultiCoreResult, MultiCoreSystem, ShardedEngine};
+use std::sync::Arc;
 
 const CPU_MHZ: u32 = 3200;
 
@@ -103,6 +104,46 @@ fn run_multi1_sharded(trace: &[TraceOp], advance: Advance) -> Observed {
     )
 }
 
+type WideObserved = (MultiCoreResult, EngineStats, DramStats);
+
+/// Runs `cores` rate-mode copies of `trace` over the bare engine,
+/// asserting on the way that the per-core LLC shares sum to the shared
+/// LLC's own totals.
+fn run_wide_bare(cores: usize, trace: &Arc<Vec<TraceOp>>, advance: Advance) -> WideObserved {
+    let engine =
+        SecurityEngine::with_options(SecurityConfig::secddr_ctr(), CPU_MHZ, options(advance));
+    let mut sys = MultiCoreSystem::new(cores, cpu_cfg(advance), engine);
+    let result = sys.run(CoreTrace::rate(trace, DATA_SPAN, cores));
+    assert_eq!(
+        &result.merged().llc,
+        sys.llc_stats(),
+        "{advance:?}: per-core LLC shares must sum to the shared totals"
+    );
+    (result, sys.backend().stats(), sys.backend().dram_stats())
+}
+
+/// Same over a 4-way sharded backend — cores × channels at width.
+fn run_wide_sharded(cores: usize, trace: &Arc<Vec<TraceOp>>, advance: Advance) -> WideObserved {
+    let engine = ShardedEngine::with_options(
+        SecurityConfig::secddr_ctr(),
+        CPU_MHZ,
+        Interleave::xor(4),
+        options(advance),
+    );
+    let mut sys = MultiCoreSystem::new(cores, cpu_cfg(advance), engine);
+    let result = sys.run(CoreTrace::rate(trace, DATA_SPAN, cores));
+    assert_eq!(
+        &result.merged().llc,
+        sys.llc_stats(),
+        "{advance:?}: per-core LLC shares must sum to the shared totals"
+    );
+    (
+        result,
+        sys.backend_mut().stats(),
+        sys.backend_mut().dram_stats(),
+    )
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
@@ -169,6 +210,65 @@ proptest! {
             (result, sys.backend().stats(), sys.backend().dram_stats())
         };
         prop_assert_eq!(run(Advance::ToNextEvent), run(Advance::PerCycle));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Eight rate-mode cores: the awake-list scheduler is bit-identical
+    /// to per-cycle lock-step over both the bare engine and a 4-way
+    /// sharded backend, with LLC-share conservation checked inside the
+    /// runners.
+    #[test]
+    fn eight_core_scheduler_matches_per_cycle(
+        ops in proptest::collection::vec(
+            (0u64..5, 0u64..(1u64 << 32), 1u64..50),
+            1..30,
+        ),
+        sharded in any::<bool>(),
+    ) {
+        let trace = Arc::new(decode(&ops));
+        if sharded {
+            prop_assert_eq!(
+                run_wide_sharded(8, &trace, Advance::ToNextEvent),
+                run_wide_sharded(8, &trace, Advance::PerCycle),
+                "8-core sharded diverged"
+            );
+        } else {
+            prop_assert_eq!(
+                run_wide_bare(8, &trace, Advance::ToNextEvent),
+                run_wide_bare(8, &trace, Advance::PerCycle),
+                "8-core bare diverged"
+            );
+        }
+    }
+
+    /// Sixteen rate-mode cores, same pin: more cores than any earlier
+    /// suite exercised, so sleep/wake bookkeeping errors that need deep
+    /// awake-list churn to surface show up here.
+    #[test]
+    fn sixteen_core_scheduler_matches_per_cycle(
+        ops in proptest::collection::vec(
+            (0u64..5, 0u64..(1u64 << 32), 1u64..50),
+            1..20,
+        ),
+        sharded in any::<bool>(),
+    ) {
+        let trace = Arc::new(decode(&ops));
+        if sharded {
+            prop_assert_eq!(
+                run_wide_sharded(16, &trace, Advance::ToNextEvent),
+                run_wide_sharded(16, &trace, Advance::PerCycle),
+                "16-core sharded diverged"
+            );
+        } else {
+            prop_assert_eq!(
+                run_wide_bare(16, &trace, Advance::ToNextEvent),
+                run_wide_bare(16, &trace, Advance::PerCycle),
+                "16-core bare diverged"
+            );
+        }
     }
 }
 
