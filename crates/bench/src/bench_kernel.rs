@@ -35,6 +35,19 @@
 //!   `event_driven_core_steps` — the summed number of times any core was
 //!   actually stepped, the scheduler-efficiency measure wall-clock
 //!   speedups follow from.
+//! * **multicore_bursty_nN** (N = 8, 16) — the same rate-mode harness on
+//!   a *bursty* variant of the trace (64-op mcf chunks separated by
+//!   2000-instruction compute blocks), so every channel sees real idle
+//!   windows between bursts: the regime where block-advance should win
+//!   biggest at high core counts (the ROADMAP's n8/n16 open item).
+//!
+//! Sharded and multicore records additionally report
+//! `controller_decision_cycles` / `controller_busy_cycles` — the
+//! channel-merged count of DRAM cycles the controllers actually
+//! *executed* vs the busy cycles they covered (executed or
+//! block-skipped). These are deterministic, so unlike seconds they are
+//! immune to steal noise, and every saturated rate record asserts
+//! decision < busy before timing is reported.
 //!
 //! Every record also carries `*_vs_pr1` ratios against the wall-clock
 //! the PR 1 kernel recorded in its own `BENCH_kernel.json` (same
@@ -269,6 +282,7 @@ fn shard_scaling_records(params: RunParams) -> Vec<Record> {
             );
             assert_eq!(fast_res.2, bare.dram, "sharded N=1 DramStats != unsharded");
         }
+        let adv = fast_res.2.advance;
         records.push(Record {
             name,
             detail: format!(
@@ -279,6 +293,7 @@ fn shard_scaling_records(params: RunParams) -> Vec<Record> {
             ref_secs: ref_a.min(ref_b),
             fast_secs: fast_a.min(fast_b),
             core_steps: None,
+            controller_cycles: Some((adv.decision_cycles, adv.busy_cycles)),
         });
     }
     records
@@ -392,6 +407,14 @@ fn multicore_records(params: RunParams) -> Vec<Record> {
                 "multicore N=1 DramStats != bare CpuSystem"
             );
         }
+        let adv = fast_res.2.advance;
+        assert!(
+            adv.decision_cycles < adv.busy_cycles,
+            "N={n}: a saturated controller must execute strictly fewer cycles \
+             than it covers busy ({} vs {})",
+            adv.decision_cycles,
+            adv.busy_cycles,
+        );
         records.push(Record {
             name,
             detail: format!(
@@ -403,6 +426,53 @@ fn multicore_records(params: RunParams) -> Vec<Record> {
             ref_secs: ref_a.min(ref_b),
             fast_secs: fast_a.min(fast_b),
             core_steps: Some((ref_steps, fast_steps)),
+            controller_cycles: Some((adv.decision_cycles, adv.busy_cycles)),
+        });
+    }
+    records
+}
+
+/// Bursty rate-mode records: the mcf trace chopped into 64-op chunks
+/// separated by 2000-instruction compute blocks, so every channel sees
+/// real idle windows between bursts — the ROADMAP's n8/n16 open item,
+/// where block-advance should win biggest at high core counts.
+fn multicore_bursty_records(params: RunParams) -> Vec<Record> {
+    let bench = workloads::Benchmark::by_name("mcf").expect("mcf exists");
+    let base = bench.generate_shared(params.instructions, params.seed);
+    let trace = {
+        let mut ops = Vec::with_capacity(base.len() + base.len() / 64 + 1);
+        for chunk in base.chunks(64) {
+            ops.extend_from_slice(chunk);
+            ops.push(TraceOp::Compute(2_000));
+        }
+        Arc::new(ops)
+    };
+    let mut records = Vec::new();
+    for (n, name) in [
+        (8usize, "multicore_bursty_n8"),
+        (16, "multicore_bursty_n16"),
+    ] {
+        let (ref_res, ref_steps, ref_a) = multicore_run(&trace, n, Advance::PerCycle);
+        let (fast_res, fast_steps, fast_a) = multicore_run(&trace, n, Advance::ToNextEvent);
+        let (_, _, fast_b) = multicore_run(&trace, n, Advance::ToNextEvent);
+        let (_, _, ref_b) = multicore_run(&trace, n, Advance::PerCycle);
+        assert_eq!(
+            fast_res, ref_res,
+            "N={n}: event-driven bursty multicore run diverged from per-cycle"
+        );
+        let adv = fast_res.2.advance;
+        records.push(Record {
+            name,
+            detail: format!(
+                "mcf bursty rate mode x secddr_ctr: {n} cores, 64-op bursts + \
+                 2000-instruction compute gaps over a 4-channel ShardedEngine \
+                 (aggregate ipc {:.3})",
+                fast_res.0.aggregate_ipc(),
+            ),
+            ref_secs: ref_a.min(ref_b),
+            fast_secs: fast_a.min(fast_b),
+            core_steps: Some((ref_steps, fast_steps)),
+            controller_cycles: Some((adv.decision_cycles, adv.busy_cycles)),
         });
     }
     records
@@ -417,6 +487,11 @@ struct Record {
     /// records: the deterministic scheduler-efficiency measure behind
     /// the host-dependent wall-clocks.
     core_steps: Option<(u64, u64)>,
+    /// Channel-merged controller advance counters
+    /// (`decision_cycles`, `busy_cycles`) from the event-driven run:
+    /// DRAM cycles executed vs busy cycles covered. Deterministic, so
+    /// immune to the steal noise that makes seconds unreliable here.
+    controller_cycles: Option<(u64, u64)>,
 }
 
 impl Record {
@@ -433,6 +508,14 @@ impl Record {
                  \"event_driven_core_steps\": {fast_steps},\n    \
                  \"core_step_ratio\": {:.2}",
                 ref_steps as f64 / fast_steps as f64
+            ));
+        }
+        if let Some((decisions, busy)) = self.controller_cycles {
+            extra.push_str(&format!(
+                ",\n    \"controller_decision_cycles\": {decisions},\n    \
+                 \"controller_busy_cycles\": {busy},\n    \
+                 \"decision_cycle_fraction\": {:.3}",
+                decisions as f64 / busy.max(1) as f64
             ));
         }
         if let Some((pr1_ref, pr1_fast)) = pr1 {
@@ -530,6 +613,7 @@ pub fn report(instructions: u64, seed: u64) -> String {
             ref_secs,
             fast_secs,
             core_steps: None,
+            controller_cycles: None,
         },
         Record {
             name: "pointer_chase_runs",
@@ -537,6 +621,7 @@ pub fn report(instructions: u64, seed: u64) -> String {
             ref_secs: ref_lat_secs,
             fast_secs: fast_lat_secs,
             core_steps: None,
+            controller_cycles: None,
         },
         Record {
             name: "dram_idle_gaps",
@@ -544,6 +629,7 @@ pub fn report(instructions: u64, seed: u64) -> String {
             ref_secs: dram_ref,
             fast_secs: dram_fast,
             core_steps: None,
+            controller_cycles: None,
         },
         Record {
             name: "batched_ingestion",
@@ -553,6 +639,7 @@ pub fn report(instructions: u64, seed: u64) -> String {
             ref_secs: per_call_secs,
             fast_secs: batch_secs,
             core_steps: None,
+            controller_cycles: None,
         },
     ];
 
@@ -563,6 +650,10 @@ pub fn report(instructions: u64, seed: u64) -> String {
     // Multi-core rate-mode sweep: asserts per-policy identity at every
     // core count and the N=1 ≡ single-core gate before any timing.
     records.extend(multicore_records(params));
+
+    // Bursty rate-mode sweep (real idle windows per channel at 8/16
+    // cores), same per-policy identity asserts.
+    records.extend(multicore_bursty_records(params));
 
     let threads = std::thread::available_parallelism()
         .map_or(1, |n| n.get())
@@ -579,6 +670,7 @@ pub fn report(instructions: u64, seed: u64) -> String {
            \"results_identical\": true,\n  \
            \"sharded_n1_matches_unsharded\": true,\n  \
            \"multicore_n1_matches_single\": true,\n  \
+           \"decision_cycles_below_busy\": true,\n  \
            \"records\": [\n{}\n  ]\n}}\n",
         body.join(",\n"),
     )

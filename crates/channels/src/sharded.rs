@@ -19,6 +19,14 @@
 //! [`ShardedEngine::sync`] catches every shard up to the last observed
 //! CPU cycle, which the statistics accessors do implicitly so merged
 //! stats are bit-comparable with an always-ticked engine.
+//!
+//! A lagging shard's wholesale catch-up is itself block-advanced: the
+//! engine's `advance` rides the controller's *decision bound*
+//! (`DramSystem::tick_until`), so a busy stretch executes only the
+//! cycles where a command can issue or a completion pop — not one
+//! controller tick per covered busy cycle. The per-shard `next_event`
+//! bounds this layer heaps come from the same decision bound, so a
+//! saturated shard no longer pins the heap head to `now + 1`.
 
 use cpu_model::system::{AccessKind, BatchAccess, Busy, MemoryBackend};
 use dram_sim::DramStats;

@@ -479,33 +479,26 @@ impl SecurityEngine {
     /// Advances the DRAM channel to `mem_due`, harvesting completions into
     /// the ready queue.
     ///
-    /// With the event-driven policy, quiescent stretches of the channel
-    /// are skipped in one jump; metadata-writeback retries interleave at
-    /// exactly the same cycles as the per-cycle reference because write
-    /// queue space only frees when a command issues — an activity the
-    /// skip never jumps over.
+    /// With the event-driven policy the channel jumps straight to its next
+    /// *decision* cycle — the controller's exact bound on when any command
+    /// can issue, completion pop, drain flip, or refresh arm (idle or
+    /// busy; the old quiescent-only activity skip is subsumed). Metadata
+    /// -writeback retries interleave at exactly the same cycles as the
+    /// per-cycle reference: while a writeback is spilled *and* the write
+    /// queue has room we fall back to per-cycle stepping (the rare case —
+    /// a spill implies the queue was just full), and when the queue is
+    /// full the retry provably fails until a column command issues, which
+    /// is itself a decision cycle the skip never jumps over.
     fn advance(&mut self, mem_due: u64) {
-        // Window below which computing a fresh activity bound costs more
-        // than ticking the quiescent cycles through: a full bound fold is
-        // roughly tens of no-op ticks' worth of work. A still-valid memoized
-        // bound is consulted for free at any window size.
-        const ACTIVITY_COMPUTE_WINDOW: u64 = 32;
+        let event_driven = self.options.advance.is_event_driven();
         while self.dram.cycle() < mem_due {
-            if self.options.advance.is_event_driven()
-                && mem_due > self.dram.cycle() + 1
-                && self.dram.is_quiescent()
+            if event_driven
+                && (self.pending_md_writes.is_empty()
+                    || self.dram.write_queue_len() >= self.dram.config().write_queue)
             {
-                let bound = match self.dram.cached_next_activity() {
-                    Some(cached) => Some(cached),
-                    None if mem_due - self.dram.cycle() > ACTIVITY_COMPUTE_WINDOW => {
-                        Some(self.dram.next_activity_cycle())
-                    }
-                    None => None,
-                };
-                if let Some(next) = bound.map(|b| b.min(mem_due)) {
-                    if next > self.dram.cycle() + 1 {
-                        self.dram.skip_idle_to(next - 1);
-                    }
+                self.dram.skip_to_next_decision(mem_due);
+                if self.dram.cycle() >= mem_due {
+                    break;
                 }
             }
             for completion in self.dram.tick() {
@@ -716,8 +709,16 @@ impl MemoryBackend for SecurityEngine {
         // idle channel is invisible to the CPU and is caught up on the
         // next tick, so it adds no bound here.
         if !self.dram.is_idle() {
-            let mem_next = if self.dram.is_quiescent() {
-                self.dram.next_activity_cycle()
+            // Decision cycles are the only cycles where a command issues
+            // or a completion pops — i.e. the only cycles queue space can
+            // free or data can return — so the decision bound is a valid
+            // (and much tighter than `now + 1`) wake-up for a busy
+            // channel. The one exception mirrors `advance`: a spilled
+            // metadata writeback with queue room must retry next cycle.
+            let mem_next = if self.pending_md_writes.is_empty()
+                || self.dram.write_queue_len() >= self.dram.config().write_queue
+            {
+                self.dram.next_decision_cycle()
             } else {
                 self.dram.cycle() + 1
             };

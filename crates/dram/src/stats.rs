@@ -5,6 +5,37 @@
 /// default queue capacity).
 pub const OCCUPANCY_BUCKETS: usize = 65;
 
+/// Deterministic counters describing how the controller *advanced* —
+/// how many cycles it actually executed (`decision_cycles`) versus how
+/// many busy cycles it covered (`busy_cycles`, executed or skipped).
+///
+/// These measure the advance policy, not the simulated machine: the
+/// per-cycle reference executes every busy cycle while `tick_until`
+/// executes only decision cycles, so `decision_cycles` *differs by
+/// design* between bit-identical runs. `PartialEq` therefore always
+/// returns `true` — the counters are carried inside [`DramStats`]
+/// without participating in the identity comparisons the differential
+/// suites and bench asserts rely on. On this steal-noisy 1-vCPU host
+/// they are the noise-free form of the wall-clock win.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AdvanceCounters {
+    /// Calls into `DramSystem::tick` — cycles the controller executed.
+    pub decision_cycles: u64,
+    /// Cycles covered (executed or skipped) while the controller was not
+    /// idle. Identical across advance policies.
+    pub busy_cycles: u64,
+}
+
+impl PartialEq for AdvanceCounters {
+    /// Always equal: see the type-level docs — these counters measure the
+    /// advance policy, and bit-identity comparisons must ignore them.
+    fn eq(&self, _other: &Self) -> bool {
+        true
+    }
+}
+
+impl Eq for AdvanceCounters {}
+
 /// Aggregate statistics for one simulated channel.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DramStats {
@@ -38,6 +69,9 @@ pub struct DramStats {
     pub read_q_occupancy: [u64; OCCUPANCY_BUCKETS],
     /// Cycles spent at each write-queue occupancy (same convention).
     pub write_q_occupancy: [u64; OCCUPANCY_BUCKETS],
+    /// Advance-policy counters (executed vs covered busy cycles). Compare
+    /// as always-equal — see [`AdvanceCounters`].
+    pub advance: AdvanceCounters,
 }
 
 impl Default for DramStats {
@@ -56,6 +90,7 @@ impl Default for DramStats {
             read_queue_delay_sum: 0,
             read_q_occupancy: [0; OCCUPANCY_BUCKETS],
             write_q_occupancy: [0; OCCUPANCY_BUCKETS],
+            advance: AdvanceCounters::default(),
         }
     }
 }
@@ -113,6 +148,7 @@ impl DramStats {
             read_queue_delay_sum,
             read_q_occupancy,
             write_q_occupancy,
+            advance,
         } = other;
         self.reads += reads;
         self.writes += writes;
@@ -131,6 +167,8 @@ impl DramStats {
         for (a, b) in self.write_q_occupancy.iter_mut().zip(write_q_occupancy) {
             *a += b;
         }
+        self.advance.decision_cycles += advance.decision_cycles;
+        self.advance.busy_cycles += advance.busy_cycles;
     }
 
     /// Credits `cycles` cycles of residence at the given queue lengths.
@@ -223,6 +261,22 @@ mod tests {
         assert_eq!(a.write_q_occupancy[3], 7);
         // Weighted aggregate: (200 + 100) / (4 + 6).
         assert!((a.avg_read_latency() - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn advance_counters_merge_but_never_break_identity() {
+        let mut a = DramStats::default();
+        let mut b = DramStats::default();
+        b.advance.decision_cycles = 7;
+        b.advance.busy_cycles = 100;
+        // The counters measure the advance policy, not the machine: two
+        // bit-identical runs may disagree on them, so equality ignores
+        // them entirely.
+        assert_eq!(a, b);
+        a.merge(&b);
+        a.merge(&b);
+        assert_eq!(a.advance.decision_cycles, 14);
+        assert_eq!(a.advance.busy_cycles, 200);
     }
 
     #[test]

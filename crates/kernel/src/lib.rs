@@ -263,6 +263,23 @@ pub fn fold_next_event(now: u64, bound: &mut u64, candidate: u64) {
     }
 }
 
+/// Folds a candidate threshold into a running lower bound, clamping
+/// candidates at or before `now` to `now + 1`.
+///
+/// Helper for *decision* bounds, where an already-satisfied threshold
+/// means the decision could fire on the very next tick (it may merely be
+/// deprioritized right now, e.g. a precharge losing the command slot to a
+/// column burst) — unlike [`fold_next_event`], which drops past-due
+/// candidates because a *quiescent* layer is by definition not waiting on
+/// them.
+#[inline]
+pub fn fold_ready_event(now: u64, bound: &mut u64, candidate: u64) {
+    let candidate = candidate.max(now + 1);
+    if candidate < *bound {
+        *bound = candidate;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -332,6 +349,20 @@ mod tests {
         fold_next_event(10, &mut bound, 40);
         fold_next_event(10, &mut bound, 25);
         assert_eq!(bound, 25);
+    }
+
+    #[test]
+    fn fold_ready_event_clamps_past_due_to_next_cycle() {
+        let mut bound = u64::MAX;
+        fold_ready_event(10, &mut bound, 40);
+        assert_eq!(bound, 40);
+        fold_ready_event(10, &mut bound, 9); // past-due: ready next cycle
+        assert_eq!(bound, 11);
+        fold_ready_event(10, &mut bound, 10); // present: same clamp
+        assert_eq!(bound, 11);
+        let mut tight = 11u64;
+        fold_ready_event(10, &mut tight, 25); // cannot improve on now+1
+        assert_eq!(tight, 11);
     }
 
     #[test]

@@ -44,6 +44,15 @@
 //! valid and the global jump is sound. Results are bit-identical to
 //! [`sim_kernel::Advance::PerCycle`], where every core steps every cycle
 //! against a backend ticked every cycle.
+//!
+//! The backend side of each jump is block-advanced too: since PR 7 the
+//! DDR4 controllers ride their exact *decision bound*
+//! (`DramSystem::tick_until`), executing only the cycles where a
+//! command can issue or a completion pop. Saturated phases — where both
+//! policies used to converge on one controller tick per busy DRAM
+//! cycle — therefore no longer floor the wall-clock; the per-record
+//! `controller_decision_cycles` / `controller_busy_cycles` counters in
+//! `BENCH_kernel.json` measure exactly this gap.
 
 use cpu_model::exec::{CoreEngine, SleepPlan};
 use cpu_model::system::{AccessKind, BatchAccess, Busy, MemoryBackend};
