@@ -65,13 +65,13 @@ use std::time::Instant;
 
 use cpu_model::system::{AccessKind, BatchAccess, MemoryBackend, SimResult};
 use cpu_model::{CpuConfig, CpuSystem, TraceOp};
-use dram_sim::{DramConfig, DramStats, DramSystem, MemRequest, ReqKind};
+use dram_sim::{ControllerTelemetry, DramConfig, DramStats, DramSystem, MemRequest, ReqKind};
 use secddr_channels::{Interleave, ShardedEngine};
 use secddr_core::config::SecurityConfig;
 use secddr_core::engine::{EngineOptions, EngineStats, SecurityEngine};
 use secddr_core::metadata::DATA_SPAN;
 use secddr_core::system::{run_trace_with_options, RunParams};
-use secddr_multicore::{CoreTrace, MultiCoreResult, MultiCoreSystem};
+use secddr_multicore::{CoreTrace, MultiCoreResult, MultiCoreSystem, WakeReasons};
 use sim_kernel::Advance;
 
 use crate::runner::{sweep_with_options, Sweep};
@@ -207,12 +207,18 @@ fn ingestion_run(batched: bool) -> (f64, secddr_core::engine::EngineStats) {
 }
 
 /// One `CpuSystem`-over-`ShardedEngine` run: simulated results (for the
-/// identity asserts) and the wall-clock seconds of the run itself.
+/// identity asserts), the merged controller telemetry (kept out of the
+/// compared tuple — the advance policies disagree on it by design), and
+/// the wall-clock seconds of the run itself.
 fn sharded_run(
     trace: &[TraceOp],
     shards: usize,
     advance: Advance,
-) -> ((SimResult, EngineStats, DramStats), f64) {
+) -> (
+    (SimResult, EngineStats, DramStats),
+    ControllerTelemetry,
+    f64,
+) {
     let options = EngineOptions {
         advance,
         ..EngineOptions::default()
@@ -238,6 +244,7 @@ fn sharded_run(
             sys.backend_mut().stats(),
             sys.backend_mut().dram_stats(),
         ),
+        sys.backend_mut().dram_telemetry(),
         secs,
     )
 }
@@ -266,10 +273,10 @@ fn shard_scaling_records(params: RunParams) -> Vec<Record> {
         (4, "shard_scaling_n4"),
         (8, "shard_scaling_n8"),
     ] {
-        let (ref_res, ref_a) = sharded_run(&trace, n, Advance::PerCycle);
-        let (fast_res, fast_a) = sharded_run(&trace, n, Advance::ToNextEvent);
-        let (_, fast_b) = sharded_run(&trace, n, Advance::ToNextEvent);
-        let (_, ref_b) = sharded_run(&trace, n, Advance::PerCycle);
+        let (ref_res, _, ref_a) = sharded_run(&trace, n, Advance::PerCycle);
+        let (fast_res, fast_t, fast_a) = sharded_run(&trace, n, Advance::ToNextEvent);
+        let (_, _, fast_b) = sharded_run(&trace, n, Advance::ToNextEvent);
+        let (_, _, ref_b) = sharded_run(&trace, n, Advance::PerCycle);
         assert_eq!(
             fast_res, ref_res,
             "N={n}: event-driven sharded run diverged from per-cycle"
@@ -282,7 +289,11 @@ fn shard_scaling_records(params: RunParams) -> Vec<Record> {
             );
             assert_eq!(fast_res.2, bare.dram, "sharded N=1 DramStats != unsharded");
         }
-        let adv = fast_res.2.advance;
+        assert_eq!(
+            fast_t.causes.total(),
+            fast_t.decision_cycles,
+            "N={n}: decision causes must partition the executed cycles"
+        );
         records.push(Record {
             name,
             detail: format!(
@@ -293,7 +304,8 @@ fn shard_scaling_records(params: RunParams) -> Vec<Record> {
             ref_secs: ref_a.min(ref_b),
             fast_secs: fast_a.min(fast_b),
             core_steps: None,
-            controller_cycles: Some((adv.decision_cycles, adv.busy_cycles)),
+            controller_cycles: Some((fast_t.decision_cycles, fast_t.busy_cycles)),
+            telemetry: Some((fast_t, None)),
         });
     }
     records
@@ -302,14 +314,32 @@ fn shard_scaling_records(params: RunParams) -> Vec<Record> {
 /// The shared-backend shard count every multicore record runs over.
 const MULTICORE_CHANNELS: usize = 4;
 
+/// Scheduler telemetry of one rate-mode run, kept out of the compared
+/// observables (the advance policies disagree on these by design: the
+/// per-cycle reference executes every controller cycle and never wakes
+/// a core).
+struct MulticoreTelemetry {
+    /// Summed core-step count.
+    steps: u64,
+    /// Channel-merged controller telemetry.
+    controller: ControllerTelemetry,
+    /// Wake-reason attribution (all zero under per-cycle).
+    wake: WakeReasons,
+}
+
 /// One rate-mode run: N cores over one shared 4-channel `ShardedEngine`,
 /// returning the simulated observables (for the identity asserts), the
-/// summed core-step count, and the wall-clock seconds of the run itself.
+/// run's scheduler telemetry, and the wall-clock seconds of the run
+/// itself.
 fn multicore_run(
     trace: &Arc<Vec<TraceOp>>,
     cores: usize,
     advance: Advance,
-) -> ((MultiCoreResult, EngineStats, DramStats), u64, f64) {
+) -> (
+    (MultiCoreResult, EngineStats, DramStats),
+    MulticoreTelemetry,
+    f64,
+) {
     let options = EngineOptions {
         advance,
         ..EngineOptions::default()
@@ -329,14 +359,18 @@ fn multicore_run(
     let mut sys = MultiCoreSystem::new(cores, cpu_cfg, engine);
     let result = sys.run(CoreTrace::rate(trace, DATA_SPAN, cores));
     let secs = start.elapsed().as_secs_f64();
-    let steps = sys.core_step_counts().iter().sum();
+    let telemetry = MulticoreTelemetry {
+        steps: sys.core_step_counts().iter().sum(),
+        controller: sys.backend_mut().dram_telemetry(),
+        wake: sys.wake_reasons(),
+    };
     (
         (
             result,
             sys.backend_mut().stats(),
             sys.backend_mut().dram_stats(),
         ),
-        steps,
+        telemetry,
         secs,
     )
 }
@@ -385,8 +419,8 @@ fn multicore_records(params: RunParams) -> Vec<Record> {
         (8, "multicore_rate_n8"),
         (16, "multicore_rate_n16"),
     ] {
-        let (ref_res, ref_steps, ref_a) = multicore_run(&trace, n, Advance::PerCycle);
-        let (fast_res, fast_steps, fast_a) = multicore_run(&trace, n, Advance::ToNextEvent);
+        let (ref_res, ref_t, ref_a) = multicore_run(&trace, n, Advance::PerCycle);
+        let (fast_res, fast_t, fast_a) = multicore_run(&trace, n, Advance::ToNextEvent);
         let (_, _, fast_b) = multicore_run(&trace, n, Advance::ToNextEvent);
         let (_, _, ref_b) = multicore_run(&trace, n, Advance::PerCycle);
         assert_eq!(
@@ -407,7 +441,7 @@ fn multicore_records(params: RunParams) -> Vec<Record> {
                 "multicore N=1 DramStats != bare CpuSystem"
             );
         }
-        let adv = fast_res.2.advance;
+        let adv = fast_t.controller;
         assert!(
             adv.decision_cycles < adv.busy_cycles,
             "N={n}: a saturated controller must execute strictly fewer cycles \
@@ -415,6 +449,12 @@ fn multicore_records(params: RunParams) -> Vec<Record> {
             adv.decision_cycles,
             adv.busy_cycles,
         );
+        assert_eq!(
+            adv.causes.total(),
+            adv.decision_cycles,
+            "N={n}: decision causes must partition the executed cycles"
+        );
+        assert_eq!(ref_t.wake, WakeReasons::default(), "per-cycle never wakes");
         records.push(Record {
             name,
             detail: format!(
@@ -425,8 +465,9 @@ fn multicore_records(params: RunParams) -> Vec<Record> {
             ),
             ref_secs: ref_a.min(ref_b),
             fast_secs: fast_a.min(fast_b),
-            core_steps: Some((ref_steps, fast_steps)),
+            core_steps: Some((ref_t.steps, fast_t.steps)),
             controller_cycles: Some((adv.decision_cycles, adv.busy_cycles)),
+            telemetry: Some((adv, Some(fast_t.wake))),
         });
     }
     records
@@ -452,15 +493,20 @@ fn multicore_bursty_records(params: RunParams) -> Vec<Record> {
         (8usize, "multicore_bursty_n8"),
         (16, "multicore_bursty_n16"),
     ] {
-        let (ref_res, ref_steps, ref_a) = multicore_run(&trace, n, Advance::PerCycle);
-        let (fast_res, fast_steps, fast_a) = multicore_run(&trace, n, Advance::ToNextEvent);
+        let (ref_res, ref_t, ref_a) = multicore_run(&trace, n, Advance::PerCycle);
+        let (fast_res, fast_t, fast_a) = multicore_run(&trace, n, Advance::ToNextEvent);
         let (_, _, fast_b) = multicore_run(&trace, n, Advance::ToNextEvent);
         let (_, _, ref_b) = multicore_run(&trace, n, Advance::PerCycle);
         assert_eq!(
             fast_res, ref_res,
             "N={n}: event-driven bursty multicore run diverged from per-cycle"
         );
-        let adv = fast_res.2.advance;
+        let adv = fast_t.controller;
+        assert_eq!(
+            adv.causes.total(),
+            adv.decision_cycles,
+            "N={n}: decision causes must partition the executed cycles"
+        );
         records.push(Record {
             name,
             detail: format!(
@@ -471,8 +517,9 @@ fn multicore_bursty_records(params: RunParams) -> Vec<Record> {
             ),
             ref_secs: ref_a.min(ref_b),
             fast_secs: fast_a.min(fast_b),
-            core_steps: Some((ref_steps, fast_steps)),
+            core_steps: Some((ref_t.steps, fast_t.steps)),
             controller_cycles: Some((adv.decision_cycles, adv.busy_cycles)),
+            telemetry: Some((adv, Some(fast_t.wake))),
         });
     }
     records
@@ -492,6 +539,11 @@ struct Record {
     /// DRAM cycles executed vs busy cycles covered. Deterministic, so
     /// immune to the steal noise that makes seconds unreliable here.
     controller_cycles: Option<(u64, u64)>,
+    /// Per-record attribution breakdowns from the event-driven run: the
+    /// controller's decision-cause buckets (whose sum is asserted equal
+    /// to `controller_decision_cycles` before the record is built) and,
+    /// for multicore records, the scheduler's wake-reason buckets.
+    telemetry: Option<(ControllerTelemetry, Option<WakeReasons>)>,
 }
 
 impl Record {
@@ -517,6 +569,36 @@ impl Record {
                  \"decision_cycle_fraction\": {:.3}",
                 decisions as f64 / busy.max(1) as f64
             ));
+        }
+        if let Some((controller, wake)) = &self.telemetry {
+            let c = controller.causes;
+            extra.push_str(&format!(
+                ",\n    \"telemetry\": {{\n      \
+                 \"decision_causes\": {{\"issue_hit\": {}, \"issue_miss\": {}, \
+                 \"refresh\": {}, \"completion\": {}, \"drain_flip\": {}, \
+                 \"aging\": {}, \"noop\": {}, \"total\": {}}}",
+                c.issue_hit,
+                c.issue_miss,
+                c.refresh,
+                c.completion,
+                c.drain_flip,
+                c.aging,
+                c.noop,
+                c.total(),
+            ));
+            if let Some(w) = wake {
+                extra.push_str(&format!(
+                    ",\n      \"wake_reasons\": {{\"completion\": {}, \
+                     \"timer\": {}, \"spurious\": {}, \
+                     \"submit_rederive\": {}, \"total\": {}}}",
+                    w.completion,
+                    w.timer,
+                    w.spurious,
+                    w.submit_rederive,
+                    w.total(),
+                ));
+            }
+            extra.push_str("\n    }");
         }
         if let Some((pr1_ref, pr1_fast)) = pr1 {
             if pr1_ref >= MIN_MEANINGFUL_BASELINE_SECS {
@@ -614,6 +696,7 @@ pub fn report(instructions: u64, seed: u64) -> String {
             fast_secs,
             core_steps: None,
             controller_cycles: None,
+            telemetry: None,
         },
         Record {
             name: "pointer_chase_runs",
@@ -622,6 +705,7 @@ pub fn report(instructions: u64, seed: u64) -> String {
             fast_secs: fast_lat_secs,
             core_steps: None,
             controller_cycles: None,
+            telemetry: None,
         },
         Record {
             name: "dram_idle_gaps",
@@ -630,6 +714,7 @@ pub fn report(instructions: u64, seed: u64) -> String {
             fast_secs: dram_fast,
             core_steps: None,
             controller_cycles: None,
+            telemetry: None,
         },
         Record {
             name: "batched_ingestion",
@@ -640,6 +725,7 @@ pub fn report(instructions: u64, seed: u64) -> String {
             fast_secs: batch_secs,
             core_steps: None,
             controller_cycles: None,
+            telemetry: None,
         },
     ];
 
@@ -671,6 +757,7 @@ pub fn report(instructions: u64, seed: u64) -> String {
            \"sharded_n1_matches_unsharded\": true,\n  \
            \"multicore_n1_matches_single\": true,\n  \
            \"decision_cycles_below_busy\": true,\n  \
+           \"telemetry_reconciles\": true,\n  \
            \"records\": [\n{}\n  ]\n}}\n",
         body.join(",\n"),
     )

@@ -29,9 +29,10 @@
 //! saturated shard no longer pins the heap head to `now + 1`.
 
 use cpu_model::system::{AccessKind, BatchAccess, Busy, MemoryBackend};
-use dram_sim::DramStats;
+use dram_sim::{ControllerTelemetry, DramStats};
 use secddr_core::config::SecurityConfig;
 use secddr_core::engine::{EngineOptions, EngineStats, SecurityEngine};
+use secddr_telemetry::TraceSink;
 use sim_kernel::{Advance, EventQueue, FxHashMap};
 
 use crate::interleave::Interleave;
@@ -71,6 +72,13 @@ pub struct ShardedEngine {
     /// Reusable `(cycle, local token)` buffer for per-shard block
     /// advances.
     stamp_scratch: Vec<(u64, u64)>,
+    /// Opt-in span recorder: each shard step is recorded as a span on the
+    /// shard's track covering the window it advanced through. `None`
+    /// (the default) keeps the hot path free of any tracing work.
+    trace: Option<TraceSink>,
+    /// Per shard: the cycle its track has been traced up to (span starts
+    /// for the next step). Only maintained while tracing is enabled.
+    trace_mark: Vec<u64>,
 }
 
 impl ShardedEngine {
@@ -115,6 +123,8 @@ impl ShardedEngine {
             cursors: vec![0; n],
             due_now: Vec::new(),
             stamp_scratch: Vec::new(),
+            trace: None,
+            trace_mark: vec![0; n],
         }
     }
 
@@ -185,6 +195,47 @@ impl ShardedEngine {
         merged
     }
 
+    /// Merged controller telemetry over all shards (syncs first):
+    /// decision/busy cycle counts and decision-cause attribution summed
+    /// across every channel.
+    pub fn dram_telemetry(&mut self) -> ControllerTelemetry {
+        self.sync();
+        let mut merged = ControllerTelemetry::default();
+        for shard in &self.shards {
+            merged.merge(&shard.dram_telemetry());
+        }
+        merged
+    }
+
+    /// Turns on per-shard advance-span tracing into a bounded ring of
+    /// `capacity` spans (oldest evicted first). Tracing never changes
+    /// simulated behaviour — it only observes the windows each shard is
+    /// stepped through.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(TraceSink::new(capacity));
+    }
+
+    /// Takes the recorded trace (if tracing was enabled), disabling
+    /// further recording.
+    pub fn take_trace(&mut self) -> Option<TraceSink> {
+        self.trace.take()
+    }
+
+    /// Records shard `s` having advanced its window up to `end` on its
+    /// trace track (no-op unless [`Self::enable_trace`] was called).
+    fn trace_step(&mut self, s: usize, name: &'static str, end: u64) {
+        if let Some(sink) = &mut self.trace {
+            let start = self.trace_mark[s].min(end);
+            #[allow(clippy::cast_possible_truncation)]
+            sink.record(s as u32, name, start, end);
+            self.trace_mark[s] = end;
+        }
+    }
+
     /// Allocates the global token for an accepted access and records the
     /// local→global mapping for reads (the only kind that completes).
     fn register(
@@ -223,6 +274,7 @@ impl ShardedEngine {
     /// tokens, and re-registers its bound.
     fn tick_shard(&mut self, s: usize, now: u64, done: &mut Vec<u64>) {
         self.shard_ticks[s] += 1;
+        self.trace_step(s, "tick", now);
         for local in self.shards[s].tick(now) {
             let global = self.local_to_global[s]
                 .remove(&local)
@@ -236,6 +288,7 @@ impl ShardedEngine {
     /// completions to global tokens, and re-registers its bound.
     fn advance_shard_to(&mut self, s: usize, target: u64, out: &mut Vec<(u64, u64)>) {
         self.shard_ticks[s] += 1;
+        self.trace_step(s, "advance", target);
         let mut scratch = std::mem::take(&mut self.stamp_scratch);
         scratch.clear();
         self.shards[s].advance_to(target, &mut scratch);
@@ -502,6 +555,40 @@ mod tests {
         }
         assert_eq!(batched.stats(), per_call.stats());
         assert_eq!(batched.dram_stats(), per_call.dram_stats());
+    }
+
+    #[test]
+    fn tracing_is_non_perturbing_and_telemetry_reconciles() {
+        // Identical streams through a traced and an untraced engine must
+        // produce bit-identical completions and stats; the merged
+        // telemetry's cause buckets must partition its decision cycles.
+        let mut traced = engine(4);
+        let mut plain = engine(4);
+        traced.enable_trace(64);
+        let mut now = 100u64;
+        for i in 0..30u64 {
+            let a = traced.submit(AccessKind::Read, i * LINE_BYTES * 3, now, false);
+            let b = plain.submit(AccessKind::Read, i * LINE_BYTES * 3, now, false);
+            assert_eq!(a, b);
+            now += 60;
+            assert_eq!(traced.tick(now), plain.tick(now));
+        }
+        for _ in 0..300 {
+            now += 50;
+            assert_eq!(traced.tick(now), plain.tick(now));
+        }
+        assert_eq!(traced.stats(), plain.stats());
+        assert_eq!(traced.dram_stats(), plain.dram_stats());
+        let t = traced.dram_telemetry();
+        assert_eq!(t, plain.dram_telemetry());
+        assert_eq!(t.causes.total(), t.decision_cycles);
+        assert!(t.causes.completion > 0, "reads completed");
+        let sink = traced.take_trace().expect("tracing was enabled");
+        assert!(!sink.is_empty(), "stepped shards recorded spans");
+        assert!(
+            sink.spans().all(|sp| sp.start <= sp.end),
+            "spans are well-formed windows"
+        );
     }
 
     #[test]

@@ -266,6 +266,12 @@ impl SecurityEngine {
         self.dram.stats()
     }
 
+    /// The channel controller's telemetry (advance-policy counters and
+    /// decision-cause attribution; not part of bit-identity).
+    pub fn dram_telemetry(&self) -> dram_sim::ControllerTelemetry {
+        self.dram.telemetry()
+    }
+
     /// Advances the engine's channel to CPU cycle `now` without
     /// harvesting completed tokens — they stay scheduled in the ready
     /// queue for the next [`MemoryBackend::tick`].

@@ -77,6 +77,7 @@ use crate::bank::{Bank, Rank};
 use crate::config::DramConfig;
 use crate::request::{Completion, MemRequest, ReqKind};
 use crate::stats::DramStats;
+use crate::telemetry::ControllerTelemetry;
 
 /// Error returned when the target queue is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -406,6 +407,11 @@ pub struct DramSystem {
     bus_rank: u32,
     pending: EventQueue<Completion>,
     stats: DramStats,
+    /// Advance-policy accounting + decision-cause attribution. Outside
+    /// `stats` because the two advance policies disagree on it by
+    /// design (see [`ControllerTelemetry`]); plain per-instance `u64`s,
+    /// so recording is free of atomics and provably non-perturbing.
+    telemetry: ControllerTelemetry,
     /// Age (cycles) beyond which the oldest request pre-empts row hits.
     starvation_limit: u64,
     /// True when the last tick performed no action and nothing was
@@ -503,6 +509,7 @@ impl DramSystem {
             bus_rank: 0,
             pending: EventQueue::new(),
             stats: DramStats::default(),
+            telemetry: ControllerTelemetry::default(),
             starvation_limit: 2_000,
             quiescent: false,
             next_activity_cache: Cell::new(None),
@@ -542,6 +549,14 @@ impl DramSystem {
             self.clock.now() - self.occupancy_credited_to,
         );
         s
+    }
+
+    /// Advance-policy counters and decision-cause attribution so far.
+    /// Unlike [`Self::stats`] these are *not* identical across advance
+    /// policies (they measure the policy); the per-cause buckets always
+    /// sum to `decision_cycles`.
+    pub fn telemetry(&self) -> ControllerTelemetry {
+        self.telemetry
     }
 
     /// Credits the span of cycles since the last occupancy change at the
@@ -995,7 +1010,7 @@ impl DramSystem {
         if skipped > 0 {
             self.stats.cycles += skipped;
             if !self.is_idle() {
-                self.stats.advance.busy_cycles += skipped;
+                self.telemetry.busy_cycles += skipped;
             }
         }
     }
@@ -1178,20 +1193,43 @@ impl DramSystem {
         // Advance-policy accounting: this tick executes (a decision
         // cycle), and it covers one busy cycle when work was queued or
         // in flight at its start.
-        self.stats.advance.decision_cycles += 1;
-        self.stats.advance.busy_cycles += u64::from(busy);
+        self.telemetry.decision_cycles += 1;
+        self.telemetry.busy_cycles += u64::from(busy);
         // A drain-mode flip counts as activity: it changes what the next
         // tick may issue without any timing threshold crossing, so the
         // idle-skip must not jump over the cycle after it.
         let drain_flipped = self.update_drain_mode();
-        let issued = if self.issue_refresh() {
-            true
+        let (refreshed, issued_hit) = if self.issue_refresh() {
+            (true, None)
         } else {
-            self.issue_scheduled()
+            (false, self.issue_scheduled())
         };
+        let issued = refreshed || issued_hit.is_some();
         let mut done = Vec::new();
         while let Some((_, c)) = self.pending.pop_due(now) {
             done.push(c);
+        }
+        // Attribute the executed cycle to exactly one cause (commands
+        // first — they are what the tick *did*; the passive causes rank
+        // by how directly they explain a command-free wake-up), so the
+        // cause buckets partition `decision_cycles` and their total
+        // reconciles with it exactly.
+        if refreshed {
+            self.telemetry.causes.refresh += 1;
+        } else if let Some(hit) = issued_hit {
+            if hit {
+                self.telemetry.causes.issue_hit += 1;
+            } else {
+                self.telemetry.causes.issue_miss += 1;
+            }
+        } else if !done.is_empty() {
+            self.telemetry.causes.completion += 1;
+        } else if drain_flipped {
+            self.telemetry.causes.drain_flip += 1;
+        } else if self.oldest_is_starving(now) {
+            self.telemetry.causes.aging += 1;
+        } else {
+            self.telemetry.causes.noop += 1;
         }
         // A tick that changed nothing leaves every scheduling input
         // waiting on a static timing threshold.
@@ -1303,14 +1341,17 @@ impl DramSystem {
         false
     }
 
-    /// Runs the scheduler; returns true when a command issued.
-    fn issue_scheduled(&mut self) -> bool {
+    /// Runs the scheduler; `Some(row_hit)` when a command issued —
+    /// `true` for a row-hit column command, `false` for the row-miss
+    /// path (column after PRE/ACT, or the PRE/ACT itself). The flag
+    /// feeds the decision-cause attribution in [`Self::tick`].
+    fn issue_scheduled(&mut self) -> Option<bool> {
         let kind = if self.draining_writes {
             ReqKind::Write
         } else if !self.read_sched.is_empty() {
             ReqKind::Read
         } else {
-            return false;
+            return None;
         };
         // Hybrid dispatch: the per-bank scan wins once the queue is
         // longer than the bank array; for short queues (the latency-bound
@@ -1324,13 +1365,24 @@ impl DramSystem {
             }
             _ => self.pick_action_rescan(kind),
         };
-        match action {
-            Some(a) => {
-                self.apply_action(a);
-                true
-            }
-            None => false,
-        }
+        let a = action?;
+        // Classify before applying: a column issue removes its entry.
+        let row_hit = match a {
+            SchedAction::Column { kind, idx } => !self.sched(kind).req(idx).touched,
+            SchedAction::Precharge { .. } | SchedAction::Activate { .. } => false,
+        };
+        self.apply_action(a);
+        Some(row_hit)
+    }
+
+    /// True when the active queue's oldest request is past the
+    /// anti-starvation limit (the aging bound is then waking the
+    /// controller every cycle — the telemetry cause for otherwise
+    /// unexplained executed no-op ticks).
+    fn oldest_is_starving(&self, now: u64) -> bool {
+        self.sched_kind()
+            .and_then(|k| self.sched(k).oldest())
+            .is_some_and(|(_, o)| now.saturating_sub(o.req.enqueue_cycle) > self.starvation_limit)
     }
 
     /// The command the scheduler would issue this cycle (incremental
@@ -2258,23 +2310,39 @@ mod tests {
                     }
                 }
             }
-            (completions, dram.stats())
+            (completions, dram.stats(), dram.telemetry())
         };
-        let (fast_c, fast_s) = run(true);
-        let (ref_c, ref_s) = run(false);
+        let (fast_c, fast_s, fast_t) = run(true);
+        let (ref_c, ref_s, ref_t) = run(false);
         assert_eq!(fast_c, ref_c, "completion schedule diverged");
         assert_eq!(fast_s, ref_s, "stats diverged");
-        // The counters are excluded from equality by design; compare the
-        // fields directly: covered busy cycles are policy-invariant,
-        // executed cycles must actually drop.
-        assert_eq!(fast_s.advance.busy_cycles, ref_s.advance.busy_cycles);
-        assert_eq!(ref_s.advance.decision_cycles, ref_s.cycles);
+        // The telemetry counters live outside the identity comparison by
+        // design; compare the fields directly: covered busy cycles are
+        // policy-invariant, executed cycles must actually drop, and the
+        // cause buckets partition the executed cycles exactly under both
+        // policies.
+        assert_eq!(fast_t.busy_cycles, ref_t.busy_cycles);
+        assert_eq!(ref_t.decision_cycles, ref_s.cycles);
         assert!(
-            fast_s.advance.decision_cycles < fast_s.cycles,
+            fast_t.decision_cycles < fast_s.cycles,
             "tick_until must execute fewer cycles than it covers: {} of {}",
-            fast_s.advance.decision_cycles,
+            fast_t.decision_cycles,
             fast_s.cycles
         );
+        assert_eq!(fast_t.causes.total(), fast_t.decision_cycles);
+        assert_eq!(ref_t.causes.total(), ref_t.decision_cycles);
+        // Every command the two policies issue is identical, so the
+        // command-attributed causes agree exactly; only the passive
+        // buckets (noop et al.) absorb the policy difference.
+        assert_eq!(fast_t.causes.issue_hit, ref_t.causes.issue_hit);
+        assert_eq!(fast_t.causes.issue_miss, ref_t.causes.issue_miss);
+        assert_eq!(fast_t.causes.refresh, ref_t.causes.refresh);
+        // Completion pops and drain flips are decision cycles the fast
+        // path must execute at their exact cycle (skipping one would
+        // diverge the schedule), so those buckets agree too — only the
+        // passive noop/aging buckets absorb the skipped ticks.
+        assert_eq!(fast_t.causes.completion, ref_t.causes.completion);
+        assert_eq!(fast_t.causes.drain_flip, ref_t.causes.drain_flip);
     }
 
     #[test]
@@ -2330,13 +2398,18 @@ mod tests {
             let target = dram.cycle() + 500;
             let _ = dram.advance_to(target, Advance::ToNextEvent);
         }
-        let s = dram.stats();
-        assert!(s.advance.busy_cycles > 10_000, "{}", s.advance.busy_cycles);
+        let t = dram.telemetry();
+        assert!(t.busy_cycles > 10_000, "{}", t.busy_cycles);
         assert!(
-            s.advance.decision_cycles < s.advance.busy_cycles,
+            t.decision_cycles < t.busy_cycles,
             "a saturated channel must still skip: {} decisions over {} busy cycles",
-            s.advance.decision_cycles,
-            s.advance.busy_cycles
+            t.decision_cycles,
+            t.busy_cycles
+        );
+        assert_eq!(t.causes.total(), t.decision_cycles);
+        assert!(
+            t.causes.issue_hit + t.causes.issue_miss > 0,
+            "a saturated run issues commands"
         );
     }
 

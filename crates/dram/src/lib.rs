@@ -42,6 +42,7 @@ mod config;
 pub mod controller;
 mod request;
 mod stats;
+mod telemetry;
 
 pub use address::{AddressMapping, DecodedAddr};
 pub use config::DramConfig;
@@ -49,3 +50,4 @@ pub use controller::{DramSystem, EnqueueError, SchedAction, SchedulerMode};
 pub use request::{Completion, MemRequest, ReqKind};
 pub use sim_kernel::Advance;
 pub use stats::{DramStats, OCCUPANCY_BUCKETS};
+pub use telemetry::{ControllerTelemetry, DecisionCauses};

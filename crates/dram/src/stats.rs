@@ -5,38 +5,14 @@
 /// default queue capacity).
 pub const OCCUPANCY_BUCKETS: usize = 65;
 
-/// Deterministic counters describing how the controller *advanced* —
-/// how many cycles it actually executed (`decision_cycles`) versus how
-/// many busy cycles it covered (`busy_cycles`, executed or skipped).
-///
-/// These measure the advance policy, not the simulated machine: the
-/// per-cycle reference executes every busy cycle while `tick_until`
-/// executes only decision cycles, so `decision_cycles` *differs by
-/// design* between bit-identical runs. `PartialEq` therefore always
-/// returns `true` — the counters are carried inside [`DramStats`]
-/// without participating in the identity comparisons the differential
-/// suites and bench asserts rely on. On this steal-noisy 1-vCPU host
-/// they are the noise-free form of the wall-clock win.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct AdvanceCounters {
-    /// Calls into `DramSystem::tick` — cycles the controller executed.
-    pub decision_cycles: u64,
-    /// Cycles covered (executed or skipped) while the controller was not
-    /// idle. Identical across advance policies.
-    pub busy_cycles: u64,
-}
-
-impl PartialEq for AdvanceCounters {
-    /// Always equal: see the type-level docs — these counters measure the
-    /// advance policy, and bit-identity comparisons must ignore them.
-    fn eq(&self, _other: &Self) -> bool {
-        true
-    }
-}
-
-impl Eq for AdvanceCounters {}
-
 /// Aggregate statistics for one simulated channel.
+///
+/// Every field participates in the derived `PartialEq` — the identity
+/// comparisons the differential suites rely on. Advance-policy
+/// accounting (executed vs covered busy cycles), which *differs by
+/// design* between bit-identical runs, lives outside this struct in
+/// [`ControllerTelemetry`](crate::ControllerTelemetry) precisely so no
+/// field here needs an equality escape hatch.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DramStats {
     /// Reads completed.
@@ -69,9 +45,6 @@ pub struct DramStats {
     pub read_q_occupancy: [u64; OCCUPANCY_BUCKETS],
     /// Cycles spent at each write-queue occupancy (same convention).
     pub write_q_occupancy: [u64; OCCUPANCY_BUCKETS],
-    /// Advance-policy counters (executed vs covered busy cycles). Compare
-    /// as always-equal — see [`AdvanceCounters`].
-    pub advance: AdvanceCounters,
 }
 
 impl Default for DramStats {
@@ -90,7 +63,6 @@ impl Default for DramStats {
             read_queue_delay_sum: 0,
             read_q_occupancy: [0; OCCUPANCY_BUCKETS],
             write_q_occupancy: [0; OCCUPANCY_BUCKETS],
-            advance: AdvanceCounters::default(),
         }
     }
 }
@@ -148,7 +120,6 @@ impl DramStats {
             read_queue_delay_sum,
             read_q_occupancy,
             write_q_occupancy,
-            advance,
         } = other;
         self.reads += reads;
         self.writes += writes;
@@ -167,8 +138,6 @@ impl DramStats {
         for (a, b) in self.write_q_occupancy.iter_mut().zip(write_q_occupancy) {
             *a += b;
         }
-        self.advance.decision_cycles += advance.decision_cycles;
-        self.advance.busy_cycles += advance.busy_cycles;
     }
 
     /// Credits `cycles` cycles of residence at the given queue lengths.
@@ -264,19 +233,15 @@ mod tests {
     }
 
     #[test]
-    fn advance_counters_merge_but_never_break_identity() {
-        let mut a = DramStats::default();
+    fn equality_covers_every_field() {
+        // With the advance counters moved out to `ControllerTelemetry`,
+        // `DramStats` equality is fully derived again: any counter
+        // difference breaks identity.
+        let a = DramStats::default();
         let mut b = DramStats::default();
-        b.advance.decision_cycles = 7;
-        b.advance.busy_cycles = 100;
-        // The counters measure the advance policy, not the machine: two
-        // bit-identical runs may disagree on them, so equality ignores
-        // them entirely.
         assert_eq!(a, b);
-        a.merge(&b);
-        a.merge(&b);
-        assert_eq!(a.advance.decision_cycles, 14);
-        assert_eq!(a.advance.busy_cycles, 200);
+        b.refreshes = 1;
+        assert_ne!(a, b);
     }
 
     #[test]

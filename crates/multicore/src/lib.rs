@@ -46,7 +46,9 @@
 #![warn(missing_docs)]
 
 mod system;
+mod telemetry;
 mod trace;
 
 pub use system::{MultiCoreResult, MultiCoreSystem};
+pub use telemetry::WakeReasons;
 pub use trace::{AddressSpace, CoreTrace};

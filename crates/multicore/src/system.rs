@@ -57,7 +57,10 @@
 use cpu_model::exec::{CoreEngine, SleepPlan};
 use cpu_model::system::{AccessKind, BatchAccess, Busy, MemoryBackend};
 use cpu_model::{Cache, CacheConfig, CacheStats, CpuConfig, SimResult, TraceOp};
+use secddr_telemetry::TelemetrySnapshot;
 use sim_kernel::{EventQueue, SimClock};
+
+use crate::telemetry::WakeReasons;
 
 /// Sentinel in the token→core table: no routing entry (writes, and
 /// tokens whose completion was already delivered).
@@ -223,6 +226,9 @@ pub struct MultiCoreSystem<B> {
     /// efficiency measure: spurious wake-ups step a core to no effect, so
     /// fewer steps at identical results is the win).
     core_steps: Vec<u64>,
+    /// Wake-reason attribution for the event-driven scheduler (all zero
+    /// under the per-cycle reference, which never sleeps a core).
+    wake: WakeReasons,
 }
 
 impl<B: MemoryBackend> MultiCoreSystem<B> {
@@ -241,6 +247,7 @@ impl<B: MemoryBackend> MultiCoreSystem<B> {
             clock: SimClock::new(),
             token_owner: Vec::new(),
             core_steps: vec![0; cores],
+            wake: WakeReasons::default(),
             cfg,
         }
     }
@@ -252,6 +259,25 @@ impl<B: MemoryBackend> MultiCoreSystem<B> {
     #[must_use]
     pub fn core_step_counts(&self) -> &[u64] {
         &self.core_steps
+    }
+
+    /// Wake-reason attribution accumulated by the event-driven scheduler
+    /// (every wake lands in exactly one bucket; all zero under
+    /// [`sim_kernel::Advance::PerCycle`], which never sleeps a core).
+    #[must_use]
+    pub fn wake_reasons(&self) -> WakeReasons {
+        self.wake
+    }
+
+    /// Renders this system's scheduler diagnostics — wake-reason buckets
+    /// plus the per-core step totals — into one mergeable
+    /// [`TelemetrySnapshot`] under the `multicore.*` names.
+    #[must_use]
+    pub fn telemetry_snapshot(&self) -> TelemetrySnapshot {
+        let mut snap = TelemetrySnapshot::default();
+        self.wake.render_into(&mut snap);
+        snap.add_counter("multicore.core.steps", self.core_steps.iter().sum());
+        snap
     }
 
     /// Number of cores.
@@ -363,6 +389,7 @@ impl<B: MemoryBackend> MultiCoreSystem<B> {
             clock,
             token_owner,
             core_steps,
+            wake,
             ..
         } = self;
 
@@ -379,6 +406,10 @@ impl<B: MemoryBackend> MultiCoreSystem<B> {
         // only ones refreshed after a submission cycle.
         let mut capacity_sleeper = vec![false; n];
         let mut capacity_sleepers: Vec<usize> = Vec::new();
+        // Provenance of each registered bound: `true` when the current
+        // bound was installed by the post-submission re-derive rather
+        // than the core's own sleep plan (wake-reason attribution only).
+        let mut rederived = vec![false; n];
         let mut routed: Vec<Vec<u64>> = vec![Vec::new(); n];
         let mut routed_cores: Vec<usize> = Vec::new();
         let mut stamps: Vec<(u64, u64)> = Vec::new();
@@ -435,6 +466,7 @@ impl<B: MemoryBackend> MultiCoreSystem<B> {
                     }
                     routed[core].push(token);
                     if !awake[core] {
+                        wake.completion += 1;
                         awake[core] = true;
                         insert_sorted(&mut awake_list, core);
                         bounds[core] = u64::MAX;
@@ -453,6 +485,13 @@ impl<B: MemoryBackend> MultiCoreSystem<B> {
                 }
                 bounds[i] = u64::MAX;
                 debug_assert!(!awake[i] && !cores[i].finished());
+                if rederived[i] {
+                    wake.submit_rederive += 1;
+                } else if capacity_sleeper[i] {
+                    wake.spurious += 1;
+                } else {
+                    wake.timer += 1;
+                }
                 awake[i] = true;
                 insert_sorted(&mut awake_list, i);
                 if capacity_sleeper[i] {
@@ -489,6 +528,7 @@ impl<B: MemoryBackend> MultiCoreSystem<B> {
                         awake[i] = false;
                         awake_list.remove(idx);
                         bounds[i] = wake_at.unwrap_or(u64::MAX);
+                        rederived[i] = false;
                         if let Some(at) = wake_at {
                             heap.push(at, i);
                         }
@@ -514,6 +554,7 @@ impl<B: MemoryBackend> MultiCoreSystem<B> {
                     let refreshed = cores[i].wake_bound(now, &*backend).unwrap_or(now + 1);
                     if refreshed < bounds[i] {
                         bounds[i] = refreshed;
+                        rederived[i] = true;
                         heap.push(refreshed, i);
                     }
                 }
@@ -780,6 +821,28 @@ mod tests {
             steps[1] * 50 < steps[0],
             "finished core must cost nothing: {steps:?}"
         );
+    }
+
+    #[test]
+    fn wake_reasons_partition_event_driven_wakes() {
+        let traces: Vec<Vec<TraceOp>> = (0..3).map(|c| mixed_trace(c * 11 + 2, 2_000)).collect();
+        let run = |advance| {
+            let mut sys = MultiCoreSystem::new(3, cfg(advance), FixedLatencyBackend::new(250));
+            let result = sys.run(traces.iter().map(|t| t.iter().copied()).collect());
+            (result, sys.wake_reasons(), sys.telemetry_snapshot())
+        };
+        let (fast, fast_wake, fast_snap) = run(Advance::ToNextEvent);
+        let (reference, ref_wake, _) = run(Advance::PerCycle);
+        assert_eq!(fast, reference, "attribution must not perturb results");
+        assert_eq!(ref_wake, WakeReasons::default(), "per-cycle never sleeps");
+        assert!(fast_wake.total() > 0, "memory-bound cores sleep and wake");
+        assert!(fast_wake.completion > 0, "completions force-wake owners");
+        assert_eq!(
+            fast_snap.counter_prefix_sum("multicore.wake."),
+            fast_snap.counter("multicore.wakes_total"),
+            "buckets partition the wakes"
+        );
+        assert!(fast_snap.counter("multicore.core.steps") > 0);
     }
 
     #[test]

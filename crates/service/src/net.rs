@@ -11,6 +11,7 @@
 //! {"cmd":"submit","spec":{…}}      → {"type":"submitted","job":N,"cells":M}
 //! {"cmd":"cancel","job":N}         → {"type":"cancel_ack","job":N,"cancelled":bool}
 //! {"cmd":"cache_stats"}            → {"type":"cache_stats",…}
+//! {"cmd":"metrics"}                → {"type":"metrics","counters":{…},…}
 //! {"cmd":"ping"}                   → {"type":"pong"}
 //! {"cmd":"shutdown"}               → {"type":"shutting_down"} (server then exits)
 //! ```
@@ -116,6 +117,44 @@ fn stats_to_json(stats: &ServiceStats) -> Json {
         ("trace_generated".into(), Json::u64(stats.traces.generated)),
         ("jobs_submitted".into(), Json::u64(stats.jobs_submitted)),
         ("jobs_completed".into(), Json::u64(stats.jobs_completed)),
+    ])
+}
+
+/// Serializes a telemetry snapshot to the `metrics` response object:
+/// counters and gauges as name→value maps, histograms as
+/// name→`{count,sum,mean}` (the full bucket vectors stay in-process —
+/// the wire view is for dashboards and CI assertions).
+fn metrics_to_json(snap: &secddr_telemetry::TelemetrySnapshot) -> Json {
+    let map = |entries: &std::collections::BTreeMap<String, u64>| {
+        Json::Obj(
+            entries
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::u64(*v)))
+                .collect(),
+        )
+    };
+    Json::Obj(vec![
+        ("type".into(), Json::str("metrics")),
+        ("counters".into(), map(&snap.counters)),
+        ("gauges".into(), map(&snap.gauges)),
+        (
+            "histograms".into(),
+            Json::Obj(
+                snap.histograms
+                    .iter()
+                    .map(|(k, h)| {
+                        (
+                            k.clone(),
+                            Json::Obj(vec![
+                                ("count".into(), Json::u64(h.count)),
+                                ("sum".into(), Json::u64(h.sum)),
+                                ("mean".into(), Json::f64(h.mean())),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            ),
+        ),
     ])
 }
 
@@ -277,6 +316,11 @@ fn handle_connection(stream: TcpStream, service: &ExperimentService, shutdown: &
             }
             Some("cache_stats") => {
                 if write_line(&writer, &stats_to_json(&service.stats())).is_err() {
+                    return;
+                }
+            }
+            Some("metrics") => {
+                if write_line(&writer, &metrics_to_json(&service.telemetry_snapshot())).is_err() {
                     return;
                 }
             }
@@ -658,6 +702,28 @@ impl ServiceClient {
             jobs_submitted: field("jobs_submitted")?,
             jobs_completed: field("jobs_completed")?,
         })
+    }
+
+    /// Fetches the server's telemetry counters (the `metrics` endpoint)
+    /// as a name→value map in lexicographic order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors.
+    pub fn metrics(&mut self) -> std::io::Result<std::collections::BTreeMap<String, u64>> {
+        self.send(&Json::Obj(vec![("cmd".into(), Json::str("metrics"))]))?;
+        let response =
+            self.read_until(|j| j.get("type").and_then(Json::as_str) == Some("metrics"))?;
+        let Some(Json::Obj(entries)) = response.get("counters") else {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "metrics response without counters",
+            ));
+        };
+        Ok(entries
+            .iter()
+            .filter_map(|(k, v)| v.as_u64().map(|v| (k.clone(), v)))
+            .collect())
     }
 
     /// Asks the server to shut down cleanly.

@@ -13,6 +13,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use cpu_model::{CpuSystem, SimResult};
 use secddr_channels::ShardedEngine;
@@ -20,6 +21,7 @@ use secddr_core::engine::EngineStats;
 use secddr_core::metadata::DATA_SPAN;
 use secddr_core::system::run_trace_with_options;
 use secddr_multicore::{CoreTrace, MultiCoreSystem};
+use secddr_telemetry::{Registry, TelemetrySnapshot};
 use workloads::{Benchmark, TraceCacheStats};
 
 use crate::pool::{default_threads, CancelToken, WorkerPool, DEFAULT_THREAD_CAP};
@@ -313,6 +315,8 @@ impl ExperimentService {
         let total = benchmarks.len() * spec.configs.len();
         let id = JobId(self.next_id.fetch_add(1, Ordering::Relaxed));
         self.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+        Registry::global().counter("service.job.submitted").inc();
+        let queued_at = Instant::now();
 
         let (tx, rx) = std::sync::mpsc::channel();
         let cancel = CancelToken::new();
@@ -329,6 +333,9 @@ impl ExperimentService {
         let completed_counter = Arc::clone(&self.jobs_completed);
         let priority = spec.priority;
         self.pool.submit(priority, cancel.clone(), move |token| {
+            Registry::global()
+                .histogram("service.job.queue_wait_us")
+                .record(elapsed_us(queued_at));
             // A panicking cell must still produce a terminal event —
             // otherwise the handle (and any TCP client streaming it)
             // would wait forever on a stream that went silent.
@@ -339,6 +346,7 @@ impl ExperimentService {
             // that has seen the terminal event observes the job as done
             // (no longer cancellable, counted as completed).
             completed_counter.fetch_add(1, Ordering::Relaxed);
+            Registry::global().counter("service.job.completed").inc();
             active.lock().expect("active-jobs lock").remove(&id.0);
             let terminal = match outcome {
                 Ok(terminal) => terminal,
@@ -387,6 +395,20 @@ impl ExperimentService {
             jobs_completed: self.jobs_completed.load(Ordering::Relaxed),
         }
     }
+
+    /// A deterministic snapshot of the process-wide telemetry registry:
+    /// `service.job.*` / `service.cell.*` counters and timing
+    /// histograms plus the `workloads.trace_cache.*` counters (the TCP
+    /// `metrics` endpoint reports exactly this).
+    #[must_use]
+    pub fn telemetry_snapshot(&self) -> TelemetrySnapshot {
+        Registry::global().snapshot()
+    }
+}
+
+/// Microseconds elapsed since `start`, saturating into `u64`.
+fn elapsed_us(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX)
 }
 
 /// Best-effort human-readable message from a panic payload.
@@ -419,18 +441,27 @@ fn run_job(
             if cancel.is_cancelled() {
                 return Some(JobEvent::Cancelled { job: id, completed });
             }
+            let run_started = Instant::now();
             let result = run_cell(bench, config, spec);
+            Registry::global()
+                .histogram("service.cell.run_us")
+                .record(elapsed_us(run_started));
             let cell_merged = result.merged();
             match &mut merged {
                 Some(m) => m.merge(&cell_merged),
                 None => merged = Some(cell_merged),
             }
+            let stream_started = Instant::now();
             let delivered = tx.send(JobEvent::Cell {
                 job: id,
                 index: completed,
                 total,
                 result,
             });
+            Registry::global()
+                .histogram("service.cell.stream_us")
+                .record(elapsed_us(stream_started));
+            Registry::global().counter("service.cell.completed").inc();
             completed += 1;
             if delivered.is_err() {
                 // The handle is gone — nobody can observe further cells
@@ -563,6 +594,23 @@ mod tests {
         // The job already reached its terminal event; its token is gone.
         assert!(!service.cancel(id), "terminal jobs cannot be cancelled");
         assert!(!service.cancel(JobId(999)), "unknown id");
+    }
+
+    #[test]
+    fn finished_jobs_show_up_in_the_telemetry_snapshot() {
+        let service = ExperimentService::with_threads(1);
+        let outcome = service.submit(tiny_spec("povray")).unwrap().wait();
+        assert!(outcome.finished());
+        // The registry is process-wide (other tests run jobs too), so
+        // assert floors rather than exact values.
+        let snap = service.telemetry_snapshot();
+        assert!(snap.counter("service.job.submitted") >= 1);
+        assert!(snap.counter("service.job.completed") >= 1);
+        assert!(snap.counter("service.cell.completed") >= 1);
+        let waits = &snap.histograms["service.job.queue_wait_us"];
+        assert!(waits.count >= 1, "queue wait recorded per job");
+        let runs = &snap.histograms["service.cell.run_us"];
+        assert!(runs.count >= 1 && runs.sum > 0, "cell run time recorded");
     }
 
     #[test]

@@ -1,0 +1,92 @@
+//! Chrome trace-event JSON exporter: renders a captured [`TraceSink`]
+//! as a timeline `chrome://tracing` (or <https://ui.perfetto.dev>)
+//! loads directly.
+//!
+//! One complete (`"ph":"X"`) event per span on `tid = track`, with one
+//! metadata event naming each track, all under `pid` 0. Timestamps are
+//! simulation cycles reported in the exporter's microsecond field — the
+//! viewer treats them as unitless ticks, which is exactly what a
+//! cycle-level timeline wants.
+
+use crate::sink::TraceSink;
+
+/// Minimal JSON string escape (names are static identifiers, but the
+/// exporter must never emit malformed JSON regardless).
+fn escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Renders `sink`'s retained spans as a complete trace-event JSON
+/// document. `track_names` labels timeline rows (`(track, label)`);
+/// tracks without a label render under their number.
+#[must_use]
+pub fn render(sink: &TraceSink, track_names: &[(u32, &str)]) -> String {
+    let mut out = String::with_capacity(64 + sink.len() * 64);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    for (track, label) in track_names {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "{{\"ph\":\"M\",\"pid\":0,\"tid\":{track},\"name\":\"thread_name\",\
+             \"args\":{{\"name\":\""
+        ));
+        escape(label, &mut out);
+        out.push_str("\"}}");
+    }
+    for span in sink.spans() {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        // Inclusive span [start, end] -> duration end - start + 1, so a
+        // one-cycle span is visible instead of zero-width.
+        let dur = span.end - span.start + 1;
+        out.push_str(&format!(
+            "{{\"ph\":\"X\",\"pid\":0,\"tid\":{},\"ts\":{},\"dur\":{dur},\"name\":\"",
+            span.track, span.start
+        ));
+        escape(span.name, &mut out);
+        out.push_str("\"}");
+    }
+    out.push_str("]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_metadata_and_complete_events() {
+        let mut sink = TraceSink::new(8);
+        sink.record(1, "advance", 10, 19);
+        let json = render(&sink, &[(1, "shard 1")]);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"thread_name\""));
+        assert!(json.contains("\"shard 1\""));
+        assert!(json.contains(
+            "\"ph\":\"X\",\"pid\":0,\"tid\":1,\"ts\":10,\"dur\":10,\"name\":\"advance\""
+        ));
+        assert!(json.trim_end().ends_with("]}"));
+    }
+
+    #[test]
+    fn escapes_hostile_labels() {
+        let mut sink = TraceSink::new(1);
+        sink.record(0, "a", 0, 0);
+        let json = render(&sink, &[(0, "x\"y\\z")]);
+        assert!(json.contains("x\\\"y\\\\z"));
+    }
+}

@@ -1,0 +1,231 @@
+//! The process-wide metrics registry: named atomic handles, lock-free
+//! on the record path.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::snapshot::{bucket_of, HistogramSnapshot, TelemetrySnapshot, HISTOGRAM_BUCKETS};
+
+/// A monotone event counter. Cloning shares the underlying atomic, so a
+/// handle is registered once and bumped from anywhere without touching
+/// the registry again.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A level sample (queue depth, high-water mark). Snapshots merge
+/// gauges by max, so `set` keeps the last value and `record_max` keeps
+/// the high-water mark.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Overwrites the level.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Raises the level to at least `v`.
+    pub fn record_max(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCore {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for HistogramCore {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A power-of-two-bucketed distribution; `record` is O(1) — one
+/// leading-zeros count plus three relaxed adds.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(Arc<HistogramCore>);
+
+impl Histogram {
+    /// Records one value.
+    pub fn record(&self, value: u64) {
+        self.0.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Point-in-time contents.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.0.buckets[i].load(Ordering::Relaxed)),
+            count: self.0.count.load(Ordering::Relaxed),
+            sum: self.0.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// A set of named metrics. Registration is idempotent — asking for the
+/// same name twice returns handles over the same underlying atomic — so
+/// call sites register at construction time and keep the handle.
+///
+/// [`Registry::global`] is the process-wide instance the resident
+/// service exposes over TCP; simulation hot loops deliberately do *not*
+/// use it (they keep plain per-instance counter structs and render into
+/// a [`TelemetrySnapshot`] on demand), so per-record attribution stays
+/// isolated and the hot path stays atomics-free.
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: Mutex<Inner>,
+}
+
+impl Registry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The process-wide registry.
+    #[must_use]
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::new)
+    }
+
+    /// The counter `name`, registering it at 0 on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the registry lock is poisoned.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut inner = self.inner.lock().expect("registry lock");
+        inner.counters.entry(name.to_string()).or_default().clone()
+    }
+
+    /// The gauge `name`, registering it at 0 on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the registry lock is poisoned.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut inner = self.inner.lock().expect("registry lock");
+        inner.gauges.entry(name.to_string()).or_default().clone()
+    }
+
+    /// The histogram `name`, registering it empty on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the registry lock is poisoned.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut inner = self.inner.lock().expect("registry lock");
+        inner
+            .histograms
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Renders every registered metric into a snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the registry lock is poisoned.
+    #[must_use]
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let inner = self.inner.lock().expect("registry lock");
+        let mut snap = TelemetrySnapshot::new();
+        for (name, c) in &inner.counters {
+            snap.add_counter(name, c.get());
+        }
+        for (name, g) in &inner.gauges {
+            snap.set_gauge(name, g.get());
+        }
+        for (name, h) in &inner.histograms {
+            snap.add_histogram(name, &h.snapshot());
+        }
+        snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_share_the_underlying_atomic() {
+        let reg = Registry::new();
+        let a = reg.counter("test.counter");
+        let b = reg.counter("test.counter");
+        a.add(3);
+        b.inc();
+        assert_eq!(a.get(), 4);
+        assert_eq!(reg.snapshot().counter("test.counter"), 4);
+    }
+
+    #[test]
+    fn gauges_keep_the_high_water_mark() {
+        let reg = Registry::new();
+        let g = reg.gauge("test.depth");
+        g.record_max(9);
+        g.record_max(4);
+        assert_eq!(g.get(), 9);
+        g.set(2);
+        assert_eq!(reg.snapshot().gauges["test.depth"], 2);
+    }
+
+    #[test]
+    fn histograms_snapshot_bucket_counts() {
+        let reg = Registry::new();
+        let h = reg.histogram("test.lat");
+        h.record(1);
+        h.record(100);
+        let snap = reg.snapshot();
+        let hs = &snap.histograms["test.lat"];
+        assert_eq!(hs.count, 2);
+        assert_eq!(hs.sum, 101);
+        assert_eq!(hs.buckets.iter().sum::<u64>(), 2);
+    }
+}

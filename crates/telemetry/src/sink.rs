@@ -1,0 +1,103 @@
+//! The opt-in span ring buffer behind the timeline exporter.
+
+use std::collections::VecDeque;
+
+/// One timestamped span: `[start, end]` in simulation cycles on a
+/// numbered track (core, shard, or worker index). Names are `&'static`
+/// so recording never allocates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Track (timeline row) the span belongs to.
+    pub track: u32,
+    /// What the span covers (e.g. `"advance"`, `"cell"`).
+    pub name: &'static str,
+    /// First cycle covered.
+    pub start: u64,
+    /// Cycle the span ended on (inclusive; `end >= start`).
+    pub end: u64,
+}
+
+/// A bounded ring buffer of [`Span`]s: recording past capacity drops
+/// the *oldest* span, so a long run keeps the most recent window — the
+/// part a timeline investigation actually looks at. Entirely opt-in:
+/// the hot layers hold `Option<TraceSink>` and skip recording when it
+/// is `None`, and recording never affects simulation state (pinned by
+/// `tests/telemetry_differential.rs`).
+#[derive(Debug)]
+pub struct TraceSink {
+    spans: VecDeque<Span>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl TraceSink {
+    /// A sink holding at most `capacity` spans.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "a zero-capacity sink records nothing");
+        Self {
+            spans: VecDeque::with_capacity(capacity),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Records one span, evicting the oldest when full.
+    pub fn record(&mut self, track: u32, name: &'static str, start: u64, end: u64) {
+        debug_assert!(end >= start, "span ends before it starts");
+        if self.spans.len() == self.capacity {
+            self.spans.pop_front();
+            self.dropped += 1;
+        }
+        self.spans.push_back(Span {
+            track,
+            name,
+            start,
+            end,
+        });
+    }
+
+    /// The retained spans, oldest first.
+    pub fn spans(&self) -> impl Iterator<Item = &Span> {
+        self.spans.iter()
+    }
+
+    /// Retained span count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// True when nothing is retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Spans evicted because the ring was full.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_the_newest_window() {
+        let mut sink = TraceSink::new(2);
+        sink.record(0, "a", 0, 1);
+        sink.record(0, "b", 2, 3);
+        sink.record(0, "c", 4, 5);
+        assert_eq!(sink.len(), 2);
+        assert_eq!(sink.dropped(), 1);
+        let names: Vec<_> = sink.spans().map(|s| s.name).collect();
+        assert_eq!(names, ["b", "c"]);
+    }
+}

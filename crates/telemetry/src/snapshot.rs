@@ -1,0 +1,251 @@
+//! The deterministic, mergeable point-in-time view every telemetry
+//! source renders into.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Number of power-of-two histogram buckets: bucket 0 holds the value
+/// 0, bucket `k` (k ≥ 1) holds values in `[2^(k-1), 2^k)`, bucket 64
+/// holds `[2^63, u64::MAX]`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// The bucket a value lands in (O(1): a leading-zeros count).
+#[must_use]
+pub(crate) fn bucket_of(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// Point-in-time contents of one power-of-two-bucketed histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (see [`HISTOGRAM_BUCKETS`]).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all recorded values (wrapping on overflow).
+    pub sum: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Records one value (snapshot-side mirror of
+    /// [`Histogram::record`](crate::Histogram::record), for plain
+    /// non-atomic instrumentation).
+    pub fn record(&mut self, value: u64) {
+        self.buckets[bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.wrapping_add(value);
+    }
+
+    /// Folds `other` in: buckets, count, and sum all add, so merging is
+    /// associative and commutative.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        // Exhaustive destructuring: adding a field without deciding how
+        // it merges is a compile error.
+        let HistogramSnapshot {
+            buckets,
+            count,
+            sum,
+        } = other;
+        for (mine, theirs) in self.buckets.iter_mut().zip(buckets) {
+            *mine += theirs;
+        }
+        self.count += count;
+        self.sum = self.sum.wrapping_add(*sum);
+    }
+
+    /// Mean of the recorded values (0.0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                self.sum as f64 / self.count as f64
+            }
+        }
+    }
+}
+
+/// A deterministic point-in-time view of a set of telemetry sources:
+/// dotted-name → value maps in lexicographic (`BTreeMap`) order, so two
+/// snapshots of identical state render and compare identically.
+///
+/// Built either by [`Registry::snapshot`](crate::Registry::snapshot) or
+/// directly by the hot layers' plain counter structs; snapshots from
+/// different sources (or different shards/records) combine with
+/// [`TelemetrySnapshot::merge`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TelemetrySnapshot {
+    /// Monotone event counts; merge by sum.
+    pub counters: BTreeMap<String, u64>,
+    /// Level samples; merge by max.
+    pub gauges: BTreeMap<String, u64>,
+    /// Power-of-two-bucketed distributions; merge bucket-wise.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl TelemetrySnapshot {
+    /// An empty snapshot.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `value` to the counter `name` (creating it at 0).
+    pub fn add_counter(&mut self, name: &str, value: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += value;
+    }
+
+    /// Raises the gauge `name` to at least `value`.
+    pub fn set_gauge(&mut self, name: &str, value: u64) {
+        let g = self.gauges.entry(name.to_string()).or_insert(0);
+        *g = (*g).max(value);
+    }
+
+    /// Folds `hist` into the histogram `name`.
+    pub fn add_histogram(&mut self, name: &str, hist: &HistogramSnapshot) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .merge(hist);
+    }
+
+    /// The counter `name`, or 0 when absent.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sum of every counter whose name starts with `prefix` (the
+    /// reconciliation helper: e.g. all `dram.decision.` causes).
+    #[must_use]
+    pub fn counter_prefix_sum(&self, prefix: &str) -> u64 {
+        self.counters
+            .range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// Folds `other` in: counters and histogram buckets sum, gauges
+    /// take the max — all associative and commutative, so merge order
+    /// never matters (pinned by `tests/telemetry_properties.rs`).
+    pub fn merge(&mut self, other: &TelemetrySnapshot) {
+        // Exhaustive destructuring: a new field must decide its merge.
+        let TelemetrySnapshot {
+            counters,
+            gauges,
+            histograms,
+        } = other;
+        for (name, v) in counters {
+            *self.counters.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, v) in gauges {
+            let g = self.gauges.entry(name.clone()).or_insert(0);
+            *g = (*g).max(*v);
+        }
+        for (name, h) in histograms {
+            self.histograms.entry(name.clone()).or_default().merge(h);
+        }
+    }
+
+    /// True when nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+}
+
+impl fmt::Display for TelemetrySnapshot {
+    /// One `name value` line per metric, names in lexicographic order
+    /// (histograms render as `name{count,mean}`).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, v) in &self.counters {
+            writeln!(f, "{name} {v}")?;
+        }
+        for (name, v) in &self.gauges {
+            writeln!(f, "{name} {v} (gauge)")?;
+        }
+        for (name, h) in &self.histograms {
+            writeln!(f, "{name} count={} mean={:.1}", h.count, h.mean())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_split_at_powers_of_two() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn histogram_records_and_merges() {
+        let mut a = HistogramSnapshot::default();
+        a.record(0);
+        a.record(5);
+        let mut b = HistogramSnapshot::default();
+        b.record(5);
+        a.merge(&b);
+        assert_eq!(a.count, 3);
+        assert_eq!(a.sum, 10);
+        assert_eq!(a.buckets[0], 1);
+        assert_eq!(a.buckets[bucket_of(5)], 2);
+        assert!((a.mean() - 10.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_merge_sums_counters_maxes_gauges() {
+        let mut a = TelemetrySnapshot::new();
+        a.add_counter("x.a", 2);
+        a.set_gauge("x.g", 7);
+        let mut b = TelemetrySnapshot::new();
+        b.add_counter("x.a", 3);
+        b.add_counter("x.b", 1);
+        b.set_gauge("x.g", 5);
+        a.merge(&b);
+        assert_eq!(a.counter("x.a"), 5);
+        assert_eq!(a.counter("x.b"), 1);
+        assert_eq!(a.gauges["x.g"], 7);
+        assert_eq!(a.counter_prefix_sum("x."), 6);
+    }
+
+    #[test]
+    fn prefix_sum_does_not_cross_prefixes() {
+        let mut s = TelemetrySnapshot::new();
+        s.add_counter("dram.decision.issue_hit", 4);
+        s.add_counter("dram.decision.noop", 1);
+        s.add_counter("dram.decisions_total", 100);
+        assert_eq!(s.counter_prefix_sum("dram.decision."), 5);
+    }
+
+    #[test]
+    fn display_is_deterministic_and_sorted() {
+        let mut s = TelemetrySnapshot::new();
+        s.add_counter("b.two", 2);
+        s.add_counter("a.one", 1);
+        let text = s.to_string();
+        assert!(text.find("a.one 1").unwrap() < text.find("b.two 2").unwrap());
+    }
+}

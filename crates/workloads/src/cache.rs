@@ -31,9 +31,10 @@
 
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
 use cpu_model::TraceOp;
+use secddr_telemetry::{Counter, Registry};
 
 const MAGIC: &[u8; 4] = b"SDTR";
 const VERSION: u32 = 1;
@@ -55,29 +56,52 @@ pub struct TraceCacheStats {
     pub generated: u64,
 }
 
-static MEMORY_HITS: AtomicU64 = AtomicU64::new(0);
-static DISK_HITS: AtomicU64 = AtomicU64::new(0);
-static GENERATED: AtomicU64 = AtomicU64::new(0);
+// The counters live in the process-wide telemetry registry (under the
+// `workloads.trace_cache.*` names) so the service's metrics endpoint
+// and `trace_cache_stats` read the same numbers. Each handle is cached
+// in a `OnceLock` so the hot path is one relaxed atomic add — the
+// registry's name lookup happens once per process.
+static MEMORY_HITS: OnceLock<Counter> = OnceLock::new();
+static DISK_HITS: OnceLock<Counter> = OnceLock::new();
+static GENERATED: OnceLock<Counter> = OnceLock::new();
+
+fn handle(slot: &'static OnceLock<Counter>, name: &'static str) -> &'static Counter {
+    slot.get_or_init(|| Registry::global().counter(name))
+}
+
+fn memory_hits() -> &'static Counter {
+    handle(&MEMORY_HITS, "workloads.trace_cache.memory_hits")
+}
+
+fn disk_hits() -> &'static Counter {
+    handle(&DISK_HITS, "workloads.trace_cache.disk_hits")
+}
+
+fn generated() -> &'static Counter {
+    handle(&GENERATED, "workloads.trace_cache.generated")
+}
 
 pub(crate) fn count_memory_hit() {
-    MEMORY_HITS.fetch_add(1, Ordering::Relaxed);
+    memory_hits().inc();
 }
 
 pub(crate) fn count_disk_hit() {
-    DISK_HITS.fetch_add(1, Ordering::Relaxed);
+    disk_hits().inc();
 }
 
 pub(crate) fn count_generated() {
-    GENERATED.fetch_add(1, Ordering::Relaxed);
+    generated().inc();
 }
 
-/// A snapshot of the process-wide trace-cache counters.
+/// A snapshot of the process-wide trace-cache counters (the same values
+/// the global telemetry registry reports under
+/// `workloads.trace_cache.*`).
 #[must_use]
 pub fn trace_cache_stats() -> TraceCacheStats {
     TraceCacheStats {
-        memory_hits: MEMORY_HITS.load(Ordering::Relaxed),
-        disk_hits: DISK_HITS.load(Ordering::Relaxed),
-        generated: GENERATED.load(Ordering::Relaxed),
+        memory_hits: memory_hits().get(),
+        disk_hits: disk_hits().get(),
+        generated: generated().get(),
     }
 }
 
@@ -303,6 +327,25 @@ mod tests {
         store("disk_roundtrip_test", 123_456, 777, &trace);
         assert_eq!(load("disk_roundtrip_test", 123_456, 777), Some(trace));
         assert_eq!(load("disk_roundtrip_test", 123_456, 778), None, "other key");
+    }
+
+    #[test]
+    fn counters_live_in_the_global_registry() {
+        let before = trace_cache_stats();
+        count_memory_hit();
+        count_disk_hit();
+        count_generated();
+        let after = trace_cache_stats();
+        assert_eq!(after.memory_hits, before.memory_hits + 1);
+        assert_eq!(after.disk_hits, before.disk_hits + 1);
+        assert_eq!(after.generated, before.generated + 1);
+        let snap = Registry::global().snapshot();
+        assert_eq!(
+            snap.counter("workloads.trace_cache.memory_hits"),
+            after.memory_hits,
+            "stats and the registry read the same counter"
+        );
+        assert!(snap.counter_prefix_sum("workloads.trace_cache.") >= 3);
     }
 
     #[test]

@@ -122,6 +122,19 @@ fn main() {
         warm.trace_memory_hits, warm.trace_disk_hits, warm.trace_generated
     );
 
+    // ---- Metrics endpoint: the jobs above show up as counters. ----
+    let metrics = client.metrics().expect("metrics command");
+    let submitted = metrics.get("service.job.submitted").copied().unwrap_or(0);
+    let completed = metrics.get("service.job.completed").copied().unwrap_or(0);
+    let cells = metrics.get("service.cell.completed").copied().unwrap_or(0);
+    assert!(submitted >= 3, "three jobs were submitted: {metrics:?}");
+    assert!(completed >= 3, "three jobs finished: {metrics:?}");
+    assert!(cells >= 5, "their cells all ran: {metrics:?}");
+    println!(
+        "\nmetrics endpoint: {submitted} jobs submitted, {completed} completed, \
+         {cells} cells run"
+    );
+
     // ---- Clean shutdown (the CI gate waits on the server's exit). ----
     client.shutdown_server().expect("shutdown command");
     if let Some(server) = local_server {

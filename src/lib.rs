@@ -19,6 +19,9 @@
 //!   server (`secddr-serve`) that queues [`JobSpec`]s on a persistent
 //!   worker pool and streams per-cell results, in-process or over
 //!   line-delimited-JSON TCP.
+//! * [`telemetry`] — cross-layer observability: the metrics registry,
+//!   deterministic mergeable snapshots, and the span ring buffer +
+//!   `chrome://tracing` timeline exporter.
 //! * [`workloads`] — the 29 benchmarks of the paper's evaluation.
 //! * [`kernel`] — the event-driven simulation kernel all timing layers
 //!   ride ([`SimClock`](sim_kernel::SimClock), event queue, and the
@@ -45,6 +48,7 @@ pub use secddr_core as core;
 pub use secddr_crypto as crypto;
 pub use secddr_multicore as multicore;
 pub use secddr_service as service;
+pub use secddr_telemetry as telemetry;
 pub use sim_kernel as kernel;
 pub use workloads;
 
@@ -55,4 +59,5 @@ pub use secddr_multicore::{AddressSpace, CoreTrace, MultiCoreResult, MultiCoreSy
 pub use secddr_service::{
     ExperimentServer, ExperimentService, JobEvent, JobHandle, JobSpec, ServiceClient,
 };
+pub use secddr_telemetry::{Registry, TelemetrySnapshot, TraceSink};
 pub use sim_kernel::Advance;

@@ -1,0 +1,139 @@
+//! Telemetry must be provably non-perturbing: a run with the span
+//! ring buffer enabled and the global registry active produces
+//! **bit-identical** simulation observables (`SimResult` /
+//! `MultiCoreResult`, `EngineStats`, `DramStats`) to a run with no
+//! telemetry touched at all. The always-on counters are plain `u64`s
+//! outside the compared structs, and the `TraceSink` only copies
+//! already-computed cycle numbers — these tests pin that neither can
+//! bend the simulation.
+
+use proptest::prelude::*;
+use secddr::core::config::SecurityConfig;
+use secddr::core::engine::{EngineOptions, EngineStats};
+use secddr::core::metadata::DATA_SPAN;
+use secddr::cpu::{CpuConfig, CpuSystem, SimResult, TraceOp};
+use secddr::dram::{Advance, DramStats};
+use secddr::telemetry::chrome_trace;
+use secddr::workloads::Benchmark;
+use secddr::{CoreTrace, Interleave, MultiCoreSystem, Registry, ShardedEngine};
+
+const CPU_MHZ: u32 = 3200;
+
+fn options(advance: Advance) -> EngineOptions {
+    EngineOptions {
+        advance,
+        ..EngineOptions::default()
+    }
+}
+
+fn cpu_cfg(advance: Advance) -> CpuConfig {
+    CpuConfig {
+        advance,
+        ..CpuConfig::default()
+    }
+}
+
+fn engine(advance: Advance, traced: bool) -> ShardedEngine {
+    let mut engine = ShardedEngine::with_options(
+        SecurityConfig::secddr_ctr(),
+        CPU_MHZ,
+        Interleave::xor(4),
+        options(advance),
+    );
+    if traced {
+        engine.enable_trace(4096);
+        // Hammer the process-wide registry too: shared atomics must be
+        // just as invisible to the simulation as the span ring.
+        Registry::global().counter("test.pollution").inc();
+        Registry::global().histogram("test.pollution_us").record(7);
+    }
+    engine
+}
+
+fn decode(ops: &[(u64, u64, u64)]) -> Vec<TraceOp> {
+    ops.iter()
+        .map(|&(sel, addr, n)| match sel % 5 {
+            0 => TraceOp::Compute((n % 48 + 1) as u32),
+            1 | 4 => TraceOp::Load(addr),
+            2 => TraceOp::DependentLoad(addr),
+            _ => TraceOp::Store(addr),
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Randomized single-core streams over a traced 4-way sharded
+    /// backend, under both advance policies: identical `SimResult`,
+    /// engine statistics, and DRAM statistics to the untraced run.
+    #[test]
+    fn tracing_never_perturbs_random_streams(
+        ops in proptest::collection::vec(
+            (0u64..5, 0u64..(1u64 << 32), 1u64..50),
+            1..40,
+        ),
+        event_driven in any::<bool>(),
+    ) {
+        let trace = decode(&ops);
+        let advance = if event_driven { Advance::ToNextEvent } else { Advance::PerCycle };
+        let run = |traced: bool| -> (SimResult, EngineStats, DramStats) {
+            let mut sys = CpuSystem::new(cpu_cfg(advance), engine(advance, traced));
+            let sim = sys.run(trace.iter().copied());
+            (sim, sys.backend_mut().stats(), sys.backend_mut().dram_stats())
+        };
+        prop_assert_eq!(run(true), run(false), "telemetry perturbed the run ({:?})", advance);
+    }
+}
+
+/// End-to-end on a real benchmark: a 4-core rate-mode mcf job over
+/// `ShardedEngine{N=4}` with the span ring live and the global registry
+/// polluted is bit-identical to the plain run — and the captured
+/// telemetry itself is well-formed (causes partition the decision
+/// cycles, wakes partition the event-driven schedule, the sink renders
+/// straight into a loadable Chrome trace document).
+#[test]
+fn traced_multicore_run_is_bit_identical_and_exports() {
+    let bench = Benchmark::by_name("mcf").expect("mcf exists");
+    let trace = bench.generate_shared(6_000, 0xD5);
+    let advance = Advance::ToNextEvent;
+
+    let mut plain = MultiCoreSystem::new(4, cpu_cfg(advance), engine(advance, false));
+    let plain_result = plain.run(CoreTrace::rate(&trace, DATA_SPAN, 4));
+
+    let mut traced = MultiCoreSystem::new(4, cpu_cfg(advance), engine(advance, true));
+    let traced_result = traced.run(CoreTrace::rate(&trace, DATA_SPAN, 4));
+
+    assert_eq!(traced_result, plain_result, "results diverged");
+    assert_eq!(
+        traced.backend_mut().stats(),
+        plain.backend_mut().stats(),
+        "engine stats diverged"
+    );
+    assert_eq!(
+        traced.backend_mut().dram_stats(),
+        plain.backend_mut().dram_stats(),
+        "dram stats diverged"
+    );
+
+    // The attribution gathered along the way reconciles exactly.
+    let dram_t = traced.backend_mut().dram_telemetry();
+    assert_eq!(dram_t.causes.total(), dram_t.decision_cycles);
+    assert!(dram_t.causes.completion > 0, "work completed");
+    let wake = traced.wake_reasons();
+    assert!(wake.total() > 0, "event-driven cores woke");
+    let snap = traced.telemetry_snapshot();
+    assert_eq!(snap.counter_prefix_sum("multicore.wake."), wake.total());
+
+    // And the span ring renders into a Chrome trace document.
+    let sink = traced
+        .backend_mut()
+        .take_trace()
+        .expect("trace was enabled");
+    assert!(!sink.is_empty(), "shards recorded spans");
+    let json = chrome_trace::render(&sink, &[(0, "shard 0"), (1, "shard 1")]);
+    assert!(json.starts_with("{\"traceEvents\":["));
+    assert!(json.contains("\"ph\":\"X\""));
+    assert!(json.contains("\"shard 0\""));
+    assert!(json.trim_end().ends_with("]}"));
+}

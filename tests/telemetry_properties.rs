@@ -1,0 +1,82 @@
+//! Property tests for the telemetry snapshot algebra: merging is
+//! associative and commutative on counters, gauges, and histogram
+//! buckets, so shard/record/process snapshots can be folded in any
+//! order (exactly what `ShardedEngine::dram_telemetry` and the bench
+//! harness rely on).
+
+use proptest::prelude::*;
+use secddr::telemetry::{HistogramSnapshot, TelemetrySnapshot};
+
+/// One recorded metric: (metric index, kind, value). Kind 0 = counter,
+/// 1 = gauge, 2 = histogram sample. A handful of shared names forces
+/// real key collisions between the merged snapshots.
+type Op = (u8, u8, u64);
+
+const NAMES: [&str; 5] = ["a.x", "a.y", "b.x", "b.y", "c.z"];
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (0u8..NAMES.len() as u8, 0u8..3, 0u64..(1 << 48))
+}
+
+fn snapshot_from(ops: &[Op]) -> TelemetrySnapshot {
+    let mut snap = TelemetrySnapshot::new();
+    for &(name, kind, value) in ops {
+        let name = NAMES[name as usize];
+        match kind {
+            0 => snap.add_counter(name, value),
+            1 => snap.set_gauge(name, value),
+            _ => {
+                let mut h = HistogramSnapshot::default();
+                h.record(value);
+                snap.add_histogram(name, &h);
+            }
+        }
+    }
+    snap
+}
+
+fn merged(a: &TelemetrySnapshot, b: &TelemetrySnapshot) -> TelemetrySnapshot {
+    let mut out = a.clone();
+    out.merge(b);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merge_is_commutative(
+        a in proptest::collection::vec(op_strategy(), 0..24),
+        b in proptest::collection::vec(op_strategy(), 0..24),
+    ) {
+        let (a, b) = (snapshot_from(&a), snapshot_from(&b));
+        prop_assert_eq!(merged(&a, &b), merged(&b, &a));
+    }
+
+    #[test]
+    fn merge_is_associative(
+        a in proptest::collection::vec(op_strategy(), 0..16),
+        b in proptest::collection::vec(op_strategy(), 0..16),
+        c in proptest::collection::vec(op_strategy(), 0..16),
+    ) {
+        let (a, b, c) = (snapshot_from(&a), snapshot_from(&b), snapshot_from(&c));
+        prop_assert_eq!(merged(&merged(&a, &b), &c), merged(&a, &merged(&b, &c)));
+    }
+
+    #[test]
+    fn merge_preserves_counter_sums_and_histogram_counts(
+        a in proptest::collection::vec(op_strategy(), 0..24),
+        b in proptest::collection::vec(op_strategy(), 0..24),
+    ) {
+        let (sa, sb) = (snapshot_from(&a), snapshot_from(&b));
+        let m = merged(&sa, &sb);
+        prop_assert_eq!(
+            m.counter_prefix_sum(""),
+            sa.counter_prefix_sum("") + sb.counter_prefix_sum("")
+        );
+        let hist_count = |s: &TelemetrySnapshot| -> u64 {
+            s.histograms.values().map(|h| h.count).sum()
+        };
+        prop_assert_eq!(hist_count(&m), hist_count(&sa) + hist_count(&sb));
+    }
+}

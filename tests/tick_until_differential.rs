@@ -84,15 +84,18 @@ proptest! {
                     }
                 }
             }
-            (completions, dram.stats())
+            (completions, dram.stats(), dram.telemetry())
         };
-        let (fast_c, fast_s) = run(true);
-        let (ref_c, ref_s) = run(false);
+        let (fast_c, fast_s, fast_t) = run(true);
+        let (ref_c, ref_s, ref_t) = run(false);
         prop_assert_eq!(fast_c, ref_c, "completion schedule diverged");
         prop_assert_eq!(fast_s.clone(), ref_s, "stats diverged");
-        // Policy-invariant busy coverage, strictly fewer executed cycles
-        // whenever the run was long enough to contain a decision-free gap.
-        prop_assert!(fast_s.advance.decision_cycles <= fast_s.cycles);
+        // Policy-invariant busy coverage, fewer-or-equal executed cycles,
+        // and cause buckets that partition the executed cycles exactly.
+        prop_assert_eq!(fast_t.busy_cycles, ref_t.busy_cycles);
+        prop_assert!(fast_t.decision_cycles <= fast_s.cycles);
+        prop_assert_eq!(fast_t.causes.total(), fast_t.decision_cycles);
+        prop_assert_eq!(ref_t.causes.total(), ref_t.decision_cycles);
     }
 
     /// `advance_to(_, ToNextEvent)` (which rides `tick_until`) returns
@@ -160,10 +163,10 @@ fn tick_until_preserves_refresh_timing_over_long_spans() {
                 }
             }
         }
-        (completions, dram.stats())
+        (completions, dram.stats(), dram.telemetry())
     };
-    let (fast_c, fast_s) = run(true);
-    let (ref_c, ref_s) = run(false);
+    let (fast_c, fast_s, fast_t) = run(true);
+    let (ref_c, ref_s, _) = run(false);
     assert_eq!(fast_c, ref_c, "completion schedule diverged");
     assert_eq!(fast_s, ref_s, "stats diverged");
     assert!(
@@ -172,9 +175,9 @@ fn tick_until_preserves_refresh_timing_over_long_spans() {
         fast_s.refreshes
     );
     assert!(
-        fast_s.advance.decision_cycles * 4 < fast_s.cycles,
+        fast_t.decision_cycles * 4 < fast_s.cycles,
         "long spans must be dominated by skipped cycles: {} of {}",
-        fast_s.advance.decision_cycles,
+        fast_t.decision_cycles,
         fast_s.cycles
     );
 }
