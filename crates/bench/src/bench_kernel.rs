@@ -49,6 +49,15 @@
 //! immune to steal noise, and every saturated rate record asserts
 //! decision < busy before timing is reported.
 //!
+//! Sharded and multicore records also carry a compact `series` block
+//! summarising the sim-time windowed series recorded during the
+//! event-driven run (epoch width, per-phase dominant decision causes,
+//! aging onset epoch, channel imbalance). Series recording is enabled in
+//! *all* timed runs of both policies so the overhead is symmetric, and
+//! the per-epoch sums are asserted to reconcile exactly with the
+//! aggregate telemetry before each record is built (`series_reconciles`,
+//! gated in CI).
+//!
 //! Every record also carries `*_vs_pr1` ratios against the wall-clock
 //! the PR 1 kernel recorded in its own `BENCH_kernel.json` (same
 //! workload, same budget). Absolute seconds are host-dependent; the
@@ -72,6 +81,7 @@ use secddr_core::engine::{EngineOptions, EngineStats, SecurityEngine};
 use secddr_core::metadata::DATA_SPAN;
 use secddr_core::system::{run_trace_with_options, RunParams};
 use secddr_multicore::{CoreTrace, MultiCoreResult, MultiCoreSystem, WakeReasons};
+use secddr_telemetry::{report as series_report, SeriesSnapshot, TelemetrySnapshot};
 use sim_kernel::Advance;
 
 use crate::runner::{sweep_with_options, Sweep};
@@ -95,6 +105,13 @@ const PR1_BASELINE_INSTRUCTIONS: u64 = 40_000;
 /// granularity; a ratio against them would be quantization noise, so the
 /// field is omitted instead.
 const MIN_MEANINGFUL_BASELINE_SECS: f64 = 0.01;
+
+/// Series epoch width (CPU cycles) for the sharded and multicore
+/// records: scales with the instruction budget so epoch counts stay in
+/// the dozens, floored so smoke budgets still roll several epochs.
+fn series_width(instructions: u64) -> u64 {
+    (instructions * 2).max(2_048)
+}
 
 fn fig6_configs() -> [SecurityConfig; 5] {
     [
@@ -207,16 +224,19 @@ fn ingestion_run(batched: bool) -> (f64, secddr_core::engine::EngineStats) {
 }
 
 /// One `CpuSystem`-over-`ShardedEngine` run: simulated results (for the
-/// identity asserts), the merged controller telemetry (kept out of the
-/// compared tuple — the advance policies disagree on it by design), and
-/// the wall-clock seconds of the run itself.
+/// identity asserts), the merged controller telemetry plus the recorded
+/// sim-time series (both kept out of the compared tuple — the advance
+/// policies disagree on telemetry by design), and the wall-clock
+/// seconds of the run itself. Series recording is enabled in every run,
+/// so both timing columns carry the same (near-zero) recording cost.
 fn sharded_run(
     trace: &[TraceOp],
     shards: usize,
     advance: Advance,
+    epoch_width: u64,
 ) -> (
     (SimResult, EngineStats, DramStats),
-    ControllerTelemetry,
+    (ControllerTelemetry, SeriesSnapshot),
     f64,
 ) {
     let options = EngineOptions {
@@ -229,22 +249,27 @@ fn sharded_run(
         ..CpuConfig::default()
     };
     let start = Instant::now();
-    let engine = ShardedEngine::with_options(
+    let mut engine = ShardedEngine::with_options(
         SecurityConfig::secddr_ctr(),
         cpu_cfg.clock_mhz,
         Interleave::xor(shards),
         options,
     );
+    engine.enable_series(epoch_width);
     let mut sys = CpuSystem::new(cpu_cfg, engine);
     let sim = sys.run(trace.iter().copied());
     let secs = start.elapsed().as_secs_f64();
+    let series = sys
+        .backend_mut()
+        .series_snapshot()
+        .expect("series recording was enabled");
     (
         (
             sim,
             sys.backend_mut().stats(),
             sys.backend_mut().dram_stats(),
         ),
-        sys.backend_mut().dram_telemetry(),
+        (sys.backend_mut().dram_telemetry(), series),
         secs,
     )
 }
@@ -266,6 +291,7 @@ fn shard_scaling_records(params: RunParams) -> Vec<Record> {
         EngineOptions::default(),
     );
 
+    let width = series_width(params.instructions);
     let mut records = Vec::new();
     for (n, name) in [
         (1usize, "shard_scaling_n1"),
@@ -273,10 +299,11 @@ fn shard_scaling_records(params: RunParams) -> Vec<Record> {
         (4, "shard_scaling_n4"),
         (8, "shard_scaling_n8"),
     ] {
-        let (ref_res, _, ref_a) = sharded_run(&trace, n, Advance::PerCycle);
-        let (fast_res, fast_t, fast_a) = sharded_run(&trace, n, Advance::ToNextEvent);
-        let (_, _, fast_b) = sharded_run(&trace, n, Advance::ToNextEvent);
-        let (_, _, ref_b) = sharded_run(&trace, n, Advance::PerCycle);
+        let (ref_res, _, ref_a) = sharded_run(&trace, n, Advance::PerCycle, width);
+        let (fast_res, (fast_t, fast_series), fast_a) =
+            sharded_run(&trace, n, Advance::ToNextEvent, width);
+        let (_, _, fast_b) = sharded_run(&trace, n, Advance::ToNextEvent, width);
+        let (_, _, ref_b) = sharded_run(&trace, n, Advance::PerCycle, width);
         assert_eq!(
             fast_res, ref_res,
             "N={n}: event-driven sharded run diverged from per-cycle"
@@ -294,6 +321,12 @@ fn shard_scaling_records(params: RunParams) -> Vec<Record> {
             fast_t.decision_cycles,
             "N={n}: decision causes must partition the executed cycles"
         );
+        let mut aggregate = TelemetrySnapshot::default();
+        fast_t.render_into(&mut aggregate);
+        assert!(
+            fast_series.reconciles_with(&aggregate),
+            "N={n}: per-epoch series sums must reconcile with the aggregate"
+        );
         records.push(Record {
             name,
             detail: format!(
@@ -306,6 +339,7 @@ fn shard_scaling_records(params: RunParams) -> Vec<Record> {
             core_steps: None,
             controller_cycles: Some((fast_t.decision_cycles, fast_t.busy_cycles)),
             telemetry: Some((fast_t, None)),
+            series: Some(fast_series),
         });
     }
     records
@@ -325,6 +359,12 @@ struct MulticoreTelemetry {
     controller: ControllerTelemetry,
     /// Wake-reason attribution (all zero under per-cycle).
     wake: WakeReasons,
+    /// Recorded sim-time series, scheduler and channel layers merged.
+    series: SeriesSnapshot,
+    /// The matching aggregate snapshot (scheduler + controller rows),
+    /// built in the same call so the reconciliation assert compares
+    /// like with like.
+    aggregate: TelemetrySnapshot,
 }
 
 /// One rate-mode run: N cores over one shared 4-channel `ShardedEngine`,
@@ -335,6 +375,7 @@ fn multicore_run(
     trace: &Arc<Vec<TraceOp>>,
     cores: usize,
     advance: Advance,
+    epoch_width: u64,
 ) -> (
     (MultiCoreResult, EngineStats, DramStats),
     MulticoreTelemetry,
@@ -350,19 +391,31 @@ fn multicore_run(
         ..CpuConfig::default()
     };
     let start = Instant::now();
-    let engine = ShardedEngine::with_options(
+    let mut engine = ShardedEngine::with_options(
         SecurityConfig::secddr_ctr(),
         cpu_cfg.clock_mhz,
         Interleave::xor(MULTICORE_CHANNELS),
         options,
     );
+    engine.enable_series(epoch_width);
     let mut sys = MultiCoreSystem::new(cores, cpu_cfg, engine);
+    sys.enable_series(epoch_width);
     let result = sys.run(CoreTrace::rate(trace, DATA_SPAN, cores));
     let secs = start.elapsed().as_secs_f64();
+    let controller = sys.backend_mut().dram_telemetry();
+    let mut aggregate = sys.telemetry_snapshot();
+    controller.render_into(&mut aggregate);
+    let mut series = sys
+        .backend_mut()
+        .series_snapshot()
+        .expect("series recording was enabled");
+    series.merge(&sys.series_snapshot().expect("series recording was enabled"));
     let telemetry = MulticoreTelemetry {
         steps: sys.core_step_counts().iter().sum(),
-        controller: sys.backend_mut().dram_telemetry(),
+        controller,
         wake: sys.wake_reasons(),
+        series,
+        aggregate,
     };
     (
         (
@@ -411,6 +464,7 @@ fn multicore_records(params: RunParams) -> Vec<Record> {
         )
     };
 
+    let width = series_width(params.instructions);
     let mut records = Vec::new();
     for (n, name) in [
         (1usize, "multicore_rate_n1"),
@@ -419,10 +473,10 @@ fn multicore_records(params: RunParams) -> Vec<Record> {
         (8, "multicore_rate_n8"),
         (16, "multicore_rate_n16"),
     ] {
-        let (ref_res, ref_t, ref_a) = multicore_run(&trace, n, Advance::PerCycle);
-        let (fast_res, fast_t, fast_a) = multicore_run(&trace, n, Advance::ToNextEvent);
-        let (_, _, fast_b) = multicore_run(&trace, n, Advance::ToNextEvent);
-        let (_, _, ref_b) = multicore_run(&trace, n, Advance::PerCycle);
+        let (ref_res, ref_t, ref_a) = multicore_run(&trace, n, Advance::PerCycle, width);
+        let (fast_res, fast_t, fast_a) = multicore_run(&trace, n, Advance::ToNextEvent, width);
+        let (_, _, fast_b) = multicore_run(&trace, n, Advance::ToNextEvent, width);
+        let (_, _, ref_b) = multicore_run(&trace, n, Advance::PerCycle, width);
         assert_eq!(
             fast_res, ref_res,
             "N={n}: event-driven multicore run diverged from per-cycle"
@@ -455,6 +509,10 @@ fn multicore_records(params: RunParams) -> Vec<Record> {
             "N={n}: decision causes must partition the executed cycles"
         );
         assert_eq!(ref_t.wake, WakeReasons::default(), "per-cycle never wakes");
+        assert!(
+            fast_t.series.reconciles_with(&fast_t.aggregate),
+            "N={n}: per-epoch series sums must reconcile with the aggregate"
+        );
         records.push(Record {
             name,
             detail: format!(
@@ -468,6 +526,7 @@ fn multicore_records(params: RunParams) -> Vec<Record> {
             core_steps: Some((ref_t.steps, fast_t.steps)),
             controller_cycles: Some((adv.decision_cycles, adv.busy_cycles)),
             telemetry: Some((adv, Some(fast_t.wake))),
+            series: Some(fast_t.series),
         });
     }
     records
@@ -488,15 +547,16 @@ fn multicore_bursty_records(params: RunParams) -> Vec<Record> {
         }
         Arc::new(ops)
     };
+    let width = series_width(params.instructions);
     let mut records = Vec::new();
     for (n, name) in [
         (8usize, "multicore_bursty_n8"),
         (16, "multicore_bursty_n16"),
     ] {
-        let (ref_res, ref_t, ref_a) = multicore_run(&trace, n, Advance::PerCycle);
-        let (fast_res, fast_t, fast_a) = multicore_run(&trace, n, Advance::ToNextEvent);
-        let (_, _, fast_b) = multicore_run(&trace, n, Advance::ToNextEvent);
-        let (_, _, ref_b) = multicore_run(&trace, n, Advance::PerCycle);
+        let (ref_res, ref_t, ref_a) = multicore_run(&trace, n, Advance::PerCycle, width);
+        let (fast_res, fast_t, fast_a) = multicore_run(&trace, n, Advance::ToNextEvent, width);
+        let (_, _, fast_b) = multicore_run(&trace, n, Advance::ToNextEvent, width);
+        let (_, _, ref_b) = multicore_run(&trace, n, Advance::PerCycle, width);
         assert_eq!(
             fast_res, ref_res,
             "N={n}: event-driven bursty multicore run diverged from per-cycle"
@@ -506,6 +566,10 @@ fn multicore_bursty_records(params: RunParams) -> Vec<Record> {
             adv.causes.total(),
             adv.decision_cycles,
             "N={n}: decision causes must partition the executed cycles"
+        );
+        assert!(
+            fast_t.series.reconciles_with(&fast_t.aggregate),
+            "N={n}: per-epoch series sums must reconcile with the aggregate"
         );
         records.push(Record {
             name,
@@ -520,6 +584,7 @@ fn multicore_bursty_records(params: RunParams) -> Vec<Record> {
             core_steps: Some((ref_t.steps, fast_t.steps)),
             controller_cycles: Some((adv.decision_cycles, adv.busy_cycles)),
             telemetry: Some((adv, Some(fast_t.wake))),
+            series: Some(fast_t.series),
         });
     }
     records
@@ -544,6 +609,11 @@ struct Record {
     /// to `controller_decision_cycles` before the record is built) and,
     /// for multicore records, the scheduler's wake-reason buckets.
     telemetry: Option<(ControllerTelemetry, Option<WakeReasons>)>,
+    /// Sim-time windowed series from the event-driven run (sharded and
+    /// multicore records only), already asserted to reconcile with the
+    /// aggregate telemetry. Summarised into a compact per-record
+    /// attribution block rather than dumped row-by-row.
+    series: Option<SeriesSnapshot>,
 }
 
 impl Record {
@@ -599,6 +669,32 @@ impl Record {
                 ));
             }
             extra.push_str("\n    }");
+        }
+        if let Some(series) = &self.series {
+            let phases: Vec<String> = series_report::phase_summaries(series, 4)
+                .iter()
+                .map(|p| {
+                    format!(
+                        "{{\"from_epoch\": {}, \"to_epoch\": {}, \
+                         \"dominant_cause\": \"{}\", \"share\": {:.3}, \
+                         \"decisions\": {}}}",
+                        p.from_epoch, p.to_epoch, p.dominant_cause, p.dominant_share, p.decisions
+                    )
+                })
+                .collect();
+            let aging = series_report::aging_onset_epoch(series)
+                .map_or("null".to_string(), |e| e.to_string());
+            let imbalance = series_report::channel_imbalance(series)
+                .map_or("null".to_string(), |(_, _, r)| format!("{r:.2}"));
+            extra.push_str(&format!(
+                ",\n    \"series_reconciles\": true,\n    \
+                 \"series\": {{\"epoch_width\": {}, \"epochs\": {}, \
+                 \"aging_onset_epoch\": {aging}, \
+                 \"channel_imbalance\": {imbalance}, \"phases\": [{}]}}",
+                series.epoch_width,
+                series.epochs(),
+                phases.join(", ")
+            ));
         }
         if let Some((pr1_ref, pr1_fast)) = pr1 {
             if pr1_ref >= MIN_MEANINGFUL_BASELINE_SECS {
@@ -697,6 +793,7 @@ pub fn report(instructions: u64, seed: u64) -> String {
             core_steps: None,
             controller_cycles: None,
             telemetry: None,
+            series: None,
         },
         Record {
             name: "pointer_chase_runs",
@@ -706,6 +803,7 @@ pub fn report(instructions: u64, seed: u64) -> String {
             core_steps: None,
             controller_cycles: None,
             telemetry: None,
+            series: None,
         },
         Record {
             name: "dram_idle_gaps",
@@ -715,6 +813,7 @@ pub fn report(instructions: u64, seed: u64) -> String {
             core_steps: None,
             controller_cycles: None,
             telemetry: None,
+            series: None,
         },
         Record {
             name: "batched_ingestion",
@@ -726,6 +825,7 @@ pub fn report(instructions: u64, seed: u64) -> String {
             core_steps: None,
             controller_cycles: None,
             telemetry: None,
+            series: None,
         },
     ];
 
@@ -758,6 +858,7 @@ pub fn report(instructions: u64, seed: u64) -> String {
            \"multicore_n1_matches_single\": true,\n  \
            \"decision_cycles_below_busy\": true,\n  \
            \"telemetry_reconciles\": true,\n  \
+           \"series_reconciles\": true,\n  \
            \"records\": [\n{}\n  ]\n}}\n",
         body.join(",\n"),
     )

@@ -32,7 +32,7 @@ use cpu_model::system::{AccessKind, BatchAccess, Busy, MemoryBackend};
 use dram_sim::{ControllerTelemetry, DramStats};
 use secddr_core::config::SecurityConfig;
 use secddr_core::engine::{EngineOptions, EngineStats, SecurityEngine};
-use secddr_telemetry::TraceSink;
+use secddr_telemetry::{SeriesSnapshot, TraceSink};
 use sim_kernel::{Advance, EventQueue, FxHashMap};
 
 use crate::interleave::Interleave;
@@ -207,6 +207,41 @@ impl ShardedEngine {
         merged
     }
 
+    /// Turns on sim-time windowed series recording on every shard's
+    /// channel at `epoch_width` CPU cycles per epoch (see
+    /// [`SecurityEngine::enable_series`]). Opt-in and non-perturbing
+    /// like tracing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epoch_width` is zero.
+    pub fn enable_series(&mut self, epoch_width: u64) {
+        for shard in &mut self.shards {
+            shard.enable_series(epoch_width);
+        }
+    }
+
+    /// Merged per-epoch series over all shards (syncs first). Policy
+    /// rows (`dram.decision.*`, `dram.decisions_total`,
+    /// `dram.busy_cycles`) sum across channels so they still reconcile
+    /// with the merged [`Self::dram_telemetry`]; per-bank and occupancy
+    /// rows are scoped per channel (`dram.ch01.bank03.issues`,
+    /// `dram.ch01.read_q_integral`), and each channel gains a summed
+    /// `dram.chNN.issues` heatmap row for imbalance analysis. `None`
+    /// unless [`Self::enable_series`] was called.
+    pub fn series_snapshot(&mut self) -> Option<SeriesSnapshot> {
+        self.sync();
+        let mut merged: Option<SeriesSnapshot> = None;
+        for (s, shard) in self.shards.iter().enumerate() {
+            let scoped = scope_channel(&shard.series_snapshot()?, s);
+            match &mut merged {
+                Some(m) => m.merge(&scoped),
+                None => merged = Some(scoped),
+            }
+        }
+        merged
+    }
+
     /// Turns on per-shard advance-span tracing into a bounded ring of
     /// `capacity` spans (oldest evicted first). Tracing never changes
     /// simulated behaviour — it only observes the windows each shard is
@@ -317,6 +352,37 @@ impl ShardedEngine {
         }
         (bound != u64::MAX).then(|| bound.max(now + 1))
     }
+}
+
+/// Scopes one shard's series rows to its channel: heatmap rows gain a
+/// `chNN` segment, policy rows stay shared (they sum on merge), and a
+/// per-channel `dram.chNN.issues` row (the shard's bank rows summed) is
+/// added for cross-channel imbalance analysis.
+fn scope_channel(snap: &SeriesSnapshot, shard: usize) -> SeriesSnapshot {
+    let mut scoped = snap.map_names(|name| {
+        if let Some(rest) = name.strip_prefix("dram.bank") {
+            format!("dram.ch{shard:02}.bank{rest}")
+        } else if name == "dram.read_q_integral" || name == "dram.write_q_integral" {
+            format!("dram.ch{shard:02}.{}", &name["dram.".len()..])
+        } else {
+            name.to_string()
+        }
+    });
+    let mut issues: Vec<u64> = Vec::new();
+    for (name, row) in &snap.rows {
+        if name.starts_with("dram.bank") {
+            if issues.len() < row.len() {
+                issues.resize(row.len(), 0);
+            }
+            for (total, v) in issues.iter_mut().zip(row) {
+                *total += v;
+            }
+        }
+    }
+    for (e, v) in issues.iter().enumerate() {
+        scoped.add(&format!("dram.ch{shard:02}.issues"), e as u64, *v);
+    }
+    scoped
 }
 
 impl MemoryBackend for ShardedEngine {

@@ -165,6 +165,11 @@ pub struct SecurityEngine {
     pending_md_writes: VecDeque<u64>,
     stats: EngineStats,
     options: EngineOptions,
+    /// CPU-cycle epoch width the channel series was enabled at (`None`
+    /// when series recording is off). The channel records in its own
+    /// mem-cycle domain; snapshots are relabeled back to this width so
+    /// engine- and core-domain series merge at aligned epochs.
+    series_width_cpu: Option<u64>,
 }
 
 /// Random virtual→physical 4 KB page mapping (Table I: "virtual page size
@@ -246,6 +251,7 @@ impl SecurityEngine {
             pending_md_writes: VecDeque::new(),
             stats: EngineStats::default(),
             options,
+            series_width_cpu: None,
         }
     }
 
@@ -270,6 +276,34 @@ impl SecurityEngine {
     /// decision-cause attribution; not part of bit-identity).
     pub fn dram_telemetry(&self) -> dram_sim::ControllerTelemetry {
         self.dram.telemetry()
+    }
+
+    /// Turns on sim-time windowed series recording on the underlying
+    /// channel at `epoch_width` **CPU cycles** per epoch. The channel
+    /// records in its own mem-cycle domain (the width is converted
+    /// through the clock ratio) and [`Self::series_snapshot`] relabels
+    /// the result back, so engine series merge with core-domain series
+    /// at aligned real-time epochs. Zero-perturbation: see
+    /// [`DramSystem::enable_series`](dram_sim::DramSystem::enable_series).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epoch_width` is zero.
+    pub fn enable_series(&mut self, epoch_width: u64) {
+        assert!(epoch_width > 0, "epoch width must be nonzero");
+        self.series_width_cpu = Some(epoch_width);
+        self.dram
+            .enable_series(self.mem_cycle_for(epoch_width).max(1));
+    }
+
+    /// The channel's recorded series (`None` unless
+    /// [`Self::enable_series`] was called), relabeled to the CPU-cycle
+    /// epoch width. Sync the engine first for an up-to-date view.
+    pub fn series_snapshot(&self) -> Option<secddr_telemetry::SeriesSnapshot> {
+        let width = self.series_width_cpu?;
+        let mut snap = self.dram.series_snapshot()?;
+        snap.epoch_width = width;
+        Some(snap)
     }
 
     /// Advances the engine's channel to CPU cycle `now` without

@@ -412,6 +412,11 @@ pub struct DramSystem {
     /// design (see [`ControllerTelemetry`]); plain per-instance `u64`s,
     /// so recording is free of atomics and provably non-perturbing.
     telemetry: ControllerTelemetry,
+    /// Opt-in sim-time windowed series recorder: epochs the telemetry
+    /// attribution, per-bank issue counts, and occupancy integrals.
+    /// `None` (the default) keeps the hot path to one branch; like
+    /// `telemetry` it lives outside every compared struct.
+    series: Option<crate::series::DramSeries>,
     /// Age (cycles) beyond which the oldest request pre-empts row hits.
     starvation_limit: u64,
     /// True when the last tick performed no action and nothing was
@@ -510,6 +515,7 @@ impl DramSystem {
             pending: EventQueue::new(),
             stats: DramStats::default(),
             telemetry: ControllerTelemetry::default(),
+            series: None,
             starvation_limit: 2_000,
             quiescent: false,
             next_activity_cache: Cell::new(None),
@@ -559,6 +565,39 @@ impl DramSystem {
         self.telemetry
     }
 
+    /// Turns on sim-time windowed series recording at `epoch_width`
+    /// mem-cycles per epoch: the decision-cause attribution, per-bank
+    /// scheduler command counts, and queue-occupancy integrals are
+    /// bucketed into the epoch containing each event's own cycle.
+    /// Zero-perturbation like [`Self::telemetry`]: plain per-instance
+    /// `u64`s outside every compared struct, recorded only on ticks the
+    /// controller executes anyway.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epoch_width` is zero.
+    pub fn enable_series(&mut self, epoch_width: u64) {
+        self.series = Some(crate::series::DramSeries::new(
+            epoch_width,
+            self.banks.len(),
+        ));
+    }
+
+    /// The recorded series so far (`None` unless
+    /// [`Self::enable_series`] was called), with the open partial epoch
+    /// and the uncredited occupancy tail folded in exactly as
+    /// [`Self::stats`] folds its open occupancy span. Per-epoch sums of
+    /// the named rows reconcile bit-exactly with [`Self::telemetry`].
+    pub fn series_snapshot(&self) -> Option<secddr_telemetry::SeriesSnapshot> {
+        let series = self.series.as_ref()?;
+        let tail = self.clock.now() - self.occupancy_credited_to;
+        Some(series.snapshot_with_tail(
+            &self.telemetry,
+            self.read_sched.len() as u64 * tail,
+            self.write_sched.len() as u64 * tail,
+        ))
+    }
+
     /// Credits the span of cycles since the last occupancy change at the
     /// current queue lengths. Must run before any length change.
     fn credit_occupancy(&mut self) {
@@ -567,6 +606,10 @@ impl DramSystem {
         if span > 0 {
             self.stats
                 .record_occupancy(self.read_sched.len(), self.write_sched.len(), span);
+            if let Some(series) = &mut self.series {
+                series.read_q_integral += self.read_sched.len() as u64 * span;
+                series.write_q_integral += self.write_sched.len() as u64 * span;
+            }
             self.occupancy_credited_to = now;
         }
     }
@@ -1008,6 +1051,11 @@ impl DramSystem {
     fn skip_span_to(&mut self, cycle: u64) {
         let skipped = self.clock.skip_to(cycle);
         if skipped > 0 {
+            // Roll the series *before* crediting: a span skipped across
+            // a window boundary is credited to the window it lands in.
+            if let Some(series) = &mut self.series {
+                series.roll(cycle, &self.telemetry);
+            }
             self.stats.cycles += skipped;
             if !self.is_idle() {
                 self.telemetry.busy_cycles += skipped;
@@ -1189,6 +1237,11 @@ impl DramSystem {
     pub fn tick(&mut self) -> Vec<Completion> {
         let busy = !self.is_idle();
         let now = self.clock.tick();
+        // Series epochs close on clock advance, before this tick records
+        // anything, so everything below lands in `now`'s own epoch.
+        if let Some(series) = &mut self.series {
+            series.roll(now, &self.telemetry);
+        }
         self.stats.cycles += 1;
         // Advance-policy accounting: this tick executes (a decision
         // cycle), and it covers one busy cycle when work was queued or
@@ -1584,6 +1637,33 @@ impl DramSystem {
 
     fn apply_action(&mut self, action: SchedAction) {
         let now = self.clock.now();
+        // Per-bank heatmap: exactly one scheduler command per issuing
+        // tick, so the bank rows sum to issue_hit + issue_miss exactly
+        // (refresh-path commands are the `refresh` cause, not counted
+        // here). Field accesses only — no helper calls — so the series
+        // borrow stays disjoint from the queue reads.
+        if self.series.is_some() {
+            let fb = match action {
+                SchedAction::Column {
+                    kind: ReqKind::Read,
+                    idx,
+                } => self.read_sched.req(idx).flat_bank,
+                SchedAction::Column {
+                    kind: ReqKind::Write,
+                    idx,
+                } => self.write_sched.req(idx).flat_bank,
+                SchedAction::Precharge { idx } | SchedAction::Activate { idx } => {
+                    if self.draining_writes {
+                        self.write_sched.req(idx).flat_bank
+                    } else {
+                        self.read_sched.req(idx).flat_bank
+                    }
+                }
+            };
+            if let Some(series) = &mut self.series {
+                series.bank_issues[fb] += 1;
+            }
+        }
         match action {
             SchedAction::Column { kind, idx } => self.issue_col_cmd(kind, idx),
             SchedAction::Precharge { idx } => {

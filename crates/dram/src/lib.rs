@@ -41,6 +41,7 @@ mod bank;
 mod config;
 pub mod controller;
 mod request;
+mod series;
 mod stats;
 mod telemetry;
 

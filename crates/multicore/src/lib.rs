@@ -45,6 +45,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod series;
 mod system;
 mod telemetry;
 mod trace;

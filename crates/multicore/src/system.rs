@@ -229,6 +229,9 @@ pub struct MultiCoreSystem<B> {
     /// Wake-reason attribution for the event-driven scheduler (all zero
     /// under the per-cycle reference, which never sleeps a core).
     wake: WakeReasons,
+    /// Opt-in sim-time windowed series recorder (see [`crate::series`]);
+    /// `None` costs one branch per cycle and nothing else.
+    series: Option<crate::series::MulticoreSeries>,
 }
 
 impl<B: MemoryBackend> MultiCoreSystem<B> {
@@ -248,8 +251,37 @@ impl<B: MemoryBackend> MultiCoreSystem<B> {
             token_owner: Vec::new(),
             core_steps: vec![0; cores],
             wake: WakeReasons::default(),
+            series: None,
             cfg,
         }
+    }
+
+    /// Enables sim-time windowed series recording at `epoch_width` CPU
+    /// cycles per epoch, re-based on the current cumulative counters.
+    /// Purely additive: results stay bit-identical (pinned by
+    /// `tests/series_differential.rs`). Note this covers the scheduler
+    /// layer only — enable the backend's own series separately and
+    /// [`secddr_telemetry::SeriesSnapshot::merge`] the two.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epoch_width` is zero.
+    pub fn enable_series(&mut self, epoch_width: u64) {
+        self.series = Some(crate::series::MulticoreSeries::new(
+            epoch_width,
+            &self.wake,
+            &self.core_steps,
+            &self.cores,
+        ));
+    }
+
+    /// The recorded series with the open partial epoch folded in, or
+    /// `None` when [`Self::enable_series`] was never called.
+    #[must_use]
+    pub fn series_snapshot(&self) -> Option<secddr_telemetry::SeriesSnapshot> {
+        self.series
+            .as_ref()
+            .map(|s| s.snapshot(&self.wake, &self.core_steps, &self.cores))
     }
 
     /// How many cycles each core was actually stepped. Under the
@@ -342,11 +374,16 @@ impl<B: MemoryBackend> MultiCoreSystem<B> {
             clock,
             token_owner,
             core_steps,
+            wake,
+            series,
             ..
         } = self;
         let mut routed: Vec<Vec<u64>> = vec![Vec::new(); n];
         loop {
             let now = clock.tick();
+            if let Some(series) = series.as_mut() {
+                series.roll(now, wake, core_steps, cores);
+            }
             for v in &mut routed {
                 v.clear();
             }
@@ -390,6 +427,7 @@ impl<B: MemoryBackend> MultiCoreSystem<B> {
             token_owner,
             core_steps,
             wake,
+            series,
             ..
         } = self;
 
@@ -439,6 +477,9 @@ impl<B: MemoryBackend> MultiCoreSystem<B> {
                 }
             }
             let now = clock.tick();
+            if let Some(series) = series.as_mut() {
+                series.roll(now, wake, core_steps, cores);
+            }
 
             // Clear last cycle's delivery buffers (touched cores only).
             for &i in &routed_cores {
@@ -843,6 +884,39 @@ mod tests {
             "buckets partition the wakes"
         );
         assert!(fast_snap.counter("multicore.core.steps") > 0);
+    }
+
+    #[test]
+    fn series_reconciles_and_does_not_perturb() {
+        let traces: Vec<Vec<TraceOp>> = (0..3).map(|c| mixed_trace(c * 13 + 5, 2_000)).collect();
+        for advance in [Advance::ToNextEvent, Advance::PerCycle] {
+            let run = |record: bool| {
+                let mut sys = MultiCoreSystem::new(3, cfg(advance), FixedLatencyBackend::new(250));
+                if record {
+                    sys.enable_series(512);
+                }
+                let result = sys.run(traces.iter().map(|t| t.iter().copied()).collect());
+                (result, sys.series_snapshot(), sys.telemetry_snapshot())
+            };
+            let (plain, no_series, _) = run(false);
+            let (recorded, series, snap) = run(true);
+            assert!(no_series.is_none(), "series is strictly opt-in");
+            assert_eq!(plain, recorded, "{advance:?}: recording must not perturb");
+            let series = series.expect("recording was enabled");
+            assert!(
+                series.reconciles_with(&snap),
+                "{advance:?}: epoch sums must equal the aggregate snapshot"
+            );
+            // Per-core retired rows (no aggregate counterpart) must sum
+            // to the merged instruction count.
+            let retired: u64 = (0..3)
+                .map(|i| series.row_total(&format!("multicore.core{i:02}.retired")))
+                .sum();
+            assert_eq!(retired, recorded.merged().instructions);
+            if advance.is_event_driven() {
+                assert!(series.row_total("multicore.wakes_total") > 0);
+            }
+        }
     }
 
     #[test]

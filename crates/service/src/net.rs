@@ -12,13 +12,15 @@
 //! {"cmd":"cancel","job":N}         → {"type":"cancel_ack","job":N,"cancelled":bool}
 //! {"cmd":"cache_stats"}            → {"type":"cache_stats",…}
 //! {"cmd":"metrics"}                → {"type":"metrics","counters":{…},…}
+//! {"cmd":"series","job":N}         → {"type":"series","job":N,"available":bool,…}
 //! {"cmd":"ping"}                   → {"type":"pong"}
 //! {"cmd":"shutdown"}               → {"type":"shutting_down"} (server then exits)
 //! ```
 //!
 //! After a successful submit the job's events stream to the same
-//! connection as `{"type":"queued"|"started"|"cell"|"finished"|
-//! "cancelled","job":N,…}` lines. Events of one job are written by one
+//! connection as `{"type":"queued"|"started"|"cell"|"metrics_frame"|
+//! "finished"|"cancelled","job":N,…}` lines (one live `metrics_frame`
+//! per completed cell). Events of one job are written by one
 //! forwarder thread in stream order, so **per-job** event order is
 //! preserved; events of different jobs (and command responses)
 //! interleave arbitrarily between them — every line carries its job id.
@@ -87,6 +89,21 @@ pub fn event_to_json(event: &JobEvent) -> Json {
                 ),
             ])
         }
+        JobEvent::Metrics { job, counters } => Json::Obj(vec![
+            // Distinct from the "metrics" command response: frames carry
+            // a job id and only the counters that moved.
+            ("type".into(), Json::str("metrics_frame")),
+            ("job".into(), Json::u64(job.0)),
+            (
+                "counters".into(),
+                Json::Obj(
+                    counters
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::u64(*v)))
+                        .collect(),
+                ),
+            ),
+        ]),
         JobEvent::Finished { job, summary } => Json::Obj(vec![
             ("type".into(), Json::str("finished")),
             ("job".into(), Json::u64(job.0)),
@@ -122,8 +139,10 @@ fn stats_to_json(stats: &ServiceStats) -> Json {
 
 /// Serializes a telemetry snapshot to the `metrics` response object:
 /// counters and gauges as name→value maps, histograms as
-/// name→`{count,sum,mean}` (the full bucket vectors stay in-process —
-/// the wire view is for dashboards and CI assertions).
+/// name→`{count,sum,mean,p50,p95,p99}` (percentiles carry the
+/// histogram's documented bucket-upper-bound semantics; the full bucket
+/// vectors stay in-process — the wire view is for dashboards and CI
+/// assertions).
 fn metrics_to_json(snap: &secddr_telemetry::TelemetrySnapshot) -> Json {
     let map = |entries: &std::collections::BTreeMap<String, u64>| {
         Json::Obj(
@@ -149,6 +168,9 @@ fn metrics_to_json(snap: &secddr_telemetry::TelemetrySnapshot) -> Json {
                                 ("count".into(), Json::u64(h.count)),
                                 ("sum".into(), Json::u64(h.sum)),
                                 ("mean".into(), Json::f64(h.mean())),
+                                ("p50".into(), Json::u64(h.percentile(50.0))),
+                                ("p95".into(), Json::u64(h.percentile(95.0))),
+                                ("p99".into(), Json::u64(h.percentile(99.0))),
                             ]),
                         )
                     })
@@ -156,6 +178,36 @@ fn metrics_to_json(snap: &secddr_telemetry::TelemetrySnapshot) -> Json {
             ),
         ),
     ])
+}
+
+/// Serializes the `series` response: the job's stored sim-time series
+/// as name→epoch-vector rows, or `available: false` when the job is
+/// unknown, still running, or recorded nothing.
+fn series_to_json(job: u64, series: Option<&secddr_telemetry::SeriesSnapshot>) -> Json {
+    let mut members = vec![
+        ("type".into(), Json::str("series")),
+        ("job".into(), Json::u64(job)),
+        ("available".into(), Json::Bool(series.is_some())),
+    ];
+    if let Some(series) = series {
+        members.push(("epoch_width".into(), Json::u64(series.epoch_width)));
+        members.push((
+            "rows".into(),
+            Json::Obj(
+                series
+                    .rows
+                    .iter()
+                    .map(|(name, row)| {
+                        (
+                            name.clone(),
+                            Json::Arr(row.iter().map(|&v| Json::u64(v)).collect()),
+                        )
+                    })
+                    .collect(),
+            ),
+        ));
+    }
+    Json::Obj(members)
 }
 
 fn error_json(message: impl Into<String>) -> Json {
@@ -324,6 +376,16 @@ fn handle_connection(stream: TcpStream, service: &ExperimentService, shutdown: &
                     return;
                 }
             }
+            Some("series") => {
+                let Some(job) = request.get("job").and_then(Json::as_u64) else {
+                    let _ = write_line(&writer, &error_json("series needs a \"job\" id"));
+                    continue;
+                };
+                let response = series_to_json(job, service.job_series(JobId(job)).as_ref());
+                if write_line(&writer, &response).is_err() {
+                    return;
+                }
+            }
             Some("ping") => {
                 let pong = Json::Obj(vec![("type".into(), Json::str("pong"))]);
                 if write_line(&writer, &pong).is_err() {
@@ -416,6 +478,14 @@ pub enum WireEvent {
         /// Sum of per-core IPCs.
         aggregate_ipc: f64,
     },
+    /// `{"type":"metrics_frame",…}` — the live per-cell service-metric
+    /// delta.
+    Metrics {
+        /// Job id.
+        job: u64,
+        /// Counters that increased since the job's previous frame.
+        counters: std::collections::BTreeMap<String, u64>,
+    },
     /// `{"type":"finished",…}`
     Finished {
         /// Job id.
@@ -467,6 +537,18 @@ impl WireEvent {
                     aggregate_ipc: json.get("aggregate_ipc")?.as_f64()?,
                 })
             }
+            "metrics_frame" => {
+                let Json::Obj(entries) = json.get("counters")? else {
+                    return None;
+                };
+                Some(WireEvent::Metrics {
+                    job,
+                    counters: entries
+                        .iter()
+                        .filter_map(|(k, v)| v.as_u64().map(|v| (k.clone(), v)))
+                        .collect(),
+                })
+            }
             "finished" => {
                 let merged = json.get("merged")?;
                 Some(WireEvent::Finished {
@@ -495,6 +577,7 @@ impl WireEvent {
             WireEvent::Queued { job, .. }
             | WireEvent::Started { job }
             | WireEvent::Cell { job, .. }
+            | WireEvent::Metrics { job, .. }
             | WireEvent::Finished { job, .. }
             | WireEvent::Cancelled { job, .. }
             | WireEvent::Failed { job, .. } => *job,
@@ -724,6 +807,57 @@ impl ServiceClient {
             .iter()
             .filter_map(|(k, v)| v.as_u64().map(|v| (k.clone(), v)))
             .collect())
+    }
+
+    /// Fetches a job's stored sim-time series (specs with a nonzero
+    /// `epoch_width`), reconstructed as a
+    /// [`secddr_telemetry::SeriesSnapshot`]. `None` when the server has
+    /// no series for the job (unknown, still running, or the spec's
+    /// shape recorded nothing).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors.
+    pub fn series(
+        &mut self,
+        job: u64,
+    ) -> std::io::Result<Option<secddr_telemetry::SeriesSnapshot>> {
+        self.send(&Json::Obj(vec![
+            ("cmd".into(), Json::str("series")),
+            ("job".into(), Json::u64(job)),
+        ]))?;
+        let response = self.read_until(|j| {
+            j.get("type").and_then(Json::as_str) == Some("series")
+                && j.get("job").and_then(Json::as_u64) == Some(job)
+        })?;
+        if response.get("available").and_then(Json::as_bool) != Some(true) {
+            return Ok(None);
+        }
+        let invalid = |what: &str| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("series response {what}"),
+            )
+        };
+        let width = response
+            .get("epoch_width")
+            .and_then(Json::as_u64)
+            .filter(|&w| w > 0)
+            .ok_or_else(|| invalid("without a positive epoch_width"))?;
+        let Some(Json::Obj(rows)) = response.get("rows") else {
+            return Err(invalid("without rows"));
+        };
+        let mut snap = secddr_telemetry::SeriesSnapshot::new(width);
+        for (name, row) in rows {
+            let values = row.as_array().ok_or_else(|| invalid("row not an array"))?;
+            for (epoch, value) in values.iter().enumerate() {
+                let value = value
+                    .as_u64()
+                    .ok_or_else(|| invalid("value not a non-negative integer"))?;
+                snap.add(name, epoch as u64, value);
+            }
+        }
+        Ok(Some(snap))
     }
 
     /// Asks the server to shut down cleanly.

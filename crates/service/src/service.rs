@@ -21,7 +21,7 @@ use secddr_core::engine::EngineStats;
 use secddr_core::metadata::DATA_SPAN;
 use secddr_core::system::run_trace_with_options;
 use secddr_multicore::{CoreTrace, MultiCoreSystem};
-use secddr_telemetry::{Registry, TelemetrySnapshot};
+use secddr_telemetry::{Registry, SeriesSnapshot, TelemetrySnapshot};
 use workloads::{Benchmark, TraceCacheStats};
 
 use crate::pool::{default_threads, CancelToken, WorkerPool, DEFAULT_THREAD_CAP};
@@ -112,6 +112,20 @@ pub enum JobEvent {
         /// The cell's results.
         result: CellResult,
     },
+    /// Live service-metric frame, one per completed cell: the
+    /// process-wide registry counters that moved since this job's
+    /// previous frame (the windowed delta of
+    /// [`ExperimentService::telemetry_snapshot`]). The registry is
+    /// shared, so concurrent jobs' activity can bleed into each other's
+    /// frames — the frames are a live dashboard feed, not an exact
+    /// attribution.
+    Metrics {
+        /// The job.
+        job: JobId,
+        /// Counters that increased since the previous frame, with their
+        /// deltas.
+        counters: std::collections::BTreeMap<String, u64>,
+    },
     /// Terminal: all cells completed.
     Finished {
         /// The job.
@@ -145,6 +159,7 @@ impl JobEvent {
             JobEvent::Queued { job, .. }
             | JobEvent::Started { job }
             | JobEvent::Cell { job, .. }
+            | JobEvent::Metrics { job, .. }
             | JobEvent::Finished { job, .. }
             | JobEvent::Cancelled { job, .. }
             | JobEvent::Failed { job, .. } => *job,
@@ -264,6 +279,10 @@ pub struct ExperimentService {
     jobs_completed: Arc<AtomicU64>,
     /// Live jobs' cancel tokens, for cancellation by id (the TCP path).
     active: Arc<Mutex<std::collections::HashMap<u64, CancelToken>>>,
+    /// Per-job merged sim-time series (jobs whose spec set a nonzero
+    /// `epoch_width`), inserted before the terminal event so a caller
+    /// that saw `Finished` can fetch it (the TCP `series` endpoint).
+    series: Arc<Mutex<std::collections::HashMap<u64, SeriesSnapshot>>>,
 }
 
 impl Default for ExperimentService {
@@ -294,6 +313,7 @@ impl ExperimentService {
             jobs_submitted: AtomicU64::new(0),
             jobs_completed: Arc::new(AtomicU64::new(0)),
             active: Arc::new(Mutex::new(std::collections::HashMap::new())),
+            series: Arc::new(Mutex::new(std::collections::HashMap::new())),
         }
     }
 
@@ -330,6 +350,7 @@ impl ExperimentService {
         });
 
         let active = Arc::clone(&self.active);
+        let series_store = Arc::clone(&self.series);
         let completed_counter = Arc::clone(&self.jobs_completed);
         let priority = spec.priority;
         self.pool.submit(priority, cancel.clone(), move |token| {
@@ -340,7 +361,7 @@ impl ExperimentService {
             // otherwise the handle (and any TCP client streaming it)
             // would wait forever on a stream that went silent.
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                run_job(id, &spec, &benchmarks, total, &tx, token)
+                run_job(id, &spec, &benchmarks, total, &tx, token, &series_store)
             }));
             // Bookkeeping strictly before the terminal event: a caller
             // that has seen the terminal event observes the job as done
@@ -396,6 +417,19 @@ impl ExperimentService {
         }
     }
 
+    /// The merged sim-time series a job recorded (specs with a nonzero
+    /// `epoch_width` on a multi-channel or multi-core shape), available
+    /// once the job is terminal. `None` for unknown jobs, jobs still
+    /// running, and jobs that recorded nothing.
+    #[must_use]
+    pub fn job_series(&self, id: JobId) -> Option<SeriesSnapshot> {
+        self.series
+            .lock()
+            .expect("series-store lock")
+            .get(&id.0)
+            .cloned()
+    }
+
     /// A deterministic snapshot of the process-wide telemetry registry:
     /// `service.job.*` / `service.cell.*` counters and timing
     /// histograms plus the `workloads.trace_cache.*` counters (the TCP
@@ -432,20 +466,31 @@ fn run_job(
     total: usize,
     tx: &Sender<JobEvent>,
     cancel: &CancelToken,
+    series_store: &Mutex<std::collections::HashMap<u64, SeriesSnapshot>>,
 ) -> Option<JobEvent> {
     let _ = tx.send(JobEvent::Started { job: id });
     let mut merged: Option<SimResult> = None;
+    let mut job_series: Option<SeriesSnapshot> = None;
     let mut completed = 0usize;
-    for bench in benchmarks {
+    // Baseline for the live metric frames: each cell streams the
+    // registry counters that moved while it ran.
+    let mut metrics_base = Registry::global().snapshot();
+    'cells: for bench in benchmarks {
         for config in &spec.configs {
             if cancel.is_cancelled() {
-                return Some(JobEvent::Cancelled { job: id, completed });
+                break 'cells;
             }
             let run_started = Instant::now();
-            let result = run_cell(bench, config, spec);
+            let (result, cell_series) = run_cell(bench, config, spec);
             Registry::global()
                 .histogram("service.cell.run_us")
                 .record(elapsed_us(run_started));
+            if let Some(cell_series) = cell_series {
+                match &mut job_series {
+                    Some(s) => s.merge(&cell_series),
+                    None => job_series = Some(cell_series),
+                }
+            }
             let cell_merged = result.merged();
             match &mut merged {
                 Some(m) => m.merge(&cell_merged),
@@ -468,7 +513,30 @@ fn run_job(
                 // or a terminal event; abandon the orphaned job.
                 return None;
             }
+            let now_snap = Registry::global().snapshot();
+            let frame = now_snap.delta_since(&metrics_base);
+            metrics_base = now_snap;
+            if tx
+                .send(JobEvent::Metrics {
+                    job: id,
+                    counters: frame.counters,
+                })
+                .is_err()
+            {
+                return None;
+            }
         }
+    }
+    // Publish whatever was recorded strictly before the terminal event,
+    // so a caller that saw it can immediately fetch the series.
+    if let Some(series) = job_series {
+        series_store
+            .lock()
+            .expect("series-store lock")
+            .insert(id.0, series);
+    }
+    if completed < total {
+        return Some(JobEvent::Cancelled { job: id, completed });
     }
     Some(JobEvent::Finished {
         job: id,
@@ -482,36 +550,57 @@ fn run_job(
 /// Runs one benchmark × configuration cell with the spec's machine
 /// shape. Traces come from [`Benchmark::generate_shared`], so repeated
 /// specs hit the warm in-process cache (and restarts hit the disk tier).
+///
+/// When the spec set a nonzero `epoch_width` the sharded and multi-core
+/// shapes also return the cell's sim-time series (scheduler and channel
+/// layers merged). The bare 1-core/1-channel path stays exactly
+/// `run_trace_with_options` — results bit-identical to direct calls
+/// outweigh series coverage there, so it records nothing.
 fn run_cell(
     bench: &Benchmark,
     config: &secddr_core::config::SecurityConfig,
     spec: &JobSpec,
-) -> CellResult {
+) -> (CellResult, Option<SeriesSnapshot>) {
     let trace = bench.generate_shared(spec.instructions, spec.seed);
     let options = spec.options;
     let cpu_cfg = spec.cpu_config();
-    let (per_core, engine) = if spec.cores == 1 && spec.channels == 1 {
+    let (per_core, engine, series) = if spec.cores == 1 && spec.channels == 1 {
         let r = run_trace_with_options(bench, &trace, config, options);
-        (vec![r.sim], r.engine)
+        (vec![r.sim], r.engine, None)
     } else if spec.cores == 1 {
-        let engine =
+        let mut engine =
             ShardedEngine::with_options(*config, cpu_cfg.clock_mhz, spec.interleave(), options);
+        if spec.epoch_width > 0 {
+            engine.enable_series(spec.epoch_width);
+        }
         let mut sys = CpuSystem::new(cpu_cfg, engine);
         let sim = sys.run(trace.iter().copied());
-        (vec![sim], sys.backend_mut().stats())
+        let series = sys.backend_mut().series_snapshot();
+        (vec![sim], sys.backend_mut().stats(), series)
     } else {
-        let engine =
+        let mut engine =
             ShardedEngine::with_options(*config, cpu_cfg.clock_mhz, spec.interleave(), options);
+        if spec.epoch_width > 0 {
+            engine.enable_series(spec.epoch_width);
+        }
         let mut sys = MultiCoreSystem::new(spec.cores, cpu_cfg, engine);
+        if spec.epoch_width > 0 {
+            sys.enable_series(spec.epoch_width);
+        }
         let result = sys.run(CoreTrace::rate(&trace, DATA_SPAN, spec.cores));
-        (result.per_core, sys.backend_mut().stats())
+        let mut series = sys.backend_mut().series_snapshot();
+        if let (Some(series), Some(scheduler)) = (&mut series, sys.series_snapshot()) {
+            series.merge(&scheduler);
+        }
+        (result.per_core, sys.backend_mut().stats(), series)
     };
-    CellResult {
+    let result = CellResult {
         benchmark: bench.name().to_string(),
         config: config.label(),
         per_core,
         engine,
-    }
+    };
+    (result, series)
 }
 
 #[cfg(test)]
@@ -540,7 +629,14 @@ mod tests {
                 ..
             }
         ));
-        let JobEvent::Finished { summary, .. } = &events[3] else {
+        let JobEvent::Metrics { counters, .. } = &events[3] else {
+            panic!("every cell streams a live metrics frame: {events:?}");
+        };
+        assert!(
+            counters.get("service.cell.completed").copied() >= Some(1),
+            "the frame carries the deltas of the cell that just ran: {counters:?}"
+        );
+        let JobEvent::Finished { summary, .. } = &events[4] else {
             panic!("terminal event must be Finished: {events:?}");
         };
         assert_eq!(summary.cells, 1);
@@ -611,6 +707,27 @@ mod tests {
         assert!(waits.count >= 1, "queue wait recorded per job");
         let runs = &snap.histograms["service.cell.run_us"];
         assert!(runs.count >= 1 && runs.sum > 0, "cell run time recorded");
+    }
+
+    #[test]
+    fn series_specs_store_a_fetchable_job_series() {
+        let service = ExperimentService::with_threads(1);
+        let mut spec = tiny_spec("mcf");
+        spec.cores = 2;
+        spec.channels = 2;
+        spec.epoch_width = 2_048;
+        let handle = service.submit(spec).unwrap();
+        let id = handle.id();
+        assert!(handle.wait().finished());
+        let series = service.job_series(id).expect("recorded series stored");
+        assert_eq!(series.epoch_width, 2_048);
+        assert!(series.row_total("dram.decisions_total") > 0);
+        assert!(series.row_total("multicore.core.steps") > 0);
+        // Jobs without an epoch width store nothing.
+        let plain = service.submit(tiny_spec("mcf")).unwrap();
+        let plain_id = plain.id();
+        assert!(plain.wait().finished());
+        assert!(service.job_series(plain_id).is_none());
     }
 
     #[test]

@@ -51,6 +51,11 @@ pub struct JobSpec {
     pub seed: u64,
     /// Scheduling priority (higher runs first; FIFO within one).
     pub priority: i8,
+    /// Sim-time series epoch width in CPU cycles; 0 disables series
+    /// recording (the default — recording stores per-job series the
+    /// `series` endpoint serves). Only the sharded and multi-core
+    /// shapes record; the bare 1-core/1-channel path has no series.
+    pub epoch_width: u64,
 }
 
 /// Upper bound on cores and channels (a spec is a remote input; the
@@ -72,6 +77,7 @@ impl JobSpec {
             instructions: 40_000,
             seed: 0xD5,
             priority: 0,
+            epoch_width: 0,
         }
     }
 
@@ -189,6 +195,7 @@ impl JobSpec {
                 "priority".into(),
                 Json::Num(crate::json::Number::I(i64::from(self.priority))),
             ),
+            ("epoch_width".into(), Json::u64(self.epoch_width)),
         ])
     }
 
@@ -231,6 +238,8 @@ impl JobSpec {
             instructions: u64_field(json, "instructions")?,
             seed: u64_field(json, "seed")?,
             priority: i8_field(json, "priority")?,
+            // Lenient: absent (pre-series clients) means disabled.
+            epoch_width: json.get("epoch_width").and_then(Json::as_u64).unwrap_or(0),
         };
         spec.validate()?;
         Ok(spec)
@@ -421,6 +430,22 @@ mod tests {
         let back = JobSpec::from_json(&Json::parse(&text).unwrap()).unwrap();
         assert_eq!(back, spec);
         assert_eq!(spec.cell_count().unwrap(), 1);
+    }
+
+    #[test]
+    fn epoch_width_round_trips_and_defaults_off() {
+        assert_eq!(JobSpec::bench("mcf").epoch_width, 0, "series is opt-in");
+        let mut spec = JobSpec::bench("mcf");
+        spec.epoch_width = 4_096;
+        let text = spec.to_json().to_string();
+        let back = JobSpec::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, spec);
+        // Pre-series payloads (no "epoch_width" member) still parse,
+        // with recording off.
+        let stripped = text.replace(",\"epoch_width\":4096", "");
+        assert_ne!(stripped, text, "member must have been present");
+        let old = JobSpec::from_json(&Json::parse(&stripped).unwrap()).unwrap();
+        assert_eq!(old.epoch_width, 0);
     }
 
     #[test]

@@ -8,6 +8,9 @@
 //! viewer treats them as unitless ticks, which is exactly what a
 //! cycle-level timeline wants.
 
+use std::collections::BTreeMap;
+
+use crate::series::SeriesSnapshot;
 use crate::sink::TraceSink;
 
 /// Minimal JSON string escape (names are static identifiers, but the
@@ -30,6 +33,30 @@ fn escape(s: &str, out: &mut String) {
 /// tracks without a label render under their number.
 #[must_use]
 pub fn render(sink: &TraceSink, track_names: &[(u32, &str)]) -> String {
+    render_inner(sink, track_names, None)
+}
+
+/// As [`render`], additionally appending one **counter event**
+/// (`"ph":"C"`) per series counter group per epoch, so cause mixes and
+/// bank/channel heatmaps render as stacked area charts on the same
+/// timeline. Rows are grouped by everything before their last `.`
+/// segment (`dram.decision.issue_hit` and `dram.decision.noop` become
+/// series `issue_hit`/`noop` of one `dram.decision` counter); the event
+/// timestamp is the epoch's first cycle.
+#[must_use]
+pub fn render_with_counters(
+    sink: &TraceSink,
+    track_names: &[(u32, &str)],
+    series: &SeriesSnapshot,
+) -> String {
+    render_inner(sink, track_names, Some(series))
+}
+
+fn render_inner(
+    sink: &TraceSink,
+    track_names: &[(u32, &str)],
+    series: Option<&SeriesSnapshot>,
+) -> String {
     let mut out = String::with_capacity(64 + sink.len() * 64);
     out.push_str("{\"traceEvents\":[");
     let mut first = true;
@@ -60,6 +87,37 @@ pub fn render(sink: &TraceSink, track_names: &[(u32, &str)]) -> String {
         escape(span.name, &mut out);
         out.push_str("\"}");
     }
+    if let Some(series) = series {
+        // Group rows by the name up to the last dot; the last segment
+        // becomes the per-counter series key.
+        let mut groups: BTreeMap<&str, Vec<(&str, &Vec<u64>)>> = BTreeMap::new();
+        for (name, row) in &series.rows {
+            let (counter, key) = name.rsplit_once('.').unwrap_or(("series", name.as_str()));
+            groups.entry(counter).or_default().push((key, row));
+        }
+        let epochs = series.epochs();
+        for (counter, members) in &groups {
+            for e in 0..epochs {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                let ts = e as u64 * series.epoch_width;
+                out.push_str(&format!("{{\"ph\":\"C\",\"pid\":0,\"ts\":{ts},\"name\":\""));
+                escape(counter, &mut out);
+                out.push_str("\",\"args\":{");
+                for (i, (key, row)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    escape(key, &mut out);
+                    out.push_str(&format!("\":{}", row.get(e).copied().unwrap_or(0)));
+                }
+                out.push_str("}}");
+            }
+        }
+    }
     out.push_str("]}\n");
     out
 }
@@ -88,5 +146,61 @@ mod tests {
         sink.record(0, "a", 0, 0);
         let json = render(&sink, &[(0, "x\"y\\z")]);
         assert!(json.contains("x\\\"y\\\\z"));
+    }
+
+    /// Every escapable class in one malformed label — quotes,
+    /// backslashes, and raw control characters — must round-trip into
+    /// the escaped forms a JSON parser accepts (the python validator in
+    /// CI re-parses this exporter's output).
+    #[test]
+    fn escapes_malformed_names_round_trip() {
+        let mut sink = TraceSink::new(1);
+        sink.record(0, "tab\there", 3, 3);
+        let hostile = "q\"b\\c\nd\re\u{1}f";
+        let json = render(&sink, &[(0, hostile)]);
+        assert!(json.contains("q\\\"b\\\\c\\u000ad\\u000de\\u0001f"));
+        assert!(json.contains("tab\\u0009here"));
+        // No raw control characters survive into the document.
+        assert!(json.chars().all(|c| c as u32 >= 0x20 || c == '\n'));
+        // The document stays structurally complete.
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.trim_end().ends_with("]}"));
+    }
+
+    #[test]
+    fn counter_events_group_rows_by_prefix() {
+        use crate::series::SeriesSnapshot;
+        let sink = TraceSink::new(1);
+        let mut series = SeriesSnapshot::new(100);
+        series.add("dram.decision.issue_hit", 0, 4);
+        series.add("dram.decision.noop", 1, 2);
+        series.add("multicore.wakes_total", 1, 7);
+        let json = render_with_counters(&sink, &[], &series);
+        // One C event per group per epoch, timestamped at epoch starts.
+        assert!(json.contains(
+            "{\"ph\":\"C\",\"pid\":0,\"ts\":0,\"name\":\"dram.decision\",\
+             \"args\":{\"issue_hit\":4,\"noop\":0}"
+        ));
+        assert!(json.contains(
+            "{\"ph\":\"C\",\"pid\":0,\"ts\":100,\"name\":\"dram.decision\",\
+             \"args\":{\"issue_hit\":0,\"noop\":2}"
+        ));
+        assert!(json.contains(
+            "{\"ph\":\"C\",\"pid\":0,\"ts\":100,\"name\":\"multicore\",\
+             \"args\":{\"wakes_total\":7}"
+        ));
+        assert!(json.trim_end().ends_with("]}"));
+    }
+
+    #[test]
+    fn plain_render_matches_counterless_path() {
+        let mut sink = TraceSink::new(2);
+        sink.record(0, "tick", 1, 4);
+        let series = crate::series::SeriesSnapshot::new(10);
+        assert_eq!(
+            render(&sink, &[(0, "t")]),
+            render_with_counters(&sink, &[(0, "t")], &series),
+            "an empty series appends no events"
+        );
     }
 }

@@ -17,7 +17,13 @@
 //! * an opt-in [`TraceSink`] ring buffer of timestamped [`Span`]s plus
 //!   the [`chrome_trace`] exporter that renders a captured buffer as a
 //!   `chrome://tracing`-loadable timeline (one track per
-//!   core/shard/worker).
+//!   core/shard/worker);
+//! * a sim-time windowed [`SeriesSnapshot`] (fixed-width epochs closed
+//!   on clock advance via [`EpochRoller`], no wall-clock anywhere) whose
+//!   per-epoch row sums reconcile exactly to the aggregate snapshot,
+//!   with a CSV exporter, `"ph":"C"` counter events in the
+//!   [`chrome_trace`] document, and the [`report`] module's
+//!   bottleneck-attribution analysis on top.
 //!
 //! # Naming scheme
 //!
@@ -34,9 +40,12 @@
 
 pub mod chrome_trace;
 mod registry;
+pub mod report;
+mod series;
 mod sink;
 mod snapshot;
 
 pub use registry::{Counter, Gauge, Histogram, Registry};
+pub use series::{EpochRoller, SeriesSnapshot};
 pub use sink::{Span, TraceSink};
 pub use snapshot::{HistogramSnapshot, TelemetrySnapshot, HISTOGRAM_BUCKETS};

@@ -1,0 +1,329 @@
+//! Bottleneck attribution from a recorded [`SeriesSnapshot`]: which
+//! decision cause dominates each phase of the run, when anti-starvation
+//! aging sets in, how evenly the channels share the issue load, and
+//! which way queue pressure is trending — the questions the aggregate
+//! snapshot provably cannot answer because it has no time axis.
+//!
+//! All analysis is pure arithmetic over the series rows, so the report
+//! is exactly as deterministic as the simulation that produced it.
+
+use std::fmt::Write as _;
+
+use crate::series::SeriesSnapshot;
+
+/// Row prefix of the decision-cause vectors the phase analysis reads.
+const CAUSE_PREFIX: &str = "dram.decision.";
+/// Row name of the aging cause (anti-starvation no-op ticks).
+const AGING_ROW: &str = "dram.decision.aging";
+/// Occupancy-integral row suffix (`dram.read_q_integral`,
+/// `dram.ch02.write_q_integral`, …).
+const OCCUPANCY_SUFFIX: &str = "_q_integral";
+
+/// One phase of the run: an epoch range with its decision-cause totals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseSummary {
+    /// First epoch of the phase (inclusive).
+    pub from_epoch: usize,
+    /// End of the phase (exclusive).
+    pub to_epoch: usize,
+    /// The decision cause with the largest count in this phase (last
+    /// name segment, e.g. `aging`); empty when no decisions landed.
+    pub dominant_cause: String,
+    /// The dominant cause's share of the phase's decisions (0.0–1.0).
+    pub dominant_share: f64,
+    /// Total decisions attributed in this phase.
+    pub decisions: u64,
+}
+
+/// Direction of the queue-occupancy trend between the first and second
+/// half of the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trend {
+    /// Second-half mean ≥ 110% of the first-half mean.
+    Rising,
+    /// Within ±10%.
+    Flat,
+    /// Second-half mean ≤ 90% of the first-half mean.
+    Falling,
+}
+
+/// Splits the series' epoch range into `phases` contiguous ranges and
+/// names the dominant decision cause in each. Trailing phases may be
+/// one epoch longer when the range does not divide evenly. Returns an
+/// empty vector when the series has no epochs or `phases` is zero.
+#[must_use]
+pub fn phase_summaries(series: &SeriesSnapshot, phases: usize) -> Vec<PhaseSummary> {
+    let epochs = series.epochs();
+    if epochs == 0 || phases == 0 {
+        return Vec::new();
+    }
+    let phases = phases.min(epochs);
+    let mut out = Vec::with_capacity(phases);
+    for p in 0..phases {
+        let from_epoch = epochs * p / phases;
+        let to_epoch = epochs * (p + 1) / phases;
+        let mut best: Option<(&str, u64)> = None;
+        let mut decisions = 0u64;
+        for (name, row) in &series.rows {
+            let Some(cause) = name.strip_prefix(CAUSE_PREFIX) else {
+                continue;
+            };
+            let count: u64 = row
+                .iter()
+                .skip(from_epoch)
+                .take(to_epoch - from_epoch)
+                .sum();
+            decisions += count;
+            if best.is_none_or(|(_, b)| count > b) {
+                best = Some((cause, count));
+            }
+        }
+        let (dominant_cause, top) = match best {
+            Some((cause, n)) if n > 0 => (cause.to_string(), n),
+            _ => (String::new(), 0),
+        };
+        #[allow(clippy::cast_precision_loss)]
+        let dominant_share = if decisions == 0 {
+            0.0
+        } else {
+            top as f64 / decisions as f64
+        };
+        out.push(PhaseSummary {
+            from_epoch,
+            to_epoch,
+            dominant_cause,
+            dominant_share,
+            decisions,
+        });
+    }
+    out
+}
+
+/// The first epoch in which any aging (anti-starvation) decision cycle
+/// executed, or `None` when aging never set in.
+#[must_use]
+pub fn aging_onset_epoch(series: &SeriesSnapshot) -> Option<usize> {
+    series
+        .rows
+        .get(AGING_ROW)
+        .and_then(|row| row.iter().position(|&v| v > 0))
+}
+
+/// Per-channel issue imbalance from the `dram.chXX.issues` rows:
+/// `(hottest_row, coldest_row, max_total / min_total)`. `None` when
+/// fewer than two channel rows exist (unsharded runs have none).
+#[must_use]
+pub fn channel_imbalance(series: &SeriesSnapshot) -> Option<(String, String, f64)> {
+    let mut totals: Vec<(&String, u64)> = series
+        .rows
+        .iter()
+        .filter(|(name, _)| {
+            name.starts_with("dram.ch") && name.ends_with(".issues") && !name.contains(".bank")
+        })
+        .map(|(name, row)| (name, row.iter().sum::<u64>()))
+        .collect();
+    if totals.len() < 2 {
+        return None;
+    }
+    totals.sort_by_key(|&(_, total)| total);
+    let (cold_name, cold) = totals.first().copied()?;
+    let (hot_name, hot) = totals.last().copied()?;
+    #[allow(clippy::cast_precision_loss)]
+    let ratio = hot as f64 / cold.max(1) as f64;
+    Some((hot_name.clone(), cold_name.clone(), ratio))
+}
+
+/// Queue-occupancy trend: sums every `*_q_integral` row into one
+/// per-epoch vector and compares the first-half mean with the
+/// second-half mean (±10% band → [`Trend::Flat`]). Returns the trend
+/// and both means; `None` when no occupancy rows exist or the series
+/// has fewer than two epochs.
+#[must_use]
+pub fn occupancy_trend(series: &SeriesSnapshot) -> Option<(Trend, f64, f64)> {
+    let epochs = series.epochs();
+    if epochs < 2 {
+        return None;
+    }
+    let mut summed = vec![0u64; epochs];
+    let mut any = false;
+    for (name, row) in &series.rows {
+        if !name.ends_with(OCCUPANCY_SUFFIX) {
+            continue;
+        }
+        any = true;
+        for (s, v) in summed.iter_mut().zip(row.iter()) {
+            *s += v;
+        }
+    }
+    if !any {
+        return None;
+    }
+    let mid = epochs / 2;
+    #[allow(clippy::cast_precision_loss)]
+    let mean = |slice: &[u64]| slice.iter().sum::<u64>() as f64 / slice.len() as f64;
+    let first = mean(&summed[..mid]);
+    let second = mean(&summed[mid..]);
+    let trend = if second >= first * 1.1 {
+        Trend::Rising
+    } else if second <= first * 0.9 {
+        Trend::Falling
+    } else {
+        Trend::Flat
+    };
+    Some((trend, first, second))
+}
+
+/// Renders the full bottleneck-attribution report as deterministic
+/// plain text: per-phase dominant causes, aging onset, channel
+/// imbalance, and the occupancy trend.
+#[must_use]
+pub fn render(series: &SeriesSnapshot, phases: usize) -> String {
+    let mut out = String::new();
+    let epochs = series.epochs();
+    let _ = writeln!(
+        out,
+        "bottleneck attribution: {epochs} epochs x {} cycles",
+        series.epoch_width
+    );
+    for p in phase_summaries(series, phases) {
+        if p.dominant_cause.is_empty() {
+            let _ = writeln!(
+                out,
+                "  phase epochs {:>4}..{:<4} idle (no decisions)",
+                p.from_epoch, p.to_epoch
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "  phase epochs {:>4}..{:<4} dominant cause {:<12} \
+                 ({:>5.1}% of {} decisions)",
+                p.from_epoch,
+                p.to_epoch,
+                p.dominant_cause,
+                p.dominant_share * 100.0,
+                p.decisions
+            );
+        }
+    }
+    match aging_onset_epoch(series) {
+        Some(e) => {
+            let _ = writeln!(
+                out,
+                "  aging onset: epoch {e} (cycle {}) — anti-starvation active from there",
+                e as u64 * series.epoch_width
+            );
+        }
+        None => {
+            let _ = writeln!(out, "  aging onset: never (no request starved)");
+        }
+    }
+    match channel_imbalance(series) {
+        Some((hot, cold, ratio)) => {
+            let _ = writeln!(
+                out,
+                "  channel imbalance: {hot} carries {ratio:.2}x the issues of {cold}"
+            );
+        }
+        None => {
+            let _ = writeln!(out, "  channel imbalance: n/a (single channel)");
+        }
+    }
+    match occupancy_trend(series) {
+        Some((trend, first, second)) => {
+            let _ = writeln!(
+                out,
+                "  queue occupancy: {} (first-half mean {first:.0}, second-half mean {second:.0})",
+                match trend {
+                    Trend::Rising => "rising",
+                    Trend::Flat => "steady",
+                    Trend::Falling => "falling",
+                }
+            );
+        }
+        None => {
+            let _ = writeln!(out, "  queue occupancy: n/a (no occupancy rows)");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SeriesSnapshot {
+        let mut s = SeriesSnapshot::new(100);
+        // Epochs 0-3: issue_miss dominates early, aging takes over late.
+        for e in 0..4 {
+            s.add("dram.decision.issue_miss", e, 10);
+        }
+        s.add("dram.decision.aging", 2, 15);
+        s.add("dram.decision.aging", 3, 30);
+        s.add("dram.ch00.issues", 0, 40);
+        s.add("dram.ch01.issues", 0, 10);
+        s.add("dram.read_q_integral", 0, 10);
+        s.add("dram.read_q_integral", 3, 100);
+        s
+    }
+
+    #[test]
+    fn phases_name_the_dominant_cause() {
+        let phases = phase_summaries(&sample(), 2);
+        assert_eq!(phases.len(), 2);
+        assert_eq!(phases[0].dominant_cause, "issue_miss");
+        assert_eq!(phases[0].decisions, 20);
+        assert_eq!(phases[1].dominant_cause, "aging");
+        assert_eq!(phases[1].decisions, 65);
+        assert!((phases[1].dominant_share - 45.0 / 65.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phases_clamp_and_handle_empty() {
+        assert!(phase_summaries(&SeriesSnapshot::new(10), 4).is_empty());
+        assert!(phase_summaries(&sample(), 0).is_empty());
+        // More phases than epochs clamps to one phase per epoch.
+        assert_eq!(phase_summaries(&sample(), 99).len(), 4);
+    }
+
+    #[test]
+    fn aging_onset_is_the_first_nonzero_epoch() {
+        assert_eq!(aging_onset_epoch(&sample()), Some(2));
+        let mut calm = SeriesSnapshot::new(10);
+        calm.add("dram.decision.noop", 0, 5);
+        assert_eq!(aging_onset_epoch(&calm), None);
+    }
+
+    #[test]
+    fn imbalance_reads_channel_rows_only() {
+        let (hot, cold, ratio) = channel_imbalance(&sample()).expect("two channels");
+        assert_eq!(hot, "dram.ch00.issues");
+        assert_eq!(cold, "dram.ch01.issues");
+        assert!((ratio - 4.0).abs() < 1e-12);
+        // Per-bank rows must not masquerade as channels.
+        let mut s = SeriesSnapshot::new(10);
+        s.add("dram.ch00.bank03.issues", 0, 5);
+        s.add("dram.ch01.bank03.issues", 0, 1);
+        assert_eq!(channel_imbalance(&s), None);
+    }
+
+    #[test]
+    fn occupancy_trend_compares_halves() {
+        let (trend, first, second) = occupancy_trend(&sample()).expect("occupancy rows");
+        assert_eq!(trend, Trend::Rising);
+        assert!(second > first);
+        let mut flat = SeriesSnapshot::new(10);
+        flat.add("dram.read_q_integral", 0, 50);
+        flat.add("dram.read_q_integral", 1, 50);
+        assert_eq!(occupancy_trend(&flat).unwrap().0, Trend::Flat);
+        assert_eq!(occupancy_trend(&SeriesSnapshot::new(10)), None);
+    }
+
+    #[test]
+    fn render_mentions_every_section() {
+        let text = render(&sample(), 4);
+        assert!(text.contains("dominant cause"));
+        assert!(text.contains("aging onset: epoch 2"));
+        assert!(text.contains("channel imbalance"));
+        assert!(text.contains("queue occupancy: rising"));
+    }
+}

@@ -83,6 +83,21 @@ impl TraceSink {
     pub fn dropped(&self) -> u64 {
         self.dropped
     }
+
+    /// The span budget the sink was created with.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Surfaces the ring's retention accounting in a snapshot
+    /// (`telemetry.spans_retained` / `telemetry.spans_dropped`), so a
+    /// silently truncated timeline shows up wherever snapshots are
+    /// inspected instead of only in the sink's own accessors.
+    pub fn render_into(&self, snap: &mut crate::TelemetrySnapshot) {
+        snap.add_counter("telemetry.spans_retained", self.spans.len() as u64);
+        snap.add_counter("telemetry.spans_dropped", self.dropped);
+    }
 }
 
 #[cfg(test)]
@@ -99,5 +114,16 @@ mod tests {
         assert_eq!(sink.dropped(), 1);
         let names: Vec<_> = sink.spans().map(|s| s.name).collect();
         assert_eq!(names, ["b", "c"]);
+    }
+
+    #[test]
+    fn eviction_is_surfaced_in_snapshots() {
+        let mut sink = TraceSink::new(1);
+        sink.record(0, "a", 0, 1);
+        sink.record(0, "b", 2, 3);
+        let mut snap = crate::TelemetrySnapshot::new();
+        sink.render_into(&mut snap);
+        assert_eq!(snap.counter("telemetry.spans_retained"), 1);
+        assert_eq!(snap.counter("telemetry.spans_dropped"), 1);
     }
 }

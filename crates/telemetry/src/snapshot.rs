@@ -75,6 +75,59 @@ impl HistogramSnapshot {
             }
         }
     }
+
+    /// Inclusive upper bound of values landing in `bucket`: 0 for
+    /// bucket 0, `2^k - 1` for bucket `k`, `u64::MAX` for bucket 64.
+    fn bucket_upper_bound(bucket: usize) -> u64 {
+        match bucket {
+            0 => 0,
+            k if k >= 64 => u64::MAX,
+            k => (1u64 << k) - 1,
+        }
+    }
+
+    /// The `p`-th percentile (`p` in `0.0..=100.0`) as the **inclusive
+    /// upper bound of the power-of-two bucket** the rank lands in — an
+    /// overestimate by at most 2x, which is the resolution this
+    /// histogram trades for O(1) recording. Returns 0 when empty.
+    ///
+    /// The rank is `ceil(p/100 * count)` clamped to at least 1, so
+    /// `percentile(0.0)` is the smallest bucket's bound and
+    /// `percentile(100.0)` the largest occupied bucket's bound.
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let rank = ((p.clamp(0.0, 100.0) / 100.0 * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (bucket, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Self::bucket_upper_bound(bucket);
+            }
+        }
+        // Unreachable while count == sum of buckets; be defensive.
+        Self::bucket_upper_bound(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Bucket-wise difference `self - earlier` (saturating), for
+    /// windowed streaming of a monotone histogram.
+    #[must_use]
+    pub fn delta_since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut out = HistogramSnapshot::default();
+        for (o, (cur, old)) in out
+            .buckets
+            .iter_mut()
+            .zip(self.buckets.iter().zip(earlier.buckets.iter()))
+        {
+            *o = cur.saturating_sub(*old);
+        }
+        out.count = self.count.saturating_sub(earlier.count);
+        out.sum = self.sum.wrapping_sub(earlier.sum);
+        out
+    }
 }
 
 /// A deterministic point-in-time view of a set of telemetry sources:
@@ -125,6 +178,42 @@ impl TelemetrySnapshot {
     #[must_use]
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Whether the counter `name` exists (even at zero) — lets series
+    /// reconciliation distinguish "aggregate says 0" from "no aggregate
+    /// counterpart".
+    #[must_use]
+    pub fn has_counter(&self, name: &str) -> bool {
+        self.counters.contains_key(name)
+    }
+
+    /// The windowed difference `self - earlier` for live streaming of
+    /// monotone sources: counters subtract (saturating, so a restarted
+    /// source reads as zero rather than wrapping), histograms subtract
+    /// bucket-wise, gauges keep their current level. Counters and
+    /// histograms present only in `earlier` are dropped (they changed by
+    /// nothing).
+    #[must_use]
+    pub fn delta_since(&self, earlier: &TelemetrySnapshot) -> TelemetrySnapshot {
+        let mut out = TelemetrySnapshot::new();
+        for (name, &cur) in &self.counters {
+            let old = earlier.counter(name);
+            if cur > old {
+                out.counters.insert(name.clone(), cur - old);
+            }
+        }
+        out.gauges = self.gauges.clone();
+        for (name, cur) in &self.histograms {
+            let delta = match earlier.histograms.get(name) {
+                Some(old) => cur.delta_since(old),
+                None => *cur,
+            };
+            if delta.count > 0 {
+                out.histograms.insert(name.clone(), delta);
+            }
+        }
+        out
     }
 
     /// Sum of every counter whose name starts with `prefix` (the
@@ -238,6 +327,62 @@ mod tests {
         s.add_counter("dram.decision.noop", 1);
         s.add_counter("dram.decisions_total", 100);
         assert_eq!(s.counter_prefix_sum("dram.decision."), 5);
+    }
+
+    #[test]
+    fn percentile_returns_bucket_upper_bounds() {
+        let mut h = HistogramSnapshot::default();
+        for v in [3u64, 3, 3, 3, 3, 3, 3, 3, 3, 100] {
+            h.record(v);
+        }
+        // Ranks 1..=9 land in bucket_of(3) = 2 → upper bound 3.
+        assert_eq!(h.percentile(50.0), 3);
+        assert_eq!(h.percentile(90.0), 3);
+        // Rank 10 lands in bucket_of(100) = 7 → upper bound 127: the
+        // documented ≤2x overestimate from power-of-two bucketing.
+        assert_eq!(h.percentile(95.0), 127);
+        assert_eq!(h.percentile(99.0), 127);
+        assert_eq!(h.percentile(100.0), 127);
+    }
+
+    #[test]
+    fn percentile_edge_buckets_and_empty() {
+        assert_eq!(HistogramSnapshot::default().percentile(50.0), 0);
+        let mut zeros = HistogramSnapshot::default();
+        zeros.record(0);
+        zeros.record(0);
+        assert_eq!(zeros.percentile(99.0), 0, "bucket 0 bounds at 0");
+        let mut top = HistogramSnapshot::default();
+        top.record(u64::MAX);
+        assert_eq!(top.percentile(50.0), u64::MAX, "bucket 64 bounds at MAX");
+        let mut one = HistogramSnapshot::default();
+        one.record(1);
+        assert_eq!(one.percentile(0.0), 1, "p0 clamps to rank 1");
+    }
+
+    #[test]
+    fn snapshot_delta_windows_monotone_sources() {
+        let mut old = TelemetrySnapshot::new();
+        old.add_counter("c", 5);
+        old.set_gauge("g", 3);
+        let mut h0 = HistogramSnapshot::default();
+        h0.record(4);
+        old.add_histogram("h", &h0);
+        let mut cur = old.clone();
+        cur.add_counter("c", 7);
+        cur.add_counter("new", 1);
+        cur.set_gauge("g", 9);
+        let mut h1 = HistogramSnapshot::default();
+        h1.record(8);
+        cur.add_histogram("h", &h1);
+        let delta = cur.delta_since(&old);
+        assert_eq!(delta.counter("c"), 7);
+        assert_eq!(delta.counter("new"), 1);
+        assert!(!delta.counters.contains_key("unchanged"));
+        assert_eq!(delta.gauges["g"], 9, "gauges keep the current level");
+        assert_eq!(delta.histograms["h"].count, 1);
+        assert_eq!(delta.histograms["h"].buckets[bucket_of(8)], 1);
+        assert!(cur.delta_since(&cur).counters.is_empty());
     }
 
     #[test]

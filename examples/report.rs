@@ -1,0 +1,89 @@
+//! The bottleneck-attribution report for the ROADMAP's open n8/n16
+//! question: the `multicore_rate_n16` shape (16 cores in rate mode over
+//! a 4-channel SecDDR `ShardedEngine`, pointer-chase trace) run with
+//! sim-time series recording on, then `telemetry::report::render`
+//! printing which decision cause dominates each phase, when
+//! anti-starvation aging sets in, how evenly the channels share the
+//! issue load, and which way queue pressure trends.
+//!
+//! The series is also exported as `report_series.csv` (wide form, one
+//! row per counter, one column per epoch) for offline plotting.
+//!
+//! Run with: `cargo run --release --example report`
+//! (`SECDDR_INSTRS` overrides the instruction budget, `SECDDR_CORES`
+//! the core count, `SECDDR_CSV_OUT` the CSV path.)
+
+use secddr::core::config::SecurityConfig;
+use secddr::core::metadata::DATA_SPAN;
+use secddr::cpu::CpuConfig;
+use secddr::telemetry::report;
+use secddr::workloads::Benchmark;
+use secddr::{CoreTrace, Interleave, MultiCoreSystem, Registry, ShardedEngine};
+
+const CHANNELS: usize = 4;
+const PHASES: usize = 4;
+
+fn main() {
+    let instructions = std::env::var("SECDDR_INSTRS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(40_000);
+    let cores: usize = std::env::var("SECDDR_CORES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(16);
+    let csv_path =
+        std::env::var("SECDDR_CSV_OUT").unwrap_or_else(|_| "report_series.csv".to_string());
+    let epoch_width = (instructions * 2).max(2_048);
+
+    // ---- The multicore_rate_n16 shape with series recording on. ----
+    let cfg = SecurityConfig::secddr_ctr();
+    let cpu_cfg = CpuConfig::default();
+    let mut engine = ShardedEngine::new(cfg, cpu_cfg.clock_mhz, Interleave::xor(CHANNELS));
+    engine.enable_series(epoch_width);
+    let mut sys = MultiCoreSystem::new(cores, cpu_cfg, engine);
+    sys.enable_series(epoch_width);
+
+    let bench = Benchmark::by_name("mcf").expect("known benchmark");
+    let trace = bench.generate_shared(instructions, 0xD5);
+    println!(
+        "== report: {cores} x {} ({instructions} instructions) over {CHANNELS} channels ==\n",
+        bench.name()
+    );
+    let result = sys.run(CoreTrace::rate(&trace, DATA_SPAN, cores));
+    println!(
+        "aggregate ipc {:.3} over {} cycles\n",
+        result.aggregate_ipc(),
+        result.merged().cycles
+    );
+
+    // ---- Reconcile the series against the aggregate, then report. ----
+    let mut snap = sys.telemetry_snapshot();
+    sys.backend_mut().dram_telemetry().render_into(&mut snap);
+    snap.merge(&Registry::global().snapshot());
+    let mut series = sys
+        .backend_mut()
+        .series_snapshot()
+        .expect("series was enabled on the backend");
+    series.merge(&sys.series_snapshot().expect("series was enabled"));
+    assert!(
+        series.reconciles_with(&snap),
+        "per-epoch series sums must reconcile with the aggregate snapshot"
+    );
+
+    print!("{}", report::render(&series, PHASES));
+
+    let summaries = report::phase_summaries(&series, PHASES);
+    assert!(
+        summaries.iter().any(|p| !p.dominant_cause.is_empty()),
+        "the report must name a dominant decision cause"
+    );
+
+    std::fs::write(&csv_path, series.to_csv()).expect("write the series CSV");
+    println!(
+        "\nwrote {csv_path}: {} rows x {} epochs of {} cycles",
+        series.rows.len(),
+        series.epochs(),
+        series.epoch_width
+    );
+}

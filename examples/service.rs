@@ -40,11 +40,13 @@ fn main() {
     };
     let mut client = ServiceClient::connect(&addr).expect("connect to the server");
 
-    // ---- Job A: the paper's 4-core rate mode over 4 channels. ----
+    // ---- Job A: the paper's 4-core rate mode over 4 channels, with
+    // sim-time series recording on. ----
     let mut rate = JobSpec::bench("mcf");
     rate.cores = 4;
     rate.channels = 4;
     rate.instructions = instructions;
+    rate.epoch_width = (instructions * 2).max(2_048);
     let rate_job = client.submit(&rate).expect("submit rate job");
 
     // ---- Job B: a single-core configuration sweep. ----
@@ -64,6 +66,8 @@ fn main() {
 
     // ---- Stream both jobs as their events interleave on the wire. ----
     let mut open = 2;
+    let mut cells_seen = std::collections::HashMap::new();
+    let mut frames_seen = std::collections::HashMap::new();
     while open > 0 {
         let event = client.next_event().expect("event stream");
         match &event {
@@ -77,11 +81,27 @@ fn main() {
                 config,
                 aggregate_ipc,
                 ..
-            } => println!(
-                "  job {job}: cell {}/{total} {benchmark} x {config}: aggregate IPC {aggregate_ipc:.3}",
-                index + 1
-            ),
-            WireEvent::Finished { job, cells, instructions, cycles } => {
+            } => {
+                *cells_seen.entry(*job).or_insert(0u64) += 1;
+                println!(
+                    "  job {job}: cell {}/{total} {benchmark} x {config}: aggregate IPC {aggregate_ipc:.3}",
+                    index + 1
+                );
+            }
+            WireEvent::Metrics { job, counters } => {
+                *frames_seen.entry(*job).or_insert(0u64) += 1;
+                println!(
+                    "  job {job}: live metrics frame ({} counters, {} cells completed so far)",
+                    counters.len(),
+                    counters.get("service.cell.completed").copied().unwrap_or(0)
+                );
+            }
+            WireEvent::Finished {
+                job,
+                cells,
+                instructions,
+                cycles,
+            } => {
                 println!(
                     "  job {job}: finished ({cells} cells, {instructions} instrs, {cycles} cycles)"
                 );
@@ -97,6 +117,37 @@ fn main() {
             }
         }
     }
+
+    // ---- Every cell streamed one live metrics frame behind it. ----
+    for (job, cells) in &cells_seen {
+        let frames = frames_seen.get(job).copied().unwrap_or(0);
+        assert!(
+            frames >= *cells,
+            "job {job}: {cells} cells but only {frames} live metrics frames"
+        );
+    }
+    println!(
+        "\nlive metrics: every cell was followed by a windowed counter frame \
+         ({} frames across {} jobs)",
+        frames_seen.values().sum::<u64>(),
+        frames_seen.len()
+    );
+
+    // ---- Series endpoint: the rate job recorded a sim-time series. ----
+    let series = client
+        .series(rate_job)
+        .expect("series command")
+        .expect("the rate job ran with epoch_width set");
+    assert!(
+        series.row_total("dram.decisions_total") > 0,
+        "the rate job's series attributes controller decisions over time"
+    );
+    println!(
+        "series endpoint: job {rate_job} recorded {} rows x {} epochs of {} cycles",
+        series.rows.len(),
+        series.epochs(),
+        series.epoch_width
+    );
 
     // ---- Warm-cache proof: an identical spec regenerates nothing. ----
     let cold = client.cache_stats().expect("cache stats");

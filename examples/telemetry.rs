@@ -1,18 +1,25 @@
 //! Cross-layer telemetry in one run: a 4-core rate job over 4 SecDDR
-//! channels with the span ring buffer live, then
+//! channels with the span ring buffer and sim-time series live, then
 //!
 //! * the merged [`TelemetrySnapshot`] — controller decision causes,
 //!   core wake reasons, and trace-cache counters under one dotted
 //!   namespace — printed in deterministic order, with the partitions
 //!   reconciled (`dram.decision.* == dram.decisions_total`,
 //!   `multicore.wake.* == multicore.wakes_total`);
-//! * the per-shard advance timeline exported as `trace.json`, a Chrome
-//!   trace-event document `chrome://tracing` or <https://ui.perfetto.dev>
-//!   loads directly.
+//! * the sim-time windowed series — the same attribution counters
+//!   bucketed into fixed sim-cycle epochs, reconciled against the
+//!   aggregate and exported as `series.csv` (wide form: one row per
+//!   counter, one column per epoch);
+//! * the per-shard advance timeline plus per-epoch counter events
+//!   (`"ph":"C"`) exported as `trace.json`, a Chrome trace-event
+//!   document `chrome://tracing` or <https://ui.perfetto.dev> loads
+//!   directly — the series rows render as stacked area charts on the
+//!   same timeline.
 //!
 //! Run with: `cargo run --release --example telemetry`
 //! (`SECDDR_INSTRS` overrides the instruction budget,
-//! `SECDDR_TRACE_OUT` the timeline path.)
+//! `SECDDR_TRACE_OUT` the timeline path, `SECDDR_CSV_OUT` the CSV
+//! path.)
 
 use secddr::core::config::SecurityConfig;
 use secddr::core::metadata::DATA_SPAN;
@@ -30,13 +37,19 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(40_000);
     let out_path = std::env::var("SECDDR_TRACE_OUT").unwrap_or_else(|_| "trace.json".to_string());
+    let csv_path = std::env::var("SECDDR_CSV_OUT").unwrap_or_else(|_| "series.csv".to_string());
+    // Epoch width in CPU cycles: scaled so the run rolls a few dozen
+    // epochs, floored so tiny budgets still produce several.
+    let epoch_width = (instructions * 2).max(2_048);
 
     // ---- A traced 4-core rate job over 4 channels. ----
     let cfg = SecurityConfig::secddr_ctr();
     let cpu_cfg = CpuConfig::default();
     let mut engine = ShardedEngine::new(cfg, cpu_cfg.clock_mhz, Interleave::xor(CHANNELS));
     engine.enable_trace(65_536);
+    engine.enable_series(epoch_width);
     let mut sys = MultiCoreSystem::new(CORES, cpu_cfg, engine);
+    sys.enable_series(epoch_width);
 
     let bench = Benchmark::by_name("mcf").expect("known benchmark");
     let trace = bench.generate_shared(instructions, 0xD5);
@@ -70,8 +83,34 @@ fn main() {
     );
     println!("\n(cause and wake partitions reconcile exactly)");
 
-    // ---- Export the per-shard timeline for chrome://tracing. ----
+    // ---- The sim-time series: reconcile, then export as CSV. ----
+    let mut series = sys
+        .backend_mut()
+        .series_snapshot()
+        .expect("series was enabled on the backend");
+    series.merge(&sys.series_snapshot().expect("series was enabled"));
+    assert!(
+        series.reconciles_with(&snap),
+        "per-epoch series sums must reconcile with the aggregate snapshot"
+    );
+    std::fs::write(&csv_path, series.to_csv()).expect("write the series CSV");
+    println!(
+        "wrote {csv_path}: {} rows x {} epochs of {} cycles (sums reconcile with the aggregate)",
+        series.rows.len(),
+        series.epochs(),
+        series.epoch_width
+    );
+
+    // ---- Export timeline + per-epoch counters for chrome://tracing. ----
     let sink = sys.backend_mut().take_trace().expect("trace was enabled");
+    if sink.dropped() > 0 {
+        eprintln!(
+            "warning: span ring evicted {} spans — raise enable_trace({}) \
+             to keep the full timeline",
+            sink.dropped(),
+            sink.capacity()
+        );
+    }
     let labels: Vec<String> = (0..CHANNELS).map(|s| format!("shard {s}")).collect();
     #[allow(clippy::cast_possible_truncation)]
     let tracks: Vec<(u32, &str)> = labels
@@ -79,11 +118,11 @@ fn main() {
         .enumerate()
         .map(|(s, l)| (s as u32, l.as_str()))
         .collect();
-    let json = chrome_trace::render(&sink, &tracks);
+    let json = chrome_trace::render_with_counters(&sink, &tracks, &series);
     std::fs::write(&out_path, &json).expect("write the timeline");
     println!(
-        "wrote {out_path}: {} spans ({} dropped by the ring) — load it in \
-         chrome://tracing or ui.perfetto.dev",
+        "wrote {out_path}: {} spans ({} dropped by the ring) + per-epoch \
+         counter events — load it in chrome://tracing or ui.perfetto.dev",
         sink.len(),
         sink.dropped()
     );

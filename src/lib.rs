@@ -59,5 +59,5 @@ pub use secddr_multicore::{AddressSpace, CoreTrace, MultiCoreResult, MultiCoreSy
 pub use secddr_service::{
     ExperimentServer, ExperimentService, JobEvent, JobHandle, JobSpec, ServiceClient,
 };
-pub use secddr_telemetry::{Registry, TelemetrySnapshot, TraceSink};
+pub use secddr_telemetry::{Registry, SeriesSnapshot, TelemetrySnapshot, TraceSink};
 pub use sim_kernel::Advance;

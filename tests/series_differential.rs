@@ -1,0 +1,159 @@
+//! Series recording must be provably non-perturbing and exactly
+//! reconciled: a run with sim-time series recording enabled at *any*
+//! epoch width produces **bit-identical** simulation observables
+//! (`SimResult` / `MultiCoreResult`, `EngineStats`, `DramStats`) to a
+//! recording-off run under both advance policies, and the per-epoch
+//! sums of every recorded counter equal the aggregate
+//! `TelemetrySnapshot` value of the same name. The recorders are plain
+//! non-atomic `u64`s behind `Option`s, outside every compared struct —
+//! these tests pin that the time axis is free.
+
+use proptest::prelude::*;
+use secddr::core::config::SecurityConfig;
+use secddr::core::engine::{EngineOptions, EngineStats};
+use secddr::core::metadata::DATA_SPAN;
+use secddr::cpu::{CpuConfig, CpuSystem, SimResult, TraceOp};
+use secddr::dram::{Advance, DramStats};
+use secddr::workloads::Benchmark;
+use secddr::{CoreTrace, Interleave, MultiCoreSystem, ShardedEngine};
+
+const CPU_MHZ: u32 = 3200;
+
+fn options(advance: Advance) -> EngineOptions {
+    EngineOptions {
+        advance,
+        ..EngineOptions::default()
+    }
+}
+
+fn cpu_cfg(advance: Advance) -> CpuConfig {
+    CpuConfig {
+        advance,
+        ..CpuConfig::default()
+    }
+}
+
+fn engine(advance: Advance, epoch_width: Option<u64>) -> ShardedEngine {
+    let mut engine = ShardedEngine::with_options(
+        SecurityConfig::secddr_ctr(),
+        CPU_MHZ,
+        Interleave::xor(4),
+        options(advance),
+    );
+    if let Some(width) = epoch_width {
+        engine.enable_series(width);
+    }
+    engine
+}
+
+fn decode(ops: &[(u64, u64, u64)]) -> Vec<TraceOp> {
+    ops.iter()
+        .map(|&(sel, addr, n)| match sel % 5 {
+            0 => TraceOp::Compute((n % 48 + 1) as u32),
+            1 | 4 => TraceOp::Load(addr),
+            2 => TraceOp::DependentLoad(addr),
+            _ => TraceOp::Store(addr),
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Randomized single-core streams over a series-recording 4-way
+    /// sharded backend at a randomized epoch width, under both advance
+    /// policies: identical `SimResult`, engine statistics, and DRAM
+    /// statistics to the recording-off run — and the recorded series
+    /// reconciles with the aggregate controller telemetry.
+    #[test]
+    fn series_recording_never_perturbs_random_streams(
+        ops in proptest::collection::vec(
+            (0u64..5, 0u64..(1u64 << 32), 1u64..50),
+            1..40,
+        ),
+        event_driven in any::<bool>(),
+        width in 1u64..200_000,
+    ) {
+        let trace = decode(&ops);
+        let advance = if event_driven { Advance::ToNextEvent } else { Advance::PerCycle };
+        let run = |width: Option<u64>| -> (SimResult, EngineStats, DramStats) {
+            let mut sys = CpuSystem::new(cpu_cfg(advance), engine(advance, width));
+            let sim = sys.run(trace.iter().copied());
+            let series = sys.backend_mut().series_snapshot();
+            prop_assert_eq!(series.is_some(), width.is_some(), "series opt-in mismatch");
+            if let Some(series) = series {
+                let mut aggregate = secddr::TelemetrySnapshot::default();
+                sys.backend_mut().dram_telemetry().render_into(&mut aggregate);
+                prop_assert!(
+                    series.reconciles_with(&aggregate),
+                    "per-epoch sums diverged from the aggregate"
+                );
+            }
+            (sim, sys.backend_mut().stats(), sys.backend_mut().dram_stats())
+        };
+        prop_assert_eq!(
+            run(Some(width)),
+            run(None),
+            "series recording perturbed the run ({:?})",
+            advance
+        );
+    }
+}
+
+/// End-to-end on a real benchmark: a 16-core rate-mode mcf job over
+/// `ShardedEngine{N=4}` with series recording on every layer is
+/// bit-identical to the recording-off run under both advance policies —
+/// and the merged cross-layer series reconciles with the merged
+/// aggregate snapshot.
+#[test]
+fn series_recording_is_bit_identical_end_to_end() {
+    let bench = Benchmark::by_name("mcf").expect("mcf exists");
+    let trace = bench.generate_shared(6_000, 0xD5);
+
+    for advance in [Advance::PerCycle, Advance::ToNextEvent] {
+        let width = 16_384;
+
+        let mut plain = MultiCoreSystem::new(16, cpu_cfg(advance), engine(advance, None));
+        let plain_result = plain.run(CoreTrace::rate(&trace, DATA_SPAN, 16));
+
+        let mut recorded = MultiCoreSystem::new(16, cpu_cfg(advance), engine(advance, Some(width)));
+        recorded.enable_series(width);
+        let recorded_result = recorded.run(CoreTrace::rate(&trace, DATA_SPAN, 16));
+
+        assert_eq!(
+            recorded_result, plain_result,
+            "results diverged ({advance:?})"
+        );
+        assert_eq!(
+            recorded.backend_mut().stats(),
+            plain.backend_mut().stats(),
+            "engine stats diverged ({advance:?})"
+        );
+        assert_eq!(
+            recorded.backend_mut().dram_stats(),
+            plain.backend_mut().dram_stats(),
+            "dram stats diverged ({advance:?})"
+        );
+
+        // The cross-layer merge reconciles with the merged aggregate.
+        let mut aggregate = recorded.telemetry_snapshot();
+        recorded
+            .backend_mut()
+            .dram_telemetry()
+            .render_into(&mut aggregate);
+        let mut series = recorded
+            .backend_mut()
+            .series_snapshot()
+            .expect("backend series enabled");
+        series.merge(
+            &recorded
+                .series_snapshot()
+                .expect("scheduler series enabled"),
+        );
+        assert!(
+            series.reconciles_with(&aggregate),
+            "merged series diverged from the merged aggregate ({advance:?})"
+        );
+        assert!(series.epochs() > 1, "the run spans several epochs");
+    }
+}

@@ -195,6 +195,9 @@ fn arb_spec() -> impl Strategy<Value = JobSpec> {
                     channels,
                     instructions,
                     seed,
+                    // Exercise both the off (0) and on states of the
+                    // series codec without a dedicated strategy slot.
+                    epoch_width: seed % 100_000,
                     // The shim has no signed Arbitrary; fold a u8 over
                     // the full i8 range instead.
                     #[allow(clippy::cast_possible_wrap)]

@@ -37,7 +37,8 @@ fn tiny_spec(name: &str, instructions: u64) -> JobSpec {
 }
 
 /// Asserts one job's full stream is well-ordered: queued → started →
-/// cells with ascending indices → finished; returns the cell count.
+/// cells with ascending indices, each followed by one live metrics
+/// frame → finished; returns the cell count.
 fn assert_ordered_stream(events: &[WireEvent], job: u64) -> u64 {
     assert!(
         matches!(events.first(), Some(WireEvent::Queued { job: j, .. }) if *j == job),
@@ -48,18 +49,27 @@ fn assert_ordered_stream(events: &[WireEvent], job: u64) -> u64 {
         "queued then started: {events:?}"
     );
     let mut expected_index = 0u64;
+    let mut frames = 0u64;
     for event in &events[2..events.len() - 1] {
-        let WireEvent::Cell { index, total, .. } = event else {
-            panic!("only cells between started and the terminal: {events:?}");
-        };
-        assert_eq!(*index, expected_index, "ascending cell indices");
-        assert_eq!(*total, (events.len() - 3) as u64);
-        expected_index += 1;
+        match event {
+            WireEvent::Cell { index, total, .. } => {
+                assert_eq!(*index, expected_index, "ascending cell indices");
+                assert_eq!(*total, (events.len() as u64 - 3) / 2, "cell total");
+                expected_index += 1;
+            }
+            WireEvent::Metrics { job: j, .. } => {
+                assert_eq!(*j, job, "frames carry their job id");
+                frames += 1;
+                assert_eq!(frames, expected_index, "one frame right after each cell");
+            }
+            other => panic!("unexpected event between started and terminal: {other:?}"),
+        }
     }
     let Some(WireEvent::Finished { cells, .. }) = events.last() else {
         panic!("terminal must be finished: {events:?}");
     };
     assert_eq!(*cells, expected_index);
+    assert_eq!(frames, expected_index, "every cell streamed a live frame");
     expected_index
 }
 
