@@ -1,0 +1,72 @@
+//! `secddr-dispatch`: the fleet dispatcher front-end.
+//!
+//! ```text
+//! secddr-dispatch [--port N] [--workers a:p,b:p,…] [--log-dir DIR]
+//!                 [--store-dir DIR] [--outstanding N]
+//! ```
+//!
+//! Binds `127.0.0.1:PORT` (default 7450, `--port 0` for an ephemeral
+//! port; `SECDDR_DISPATCH_PORT` is the env equivalent) and serves the
+//! same line-delimited-JSON protocol as `secddr-serve`, fanning jobs
+//! out to the comma-separated `--workers` / `SECDDR_WORKERS` list of
+//! running `secddr-serve` addresses. `--log-dir` / `SECDDR_FLEET_LOG`
+//! enables the write-ahead job log (incomplete jobs replay on start);
+//! `--store-dir` / `SECDDR_FLEET_STORE` enables the on-disk result
+//! store; `--outstanding` caps cells in flight per worker (default 4).
+//!
+//! The first stdout line is `secddr-dispatch listening on ADDR` so
+//! wrappers (CI, examples) can discover the bound address.
+
+use std::io::Write;
+
+use secddr_fleet::{Dispatcher, DispatcherConfig, FleetServer};
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() -> std::io::Result<()> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let port: u16 = arg_value(&args, "--port")
+        .or_else(|| std::env::var("SECDDR_DISPATCH_PORT").ok())
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(7450);
+    let workers: Vec<String> = arg_value(&args, "--workers")
+        .or_else(|| std::env::var("SECDDR_WORKERS").ok())
+        .map(|list| {
+            list.split(',')
+                .map(str::trim)
+                .filter(|a| !a.is_empty())
+                .map(String::from)
+                .collect()
+        })
+        .unwrap_or_default();
+    let log_dir = arg_value(&args, "--log-dir")
+        .or_else(|| std::env::var("SECDDR_FLEET_LOG").ok())
+        .map(Into::into);
+    let store_dir = arg_value(&args, "--store-dir")
+        .or_else(|| std::env::var("SECDDR_FLEET_STORE").ok())
+        .map(Into::into);
+    let max_outstanding = arg_value(&args, "--outstanding")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+
+    let worker_count = workers.len();
+    let dispatcher = Dispatcher::start(DispatcherConfig {
+        workers,
+        log_dir,
+        store_dir,
+        max_outstanding,
+        ..DispatcherConfig::default()
+    })?;
+    let replayed = dispatcher.replayed();
+    let server = FleetServer::bind(("127.0.0.1", port), dispatcher)?;
+    let addr = server.local_addr()?;
+    println!("secddr-dispatch listening on {addr} ({worker_count} workers, {replayed} replayed)");
+    std::io::stdout().flush()?;
+    server.serve()?;
+    println!("secddr-dispatch: clean shutdown");
+    Ok(())
+}

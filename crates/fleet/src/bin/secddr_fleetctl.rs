@@ -1,0 +1,74 @@
+//! `secddr-fleetctl`: inspect fleet state from the command line.
+//!
+//! ```text
+//! secddr-fleetctl log <dir>       # decode a job-log dir
+//! secddr-fleetctl store <dir>     # list result-store cells
+//! secddr-fleetctl ping <addr>     # health-check a worker/dispatcher
+//! secddr-fleetctl metrics <addr>  # dump an endpoint's counters+gauges
+//! ```
+//!
+//! `log` and `store` read the on-disk formats directly (same guarded
+//! decoders the dispatcher uses — corrupt files are reported, not
+//! trusted); `ping` and `metrics` speak the TCP protocol, so they work
+//! against both `secddr-serve` and `secddr-dispatch`.
+
+use secddr_fleet::joblog;
+use secddr_fleet::store;
+use secddr_service::ServiceClient;
+
+fn usage() -> std::io::Result<()> {
+    eprintln!("usage: secddr-fleetctl log <dir> | store <dir> | ping <addr> | metrics <addr>");
+    Err(std::io::Error::new(
+        std::io::ErrorKind::InvalidInput,
+        "bad arguments",
+    ))
+}
+
+fn main() -> std::io::Result<()> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (Some(cmd), Some(target)) = (args.first(), args.get(1)) else {
+        return usage();
+    };
+    match cmd.as_str() {
+        "log" => {
+            let records = joblog::read_log(std::path::Path::new(target))?;
+            let mut open = 0usize;
+            for record in &records {
+                match record {
+                    joblog::LogRecord::Submitted { hash, spec } => {
+                        open += 1;
+                        println!("submitted {hash:016x} {}", spec.to_json());
+                    }
+                    joblog::LogRecord::Terminal { hash, outcome } => {
+                        open = open.saturating_sub(1);
+                        println!("terminal  {hash:016x} {outcome:?}");
+                    }
+                }
+            }
+            println!("{} records, ~{open} open", records.len());
+        }
+        "store" => {
+            let cells = store::scan(std::path::Path::new(target))?;
+            for (key, payload) in &cells {
+                println!("{key:016x} {payload}");
+            }
+            println!("{} cells", cells.len());
+        }
+        "ping" => {
+            let mut client = ServiceClient::connect(target.as_str())?;
+            client.ping()?;
+            println!("{target}: alive");
+        }
+        "metrics" => {
+            let mut client = ServiceClient::connect(target.as_str())?;
+            for (name, value) in client.metrics()? {
+                println!("counter {name} {value}");
+            }
+            for (name, value) in client.gauges()? {
+                println!("gauge   {name} {value}");
+            }
+        }
+        _ => return usage(),
+    }
+    Ok(())
+}

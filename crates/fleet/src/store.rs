@@ -1,0 +1,346 @@
+//! Whole-result memoization: a versioned on-disk store of finished
+//! cell payloads, keyed by the canonical content hash of the cell's
+//! spec (which embeds the seed).
+//!
+//! Determinism is the load-bearing property: identical `(cell spec,
+//! seed)` inputs are proven to produce identical results, so a stored
+//! payload can be served for repeat traffic without touching a worker
+//! and still be bit-identical to a fresh run. The dispatcher checks the
+//! store before dispatch and populates it on every cell completion.
+//!
+//! On-disk format, one file per cell (`cell-{key:016x}.res`, all
+//! integers little-endian):
+//!
+//! ```text
+//! magic b"SDRS" | version u32 | key u64 | len u64 | payload[len]
+//! ```
+//!
+//! Decode is guarded like the trace cache: wrong magic/version/key,
+//! a `len` that does not exactly match the remaining bytes (truncated
+//! *or* trailing), or a payload that is not valid JSON all fall
+//! through to a miss — a corrupt file costs a re-simulation, never a
+//! wrong answer. Writes are atomic (temp + rename) so concurrent
+//! dispatchers sharing a store dir never observe a half-written file.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use secddr_service::Json;
+use secddr_telemetry::{Counter, Histogram, Registry};
+
+/// File magic for result-store cells ("SecDDR Result Store").
+pub const MAGIC: &[u8; 4] = b"SDRS";
+/// Format version; bump on any layout change.
+pub const VERSION: u32 = 1;
+
+/// Encodes a cell payload for `key` into the on-disk image.
+#[must_use]
+pub fn encode_cell(key: u64, payload: &str) -> Vec<u8> {
+    let bytes = payload.as_bytes();
+    let mut out = Vec::with_capacity(24 + bytes.len());
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&key.to_le_bytes());
+    out.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
+    out.extend_from_slice(bytes);
+    out
+}
+
+/// Decodes an on-disk image back to the payload string, verifying it
+/// was written for `key`. Any mismatch (magic, version, key, length
+/// not exactly the remaining bytes, non-UTF-8, non-JSON payload)
+/// returns `None` — the caller treats it as a miss.
+#[must_use]
+pub fn decode_cell(key: u64, bytes: &[u8]) -> Option<String> {
+    let header = bytes.get(..24)?;
+    if &header[..4] != MAGIC {
+        return None;
+    }
+    let mut word4 = [0u8; 4];
+    word4.copy_from_slice(&header[4..8]);
+    if u32::from_le_bytes(word4) != VERSION {
+        return None;
+    }
+    let mut word = [0u8; 8];
+    word.copy_from_slice(&header[8..16]);
+    if u64::from_le_bytes(word) != key {
+        return None;
+    }
+    word.copy_from_slice(&header[16..24]);
+    let len = usize::try_from(u64::from_le_bytes(word)).ok()?;
+    let rest = bytes.get(24..)?;
+    if rest.len() != len {
+        return None; // truncated or trailing bytes — reject both
+    }
+    let text = std::str::from_utf8(rest).ok()?;
+    Json::parse(text).ok()?;
+    Some(text.to_string())
+}
+
+/// Lists the `(key, payload)` pairs stored in `dir`, skipping files
+/// that fail the decode guards. For `secddr-fleetctl store`.
+///
+/// # Errors
+///
+/// Propagates directory-read errors (a missing dir yields an empty
+/// list).
+pub fn scan(dir: &Path) -> std::io::Result<Vec<(u64, String)>> {
+    let mut cells = Vec::new();
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(cells),
+        Err(e) => return Err(e),
+    };
+    for entry in entries {
+        let path = entry?.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        let Some(hex) = name
+            .strip_prefix("cell-")
+            .and_then(|rest| rest.strip_suffix(".res"))
+        else {
+            continue;
+        };
+        let Ok(key) = u64::from_str_radix(hex, 16) else {
+            continue;
+        };
+        if let Ok(bytes) = std::fs::read(&path) {
+            if let Some(payload) = decode_cell(key, &bytes) {
+                cells.push((key, payload));
+            }
+        }
+    }
+    cells.sort_by_key(|(key, _)| *key);
+    Ok(cells)
+}
+
+/// The memoization store: an in-memory map over an optional on-disk
+/// tier. With no dir, results persist only for the dispatcher's
+/// lifetime; with a dir, repeat traffic survives restarts and is
+/// shared by any dispatcher pointed at the same path.
+#[derive(Debug)]
+pub struct ResultStore {
+    dir: Option<PathBuf>,
+    memory: HashMap<u64, String>,
+    hits: Counter,
+    misses: Counter,
+    inserts: Counter,
+    serve_us: Histogram,
+    fill_us: Histogram,
+}
+
+impl ResultStore {
+    /// Opens the store, creating `dir` if given.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn open(dir: Option<PathBuf>) -> std::io::Result<Self> {
+        if let Some(dir) = &dir {
+            std::fs::create_dir_all(dir)?;
+        }
+        let registry = Registry::global();
+        Ok(Self {
+            dir,
+            memory: HashMap::new(),
+            hits: registry.counter("fleet.result_cache.hits"),
+            misses: registry.counter("fleet.result_cache.misses"),
+            inserts: registry.counter("fleet.result_cache.inserts"),
+            serve_us: registry.histogram("fleet.result_cache.serve_us"),
+            fill_us: registry.histogram("fleet.result_cache.fill_us"),
+        })
+    }
+
+    fn path(&self, key: u64) -> Option<PathBuf> {
+        self.dir
+            .as_ref()
+            .map(|d| d.join(format!("cell-{key:016x}.res")))
+    }
+
+    /// Looks up a finished cell payload, memory tier first, then disk.
+    /// Counts a hit or miss and records serve latency on hits.
+    pub fn lookup(&mut self, key: u64) -> Option<String> {
+        let start = Instant::now();
+        if let Some(payload) = self.memory.get(&key) {
+            let payload = payload.clone();
+            self.hits.inc();
+            self.record_elapsed(&start, Serve);
+            return Some(payload);
+        }
+        if let Some(path) = self.path(key) {
+            if let Ok(bytes) = std::fs::read(&path) {
+                if let Some(payload) = decode_cell(key, &bytes) {
+                    self.memory.insert(key, payload.clone());
+                    self.hits.inc();
+                    self.record_elapsed(&start, Serve);
+                    return Some(payload);
+                }
+            }
+        }
+        self.misses.inc();
+        None
+    }
+
+    /// Stores a finished cell payload under `key` (memory always; disk
+    /// when a dir was given, atomically via temp + rename). Counts an
+    /// insert and records fill latency. Disk failures degrade to
+    /// memory-only — memoization is an optimization, never a
+    /// correctness dependency.
+    pub fn insert(&mut self, key: u64, payload: &str) {
+        let start = Instant::now();
+        self.memory.insert(key, payload.to_string());
+        if let Some(path) = self.path(key) {
+            let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+            if std::fs::write(&tmp, encode_cell(key, payload)).is_ok()
+                && std::fs::rename(&tmp, &path).is_err()
+            {
+                let _ = std::fs::remove_file(&tmp);
+            }
+        }
+        self.inserts.inc();
+        self.record_elapsed(&start, Fill);
+    }
+
+    fn record_elapsed(&self, start: &Instant, which: Lat) {
+        let micros = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        match which {
+            Lat::Serve => self.serve_us.record(micros),
+            Lat::Fill => self.fill_us.record(micros),
+        }
+    }
+}
+
+use Lat::{Fill, Serve};
+
+#[derive(Clone, Copy)]
+enum Lat {
+    Serve,
+    Fill,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static NEXT: AtomicUsize = AtomicUsize::new(0);
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("secddr-store-{tag}-{}-{n}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    const PAYLOAD: &str = r#"{"benchmark":"mcf","aggregate_ipc":1.5}"#;
+
+    #[test]
+    fn roundtrip_survives_reopen() {
+        let dir = temp_dir("roundtrip");
+        {
+            let mut store = ResultStore::open(Some(dir.clone())).unwrap();
+            store.insert(7, PAYLOAD);
+            assert_eq!(store.lookup(7).as_deref(), Some(PAYLOAD));
+        }
+        let mut store = ResultStore::open(Some(dir.clone())).unwrap();
+        assert_eq!(
+            store.lookup(7).as_deref(),
+            Some(PAYLOAD),
+            "disk tier survives"
+        );
+        assert_eq!(store.lookup(8), None);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn memory_only_store_works_without_a_dir() {
+        let mut store = ResultStore::open(None).unwrap();
+        assert_eq!(store.lookup(1), None);
+        store.insert(1, PAYLOAD);
+        assert_eq!(store.lookup(1).as_deref(), Some(PAYLOAD));
+    }
+
+    #[test]
+    fn wrong_magic_version_or_key_is_a_miss() {
+        let image = encode_cell(7, PAYLOAD);
+        assert!(decode_cell(7, &image).is_some());
+
+        let mut bad = image.clone();
+        bad[0] ^= 0xFF;
+        assert!(decode_cell(7, &bad).is_none(), "magic");
+
+        let mut bad = image.clone();
+        bad[4] = 99;
+        assert!(decode_cell(7, &bad).is_none(), "version");
+
+        assert!(decode_cell(8, &image).is_none(), "key re-verify");
+    }
+
+    #[test]
+    fn truncated_and_trailing_images_are_misses() {
+        let image = encode_cell(7, PAYLOAD);
+        assert!(
+            decode_cell(7, &image[..image.len() - 1]).is_none(),
+            "truncated"
+        );
+        let mut trailing = image.clone();
+        trailing.push(0);
+        assert!(decode_cell(7, &trailing).is_none(), "trailing");
+        assert!(decode_cell(7, &image[..10]).is_none(), "short header");
+        assert!(decode_cell(7, &[]).is_none(), "empty");
+    }
+
+    #[test]
+    fn non_json_payload_is_a_miss() {
+        let mut image = Vec::new();
+        image.extend_from_slice(MAGIC);
+        image.extend_from_slice(&VERSION.to_le_bytes());
+        image.extend_from_slice(&7u64.to_le_bytes());
+        image.extend_from_slice(&4u64.to_le_bytes());
+        image.extend_from_slice(b"!!!!");
+        assert!(decode_cell(7, &image).is_none());
+    }
+
+    #[test]
+    fn huge_len_field_cannot_panic() {
+        let mut image = Vec::new();
+        image.extend_from_slice(MAGIC);
+        image.extend_from_slice(&VERSION.to_le_bytes());
+        image.extend_from_slice(&7u64.to_le_bytes());
+        image.extend_from_slice(&u64::MAX.to_le_bytes());
+        assert!(decode_cell(7, &image).is_none());
+    }
+
+    #[test]
+    fn corrupt_disk_file_falls_through_to_miss() {
+        let dir = temp_dir("corrupt");
+        let mut store = ResultStore::open(Some(dir.clone())).unwrap();
+        store.insert(7, PAYLOAD);
+        // Corrupt the file on disk, then reopen (fresh memory tier).
+        let path = dir.join(format!("cell-{:016x}.res", 7u64));
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[0] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let mut store = ResultStore::open(Some(dir.clone())).unwrap();
+        assert_eq!(store.lookup(7), None);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn scan_lists_valid_cells_and_skips_junk() {
+        let dir = temp_dir("scan");
+        let mut store = ResultStore::open(Some(dir.clone())).unwrap();
+        store.insert(3, PAYLOAD);
+        store.insert(1, PAYLOAD);
+        std::fs::write(dir.join("cell-00000000000000ff.res"), b"junk").unwrap();
+        std::fs::write(dir.join("unrelated.txt"), b"junk").unwrap();
+        let cells = scan(&dir).unwrap();
+        assert_eq!(
+            cells.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+            vec![1, 3]
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

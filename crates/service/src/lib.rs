@@ -50,7 +50,7 @@ pub mod spec;
 
 pub use json::Json;
 pub use net::{ExperimentServer, ServiceClient, ShutdownHandle, WireCacheStats, WireEvent};
-pub use pool::{resolve_threads, CancelToken, WorkerPool, DEFAULT_THREAD_CAP};
+pub use pool::{resolve_threads, CancelToken, PoolGauges, WorkerPool, DEFAULT_THREAD_CAP};
 pub use service::{
     CellResult, ExperimentService, JobEvent, JobHandle, JobId, JobOutcome, JobSummary, ServiceStats,
 };

@@ -142,8 +142,10 @@ fn stats_to_json(stats: &ServiceStats) -> Json {
 /// name→`{count,sum,mean,p50,p95,p99}` (percentiles carry the
 /// histogram's documented bucket-upper-bound semantics; the full bucket
 /// vectors stay in-process — the wire view is for dashboards and CI
-/// assertions).
-fn metrics_to_json(snap: &secddr_telemetry::TelemetrySnapshot) -> Json {
+/// assertions). Public so other front-ends speaking the same protocol
+/// (the fleet dispatcher) serve an identical `metrics` response shape.
+#[must_use]
+pub fn metrics_to_json(snap: &secddr_telemetry::TelemetrySnapshot) -> Json {
     let map = |entries: &std::collections::BTreeMap<String, u64>| {
         Json::Obj(
             entries
@@ -801,6 +803,43 @@ impl ServiceClient {
             return Err(std::io::Error::new(
                 std::io::ErrorKind::InvalidData,
                 "metrics response without counters",
+            ));
+        };
+        Ok(entries
+            .iter()
+            .filter_map(|(k, v)| v.as_u64().map(|v| (k.clone(), v)))
+            .collect())
+    }
+
+    /// Round-trips a `ping` — a cheap health check. An `Ok` return
+    /// means the server end of this connection is alive and answering.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors (a dead or wedged server surfaces
+    /// as an I/O error rather than a `false`).
+    pub fn ping(&mut self) -> std::io::Result<()> {
+        self.send(&Json::Obj(vec![("cmd".into(), Json::str("ping"))]))?;
+        self.read_until(|j| j.get("type").and_then(Json::as_str) == Some("pong"))?;
+        Ok(())
+    }
+
+    /// Fetches the server's telemetry gauges (the `metrics` endpoint)
+    /// as a name→value map in lexicographic order — the dispatcher and
+    /// dashboards read `service.pool.queue_depth` /
+    /// `service.pool.inflight` from here.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors.
+    pub fn gauges(&mut self) -> std::io::Result<std::collections::BTreeMap<String, u64>> {
+        self.send(&Json::Obj(vec![("cmd".into(), Json::str("metrics"))]))?;
+        let response =
+            self.read_until(|j| j.get("type").and_then(Json::as_str) == Some("metrics"))?;
+        let Some(Json::Obj(entries)) = response.get("gauges") else {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "metrics response without gauges",
             ));
         };
         Ok(entries

@@ -24,6 +24,8 @@ use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
+use secddr_telemetry::Gauge;
+
 /// Default cap on worker threads when the caller does not supply one
 /// (the `.min(16)` the scoped harness hard-coded).
 pub const DEFAULT_THREAD_CAP: usize = 16;
@@ -115,6 +117,20 @@ struct QueueState {
     shutdown: bool,
 }
 
+/// Telemetry gauges a pool keeps current, updated inside the queue lock
+/// on every transition so readers never observe a torn pair. The
+/// experiment service registers these as `service.pool.queue_depth` /
+/// `service.pool.inflight` in the global registry (the `metrics` TCP
+/// endpoint serves them); the fleet dispatcher's least-loaded placement
+/// and the report example read the same names.
+#[derive(Debug, Clone, Default)]
+pub struct PoolGauges {
+    /// Jobs waiting in the priority queue (not yet picked up).
+    pub queue_depth: Gauge,
+    /// Jobs currently executing on workers.
+    pub inflight: Gauge,
+}
+
 #[derive(Default)]
 struct Shared {
     state: Mutex<QueueState>,
@@ -122,6 +138,18 @@ struct Shared {
     /// Signalled whenever the pool becomes idle (empty queue, nothing
     /// running).
     idle: Condvar,
+    /// Present when the pool publishes its levels (see [`PoolGauges`]).
+    gauges: Option<PoolGauges>,
+}
+
+impl Shared {
+    /// Publishes the current levels; call with the state lock held.
+    fn publish(&self, state: &QueueState) {
+        if let Some(gauges) = &self.gauges {
+            gauges.queue_depth.set(state.heap.len() as u64);
+            gauges.inflight.set(state.running as u64);
+        }
+    }
 }
 
 /// A persistent priority worker pool (see the module docs).
@@ -146,8 +174,26 @@ impl WorkerPool {
     /// Panics when `threads` is zero.
     #[must_use]
     pub fn new(threads: usize) -> Self {
+        Self::build(threads, None)
+    }
+
+    /// A pool that additionally keeps `gauges` current (queue depth and
+    /// in-flight count, updated on every queue transition).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `threads` is zero.
+    #[must_use]
+    pub fn with_gauges(threads: usize, gauges: PoolGauges) -> Self {
+        Self::build(threads, Some(gauges))
+    }
+
+    fn build(threads: usize, gauges: Option<PoolGauges>) -> Self {
         assert!(threads >= 1, "a worker pool needs at least one thread");
-        let shared = Arc::new(Shared::default());
+        let shared = Arc::new(Shared {
+            gauges,
+            ..Shared::default()
+        });
         let workers = (0..threads)
             .map(|i| {
                 let shared = Arc::clone(&shared);
@@ -197,6 +243,7 @@ impl WorkerPool {
             cancel,
             job: Box::new(job),
         });
+        self.shared.publish(&state);
         drop(state);
         self.shared.available.notify_one();
     }
@@ -320,6 +367,7 @@ fn worker_loop(shared: &Shared) {
     loop {
         if let Some(queued) = state.heap.pop() {
             state.running += 1;
+            shared.publish(&state);
             drop(state);
             // Contain job panics: a resident pool must not degrade
             // toward zero workers because one job misbehaved. The
@@ -331,6 +379,7 @@ fn worker_loop(shared: &Shared) {
             }));
             state = shared.state.lock().expect("pool lock");
             state.running -= 1;
+            shared.publish(&state);
             if state.running == 0 && state.heap.is_empty() {
                 shared.idle.notify_all();
             }
@@ -486,6 +535,44 @@ mod tests {
         pool.wait_idle();
         assert_eq!(counter.load(Ordering::Relaxed), 8);
         pool.wait_idle(); // idempotent on an idle pool
+    }
+
+    #[test]
+    fn gauges_track_queue_depth_and_inflight() {
+        // Uniquely named gauges so parallel suites sharing the global
+        // registry cannot perturb the exact assertions below.
+        let gauges = PoolGauges {
+            queue_depth: secddr_telemetry::Registry::global().gauge("test.pool_gauges.queue_depth"),
+            inflight: secddr_telemetry::Registry::global().gauge("test.pool_gauges.inflight"),
+        };
+        let pool = WorkerPool::with_gauges(1, gauges.clone());
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        pool.submit(0, CancelToken::new(), move |_| {
+            gate_rx.recv().unwrap();
+        });
+        // Wait for the single worker to pick the blocker up.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while gauges.inflight.get() != 1 {
+            assert!(std::time::Instant::now() < deadline, "worker never started");
+            std::thread::yield_now();
+        }
+        // Two more jobs pile up behind the blocked worker.
+        let (done_tx, done_rx) = mpsc::channel::<()>();
+        for _ in 0..2 {
+            let done = done_tx.clone();
+            pool.submit(0, CancelToken::new(), move |_| done.send(()).unwrap());
+        }
+        assert_eq!(gauges.queue_depth.get(), 2, "both jobs queued");
+        assert_eq!(gauges.inflight.get(), 1, "blocker still running");
+        gate_tx.send(()).unwrap();
+        for _ in 0..2 {
+            done_rx.recv_timeout(Duration::from_secs(10)).unwrap();
+        }
+        pool.wait_idle();
+        // Levels are published under the queue lock before the idle
+        // notification, so an idle pool always reads as (0, 0).
+        assert_eq!(gauges.queue_depth.get(), 0);
+        assert_eq!(gauges.inflight.get(), 0);
     }
 
     #[test]

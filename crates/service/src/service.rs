@@ -24,7 +24,7 @@ use secddr_multicore::{CoreTrace, MultiCoreSystem};
 use secddr_telemetry::{Registry, SeriesSnapshot, TelemetrySnapshot};
 use workloads::{Benchmark, TraceCacheStats};
 
-use crate::pool::{default_threads, CancelToken, WorkerPool, DEFAULT_THREAD_CAP};
+use crate::pool::{default_threads, CancelToken, PoolGauges, WorkerPool, DEFAULT_THREAD_CAP};
 use crate::spec::{JobSpec, SpecError};
 
 /// Identifier of one submitted job, unique per service instance.
@@ -307,8 +307,16 @@ impl ExperimentService {
     /// Panics when `threads` is zero.
     #[must_use]
     pub fn with_threads(threads: usize) -> Self {
+        // The pool publishes its levels into the process-wide registry
+        // (last-constructed service wins on the shared names — services
+        // are one-per-process outside tests) so the `metrics` endpoint
+        // serves live queue depth and in-flight count.
+        let gauges = PoolGauges {
+            queue_depth: Registry::global().gauge("service.pool.queue_depth"),
+            inflight: Registry::global().gauge("service.pool.inflight"),
+        };
         Self {
-            pool: WorkerPool::new(threads),
+            pool: WorkerPool::with_gauges(threads, gauges),
             next_id: AtomicU64::new(1),
             jobs_submitted: AtomicU64::new(0),
             jobs_completed: Arc::new(AtomicU64::new(0)),

@@ -166,6 +166,52 @@ impl JobSpec {
         }
     }
 
+    /// Canonical 64-bit content hash of this spec, stable across
+    /// processes and restarts: FNV-1a over the [`Self::to_json`]
+    /// encoding (whose member order is fixed by construction) with the
+    /// `priority` member removed — priority affects *when* a job runs,
+    /// never *what* it computes, so two specs that differ only in
+    /// priority are the same work and must dedupe to the same key.
+    ///
+    /// This is the fleet layer's identity: the job log dedupes replayed
+    /// jobs by it and the result store keys memoized cells by it (the
+    /// seed is part of the encoding, so `(spec, seed)` is covered).
+    #[must_use]
+    pub fn content_hash(&self) -> u64 {
+        let mut json = self.to_json();
+        if let Json::Obj(members) = &mut json {
+            members.retain(|(key, _)| key != "priority");
+        }
+        fnv1a_64(json.to_string().as_bytes())
+    }
+
+    /// Decomposes this job into its benchmark × configuration cells, in
+    /// cell order: each returned spec is a stand-alone single-benchmark,
+    /// single-config job that runs *exactly* the same simulation as the
+    /// corresponding cell of this job (the service's `run_cell` depends
+    /// only on the benchmark, the config, and the shared shape fields,
+    /// all of which are copied verbatim). The fleet dispatcher ships
+    /// cells to workers as these specs and memoizes results under their
+    /// [`Self::content_hash`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates benchmark resolution failures.
+    pub fn cell_specs(&self) -> Result<Vec<JobSpec>, SpecError> {
+        let benchmarks = self.resolve_benchmarks()?;
+        let mut cells = Vec::with_capacity(benchmarks.len() * self.configs.len());
+        for bench in &benchmarks {
+            for config in &self.configs {
+                cells.push(JobSpec {
+                    workload: Workload::Bench(bench.name().to_string()),
+                    configs: vec![*config],
+                    ..self.clone()
+                });
+            }
+        }
+        Ok(cells)
+    }
+
     /// Encodes the spec as a JSON object.
     #[must_use]
     pub fn to_json(&self) -> Json {
@@ -269,6 +315,21 @@ impl std::fmt::Display for SpecError {
 }
 
 impl std::error::Error for SpecError {}
+
+/// 64-bit FNV-1a. Embedded rather than pulled from crates.io (offline
+/// build environment); not cryptographic — the fleet layer's keys hash
+/// *trusted* canonical encodings, collision resistance against an
+/// adversary is not a requirement.
+fn fnv1a_64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
 
 fn require<'a>(json: &'a Json, key: &str) -> Result<&'a Json, SpecError> {
     json.get(key)
@@ -514,6 +575,101 @@ mod tests {
         let mangled = good.replace("\"cores\"", "\"cpus\"");
         let err = JobSpec::from_json(&Json::parse(&mangled).unwrap()).unwrap_err();
         assert!(matches!(err, SpecError::Malformed(_)), "{err}");
+    }
+
+    #[test]
+    fn content_hash_is_spec_equality_modulo_priority() {
+        // Hash equality ⇔ spec equality modulo `priority`: same spec at
+        // any priority hashes identically…
+        let base = JobSpec::bench("mcf");
+        for priority in [i8::MIN, -1, 0, 1, i8::MAX] {
+            let mut spec = base.clone();
+            spec.priority = priority;
+            assert_eq!(spec.content_hash(), base.content_hash());
+        }
+        // …and perturbing any *content* field moves the hash.
+        type Perturbation = Box<dyn Fn(&mut JobSpec)>;
+        let perturb: Vec<(&str, Perturbation)> = vec![
+            (
+                "workload",
+                Box::new(|s| s.workload = Workload::Bench("omnetpp".into())),
+            ),
+            (
+                "suite",
+                Box::new(|s| s.workload = Workload::Suite(SuiteSel::Gapbs)),
+            ),
+            (
+                "configs",
+                Box::new(|s| s.configs = vec![SecurityConfig::tdx_baseline()]),
+            ),
+            (
+                "configs-extended",
+                Box::new(|s| s.configs.push(SecurityConfig::tree_64ary())),
+            ),
+            ("options", Box::new(|s| s.options.serial_tree_fetch = true)),
+            ("cores", Box::new(|s| s.cores = 2)),
+            ("channels", Box::new(|s| s.channels = 2)),
+            ("instructions", Box::new(|s| s.instructions += 1)),
+            ("seed", Box::new(|s| s.seed ^= 1)),
+            ("epoch_width", Box::new(|s| s.epoch_width = 4_096)),
+        ];
+        for (what, f) in perturb {
+            let mut spec = base.clone();
+            f(&mut spec);
+            assert_ne!(
+                spec.content_hash(),
+                base.content_hash(),
+                "{what} must be part of the content hash"
+            );
+        }
+    }
+
+    #[test]
+    fn content_hash_is_stable_across_codec_round_trips() {
+        let mut spec = JobSpec::bench("mcf");
+        spec.configs = vec![SecurityConfig::secddr_ctr(), SecurityConfig::tdx_baseline()];
+        spec.priority = 7;
+        let text = spec.to_json().to_string();
+        let back = JobSpec::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.content_hash(), spec.content_hash());
+    }
+
+    #[test]
+    fn cell_specs_decompose_in_cell_order() {
+        let mut spec = JobSpec::bench("mcf");
+        spec.workload = Workload::Suite(SuiteSel::Gapbs);
+        spec.configs = vec![SecurityConfig::secddr_ctr(), SecurityConfig::tdx_baseline()];
+        spec.priority = 3;
+        spec.seed = 99;
+        let cells = spec.cell_specs().unwrap();
+        assert_eq!(cells.len(), spec.cell_count().unwrap());
+        // Benchmark-major, config-minor — exactly the order run_job
+        // iterates cells in.
+        let benchmarks = spec.resolve_benchmarks().unwrap();
+        for (i, cell) in cells.iter().enumerate() {
+            assert_eq!(
+                cell.workload,
+                Workload::Bench(benchmarks[i / 2].name().to_string())
+            );
+            assert_eq!(cell.configs, vec![spec.configs[i % 2]]);
+            assert_eq!(cell.cell_count().unwrap(), 1);
+            assert_eq!((cell.seed, cell.priority), (99, 3));
+            cell.validate().unwrap();
+        }
+        // Distinct cells get distinct content hashes (the result-store
+        // keys cannot collide within one job).
+        let mut keys: Vec<u64> = cells.iter().map(JobSpec::content_hash).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), cells.len());
+    }
+
+    #[test]
+    fn single_cell_jobs_decompose_to_themselves_modulo_nothing() {
+        let spec = JobSpec::bench("mcf");
+        let cells = spec.cell_specs().unwrap();
+        assert_eq!(cells, vec![spec.clone()]);
+        assert_eq!(cells[0].content_hash(), spec.content_hash());
     }
 
     #[test]

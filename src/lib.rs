@@ -19,6 +19,10 @@
 //!   server (`secddr-serve`) that queues [`JobSpec`]s on a persistent
 //!   worker pool and streams per-cell results, in-process or over
 //!   line-delimited-JSON TCP.
+//! * [`fleet`] — the fleet layer over the service: durable write-ahead
+//!   job log, multi-worker dispatcher (`secddr-dispatch`) with
+//!   least-loaded placement and requeue-on-worker-death, and
+//!   whole-result memoization keyed by canonical spec hash.
 //! * [`telemetry`] — cross-layer observability: the metrics registry,
 //!   deterministic mergeable snapshots, and the span ring buffer +
 //!   `chrome://tracing` timeline exporter.
@@ -46,6 +50,7 @@ pub use dram_sim as dram;
 pub use secddr_channels as channels;
 pub use secddr_core as core;
 pub use secddr_crypto as crypto;
+pub use secddr_fleet as fleet;
 pub use secddr_multicore as multicore;
 pub use secddr_service as service;
 pub use secddr_telemetry as telemetry;
@@ -55,6 +60,7 @@ pub use workloads;
 pub use secddr_channels::{ChannelStats, Interleave, ShardedEngine};
 pub use secddr_core::config::SecurityConfig;
 pub use secddr_core::system::{run_benchmark, RunParams};
+pub use secddr_fleet::{Dispatcher, DispatcherConfig, FleetServer, JobLog, ResultStore};
 pub use secddr_multicore::{AddressSpace, CoreTrace, MultiCoreResult, MultiCoreSystem};
 pub use secddr_service::{
     ExperimentServer, ExperimentService, JobEvent, JobHandle, JobSpec, ServiceClient,

@@ -1,0 +1,202 @@
+//! Fleet dispatcher integration: the dispatcher's event stream is
+//! bit-identical to the single-service path, identical resubmissions
+//! are served entirely from the result store (zero cells executed),
+//! and killing one of N workers requeues its work and completes the
+//! job with correct results.
+
+use secddr::core::config::SecurityConfig;
+use secddr::fleet::{Dispatcher, DispatcherConfig};
+use secddr::service::net::event_to_json;
+use secddr::service::{ExperimentServer, ExperimentService, JobSpec, Json, ShutdownHandle};
+use secddr::Registry;
+use std::net::SocketAddr;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Serializes the tests in this binary: the fleet counters the
+/// assertions read are process-wide, so a concurrently running sibling
+/// test would perturb the deltas.
+fn serialize() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// An in-process `secddr-serve` worker on an ephemeral loopback port,
+/// shut down cleanly on drop.
+struct WorkerGuard {
+    addr: SocketAddr,
+    shutdown: ShutdownHandle,
+    serve: Option<std::thread::JoinHandle<std::io::Result<()>>>,
+}
+
+impl WorkerGuard {
+    fn start(threads: usize) -> Self {
+        let server =
+            ExperimentServer::bind("127.0.0.1:0", ExperimentService::with_threads(threads))
+                .expect("bind worker");
+        let addr = server.local_addr().expect("bound address");
+        let shutdown = server.shutdown_handle();
+        let serve = std::thread::spawn(move || server.serve());
+        Self {
+            addr,
+            shutdown,
+            serve: Some(serve),
+        }
+    }
+}
+
+impl Drop for WorkerGuard {
+    fn drop(&mut self) {
+        self.shutdown.shutdown();
+        if let Some(serve) = self.serve.take() {
+            let _ = serve.join();
+        }
+    }
+}
+
+/// Drops the `job` member so streams from different front-ends (which
+/// assign different ids) compare bit-identically.
+fn strip_job(json: Json) -> Json {
+    match json {
+        Json::Obj(members) => Json::Obj(members.into_iter().filter(|(k, _)| k != "job").collect()),
+        other => other,
+    }
+}
+
+/// The uninterrupted single-service event stream for `spec`, as wire
+/// lines minus the job id and the live metrics frames (which the
+/// dispatcher, by design, does not forward).
+fn reference_lines(spec: &JobSpec) -> Vec<String> {
+    let service = ExperimentService::with_threads(2);
+    let handle = service.submit(spec.clone()).expect("reference submit");
+    handle
+        .events()
+        .map(|event| event_to_json(&event))
+        .filter(|json| json.get("type").and_then(Json::as_str) != Some("metrics_frame"))
+        .map(|json| strip_job(json).to_string())
+        .collect()
+}
+
+fn fleet_lines(events: Vec<Json>) -> Vec<String> {
+    events
+        .into_iter()
+        .map(|json| strip_job(json).to_string())
+        .collect()
+}
+
+fn counter_delta(
+    after: &std::collections::BTreeMap<String, u64>,
+    before: &std::collections::BTreeMap<String, u64>,
+    name: &str,
+) -> u64 {
+    after.get(name).copied().unwrap_or(0) - before.get(name).copied().unwrap_or(0)
+}
+
+fn two_config_spec() -> JobSpec {
+    let mut spec = JobSpec::bench("mcf");
+    spec.instructions = 5_000;
+    spec.configs = vec![SecurityConfig::secddr_ctr(), SecurityConfig::tdx_baseline()];
+    spec
+}
+
+#[test]
+fn dispatcher_stream_is_bit_identical_to_single_service() {
+    let _guard = serialize();
+    let worker = WorkerGuard::start(2);
+    let spec = two_config_spec();
+    let expected = reference_lines(&spec);
+    let dispatcher = Dispatcher::start(DispatcherConfig {
+        workers: vec![worker.addr.to_string()],
+        ..DispatcherConfig::default()
+    })
+    .expect("start dispatcher");
+    let handle = dispatcher.submit(&spec).expect("submit");
+    assert_eq!(handle.cells, 2);
+    let got = fleet_lines(handle.wait());
+    assert_eq!(got, expected, "dispatched stream == single-service stream");
+}
+
+#[test]
+fn identical_resubmission_executes_zero_cells_with_identical_results() {
+    let _guard = serialize();
+    let worker = WorkerGuard::start(2);
+    let dispatcher = Dispatcher::start(DispatcherConfig {
+        workers: vec![worker.addr.to_string()],
+        ..DispatcherConfig::default()
+    })
+    .expect("start dispatcher");
+    let spec = two_config_spec();
+    let first = fleet_lines(dispatcher.submit(&spec).expect("first submit").wait());
+
+    let before = Registry::global().snapshot().counters;
+    let second = fleet_lines(dispatcher.submit(&spec).expect("second submit").wait());
+    let after = Registry::global().snapshot().counters;
+
+    assert_eq!(second, first, "memoized stream is bit-identical");
+    assert_eq!(
+        counter_delta(&after, &before, "fleet.cells.dispatched"),
+        0,
+        "zero cells reached a worker"
+    );
+    assert_eq!(
+        counter_delta(&after, &before, "fleet.result_cache.hits"),
+        2,
+        "both cells served from the result store"
+    );
+    // Priority is scheduling-only: a different priority still hits.
+    let mut reprioritized = spec.clone();
+    reprioritized.priority = 7;
+    let third = fleet_lines(
+        dispatcher
+            .submit(&reprioritized)
+            .expect("third submit")
+            .wait(),
+    );
+    assert_eq!(third, first);
+}
+
+#[test]
+fn killing_one_of_two_workers_requeues_and_completes_identically() {
+    let _guard = serialize();
+    let worker_a = WorkerGuard::start(1);
+    let worker_b = WorkerGuard::start(1);
+    let mut spec = JobSpec::bench("omnetpp");
+    spec.instructions = 5_000;
+    spec.configs = vec![
+        SecurityConfig::secddr_ctr(),
+        SecurityConfig::secddr_xts(),
+        SecurityConfig::tdx_baseline(),
+        SecurityConfig::encrypt_only_ctr(),
+    ];
+    let expected = reference_lines(&spec);
+
+    let before = Registry::global().snapshot().counters;
+    let dispatcher = Dispatcher::start(DispatcherConfig {
+        workers: vec![worker_a.addr.to_string(), worker_b.addr.to_string()],
+        max_outstanding: 1, // force both workers into play
+        ..DispatcherConfig::default()
+    })
+    .expect("start dispatcher");
+    let handle = dispatcher.submit(&spec).expect("submit");
+    // Cells are now in flight on both workers; tear one link down.
+    dispatcher.sever_worker(0);
+    let got = fleet_lines(handle.wait());
+    let after = Registry::global().snapshot().counters;
+
+    assert_eq!(
+        got, expected,
+        "job completes bit-identically despite the death"
+    );
+    let status = dispatcher.workers();
+    assert!(!status[0].alive, "severed worker is reported dead");
+    assert!(status[1].alive, "surviving worker is still up");
+    assert!(
+        counter_delta(&after, &before, "fleet.worker.deaths") >= 1,
+        "the death was counted"
+    );
+    assert!(
+        counter_delta(&after, &before, "fleet.cells.requeued") >= 1,
+        "the dead worker's cell went back to the queue"
+    );
+}

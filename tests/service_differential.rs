@@ -228,4 +228,20 @@ proptest! {
             Err(_) => prop_assert!(spec.validate().is_err(), "decode only rejects invalid specs"),
         }
     }
+
+    /// The canonical content hash (the fleet's dedupe and memoization
+    /// key) survives codec round-trips and ignores `priority` — the
+    /// one field that affects scheduling but not results.
+    #[test]
+    fn content_hash_survives_round_trips_and_ignores_priority(spec in arb_spec()) {
+        let hash = spec.content_hash();
+        let encoded = spec.to_json().to_string();
+        let parsed = Json::parse(&encoded).expect("codec emits valid JSON");
+        if let Ok(back) = JobSpec::from_json(&parsed) {
+            prop_assert_eq!(back.content_hash(), hash, "round-trip preserves the hash");
+        }
+        let mut bumped = spec.clone();
+        bumped.priority = bumped.priority.wrapping_add(1);
+        prop_assert_eq!(bumped.content_hash(), hash, "priority is excluded");
+    }
 }
